@@ -1,0 +1,69 @@
+// Command firmup searches firmware images for a known vulnerable
+// procedure, given a query executable that contains it — the tool the
+// paper's motivating scenario describes.
+//
+// Usage:
+//
+//	firmup -query wget.felf -proc ftp_retrieve_glob image1.fwim [image2.fwim ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"firmup"
+)
+
+func main() {
+	queryPath := flag.String("query", "", "query executable (FWELF) containing the vulnerable procedure")
+	proc := flag.String("proc", "", "name of the vulnerable procedure in the query")
+	minScore := flag.Int("min-score", 0, "override minimum shared-strand count")
+	minRatio := flag.Float64("min-ratio", 0, "override minimum shared-strand ratio")
+	flag.Parse()
+
+	if *queryPath == "" || *proc == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: firmup -query <exe> -proc <name> <image>...")
+		os.Exit(2)
+	}
+	qdata, err := os.ReadFile(*queryPath)
+	if err != nil {
+		fatal(err)
+	}
+	query, err := firmup.LoadQueryExecutable(qdata)
+	if err != nil {
+		fatal(err)
+	}
+	opt := &firmup.Options{MinScore: *minScore, MinRatio: *minRatio}
+	total := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		img, err := firmup.OpenImage(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "firmup: %s: %v\n", path, err)
+			continue
+		}
+		findings, err := firmup.SearchImage(query, *proc, img, opt)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range findings {
+			total++
+			fmt.Printf("%s: %s at %#x in %s (Sim=%d, confidence=%.0f%%, %d game steps)\n",
+				path, f.ProcName, f.ProcAddr, f.ExePath, f.Score, 100*f.Confidence, f.GameSteps)
+		}
+	}
+	if total == 0 {
+		fmt.Println("no occurrences of", *proc, "found")
+		os.Exit(1)
+	}
+	fmt.Printf("%d occurrence(s) of %s found\n", total, *proc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "firmup:", err)
+	os.Exit(1)
+}

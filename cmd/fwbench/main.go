@@ -1,0 +1,110 @@
+// Command fwbench regenerates the paper's tables and figures over the
+// synthetic corpus.
+//
+// Usage:
+//
+//	fwbench -exp all            # every experiment at the default scale
+//	fwbench -exp table2 -scale eval
+//	fwbench -exp fig6|fig8|fig9|fig5|table1|demo|ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"firmup/internal/corpus"
+	"firmup/internal/eval"
+	_ "firmup/internal/isa/arm"
+	_ "firmup/internal/isa/mips"
+	_ "firmup/internal/isa/ppc"
+	_ "firmup/internal/isa/x86"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, all")
+	scale := flag.String("scale", "default", "corpus scale: default or eval")
+	flag.Parse()
+
+	valid := map[string]bool{"all": true, "table2": true, "fig6": true, "fig8": true,
+		"fig9": true, "ablation": true, "fig5": true, "table1": true, "demo": true}
+	if !valid[*exp] {
+		fmt.Fprintf(os.Stderr, "fwbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	sc := corpus.DefaultScale()
+	if *scale == "eval" {
+		sc = corpus.EvalScale()
+	}
+	fmt.Printf("preparing corpus (scale=%s)...\n", *scale)
+	env, err := eval.Prepare(sc)
+	if err != nil {
+		fatal(err)
+	}
+	st := env.Corpus.Stat()
+	fmt.Printf("corpus ready: %d images, %d executables, %d procedures, %d unique builds\n\n",
+		st.Images, st.Exes, st.Procedures, len(env.Units))
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table2") {
+		res, err := eval.Table2(env, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Format())
+		confirmed, latest := res.TotalConfirmed()
+		fmt.Printf("total: %d confirmed vulnerable procedures, %d devices affected at their latest firmware\n\n",
+			confirmed, latest)
+	}
+	if want("fig6") {
+		res, err := eval.CompareBinDiff(env, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("=== Fig. 6 ===")
+		fmt.Println(res.Format())
+	}
+	var gitzRes *eval.CompareResult
+	if want("fig8") || want("fig9") || want("ablation") {
+		gitzRes, err = eval.CompareGitZ(env, nil)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if want("fig8") {
+		fmt.Println("=== Fig. 8 ===")
+		fmt.Println(gitzRes.Format())
+	}
+	if want("fig9") || want("ablation") {
+		fmt.Println("=== Fig. 9 / ablation ===")
+		fmt.Println(eval.FormatFig9(gitzRes))
+	}
+	if want("table1") || want("demo") {
+		out, err := eval.GameTrace(env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+		} else {
+			fmt.Println(out)
+		}
+	}
+	if want("fig5") || want("demo") {
+		out, err := eval.CallGraphs(env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig5:", err)
+		} else {
+			fmt.Println(out)
+		}
+	}
+	if want("demo") || *exp == "all" {
+		out, err := eval.StrandDemo(env)
+		if err == nil {
+			fmt.Println(out)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fwbench:", err)
+	os.Exit(1)
+}

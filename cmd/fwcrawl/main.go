@@ -1,0 +1,86 @@
+// Command fwcrawl generates the evaluation corpus — the stand-in for the
+// paper's firmware crawler. It builds every vendor/device/release image
+// and writes the packed files to a directory, alongside a manifest.
+//
+// Usage:
+//
+//	fwcrawl -out corpus/ [-scale eval] [-compress]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"firmup/internal/corpus"
+	_ "firmup/internal/isa/arm"
+	_ "firmup/internal/isa/mips"
+	_ "firmup/internal/isa/ppc"
+	_ "firmup/internal/isa/x86"
+	"firmup/internal/uir"
+)
+
+func main() {
+	out := flag.String("out", "corpus", "output directory")
+	scale := flag.String("scale", "default", "corpus scale: default or eval")
+	compress := flag.Bool("compress", true, "zlib-compress images")
+	flag.Parse()
+
+	sc := corpus.DefaultScale()
+	if *scale == "eval" {
+		sc = corpus.EvalScale()
+	}
+	c, err := corpus.Build(sc)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	var manifest strings.Builder
+	for _, bi := range c.Images {
+		name := fmt.Sprintf("%s_%s_%s.fwim", bi.Vendor, bi.Device, bi.FwVersion)
+		name = strings.ReplaceAll(name, "/", "-")
+		data := bi.Image.Pack(*compress)
+		if err := os.WriteFile(filepath.Join(*out, name), data, 0o644); err != nil {
+			fatal(err)
+		}
+		latest := ""
+		if bi.Latest {
+			latest = " (latest)"
+		}
+		fmt.Fprintf(&manifest, "%s: %d executables, %d bytes%s\n", name, len(bi.Exes), len(data), latest)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "MANIFEST.txt"), []byte(manifest.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	// Emit the analyst-side query executables for every registry CVE, one
+	// per architecture (the paper compiles queries with gcc 5.2 -O2).
+	qdir := filepath.Join(*out, "queries")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, cve := range corpus.CVEs {
+		for _, arch := range []uir.Arch{uir.ArchMIPS32, uir.ArchARM32, uir.ArchPPC32, uir.ArchX86} {
+			_, f, err := corpus.QueryExe(cve.Package, cve.QueryVersion, arch)
+			if err != nil {
+				fatal(err)
+			}
+			name := fmt.Sprintf("%s_%s_%v.felf", cve.ID, cve.Package, arch)
+			if err := os.WriteFile(filepath.Join(qdir, name), f.Bytes(), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	st := c.Stat()
+	fmt.Printf("crawled %d images (%d executables, %d procedures) into %s\n",
+		st.Images, st.Exes, st.Procedures, *out)
+	fmt.Printf("wrote %d query executables into %s\n", len(corpus.CVEs)*4, qdir)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fwcrawl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command fwdump inspects firmware images and executables: file tables,
+// recovered procedures, disassembly and canonical strands.
+//
+// Usage:
+//
+//	fwdump -image fw.fwim                      # list executables
+//	fwdump -exe wget.felf                      # list procedures
+//	fwdump -exe wget.felf -proc sub_440123     # disassemble one procedure
+//	fwdump -exe wget.felf -proc sub_440123 -strands
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"firmup/internal/cfg"
+	"firmup/internal/image"
+	"firmup/internal/isa"
+	_ "firmup/internal/isa/arm"
+	_ "firmup/internal/isa/mips"
+	_ "firmup/internal/isa/ppc"
+	_ "firmup/internal/isa/x86"
+	"firmup/internal/obj"
+	"firmup/internal/strand"
+)
+
+func main() {
+	imgPath := flag.String("image", "", "firmware image to list")
+	exePath := flag.String("exe", "", "executable to inspect")
+	proc := flag.String("proc", "", "procedure to disassemble")
+	strands := flag.Bool("strands", false, "print canonical strands instead of disassembly")
+	flag.Parse()
+
+	switch {
+	case *imgPath != "":
+		dumpImage(*imgPath)
+	case *exePath != "":
+		dumpExe(*exePath, *proc, *strands)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: fwdump -image <file> | -exe <file> [-proc <name>] [-strands]")
+		os.Exit(2)
+	}
+}
+
+func dumpImage(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	im, err := image.Unpack(data)
+	if err != nil {
+		fmt.Printf("structural unpack failed (%v); carving...\n", err)
+		for i, f := range image.Carve(data) {
+			fmt.Printf("carved #%d: %v, entry %#x, %d syms, stripped=%v\n",
+				i, f.Arch, f.Entry, len(f.Syms), f.Stripped)
+		}
+		return
+	}
+	fmt.Printf("%s %s firmware %s: %d files\n", im.Vendor, im.Device, im.Version, len(im.Files))
+	for _, fe := range im.Files {
+		kind := "data"
+		if f, err := obj.Read(fe.Data); err == nil {
+			kind = fmt.Sprintf("%v executable, stripped=%v, badclass=%v", f.Arch, f.Stripped, f.BadClass)
+		}
+		fmt.Printf("  %-30s %8d bytes  %s\n", fe.Path, len(fe.Data), kind)
+	}
+}
+
+func dumpExe(path, procName string, showStrands bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := obj.Read(data)
+	if err != nil {
+		fatal(err)
+	}
+	rec, err := cfg.Recover(f)
+	if err != nil {
+		fatal(err)
+	}
+	be, err := isa.ByArch(f.Arch)
+	if err != nil {
+		fatal(err)
+	}
+	if procName == "" {
+		fmt.Printf("%v executable, %d procedures, text coverage %.1f%%\n",
+			f.Arch, len(rec.Procs), 100*rec.Coverage)
+		for _, p := range rec.Procs {
+			opt := &strand.Options{ABI: be.ABI(), Sections: f.Map()}
+			set := strand.FromBlocks(p.Blocks, opt)
+			fmt.Printf("  %-32s %#08x  %3d blocks %4d insts %4d strands connected=%v\n",
+				p.Name, p.Entry, len(p.Blocks), len(p.Insts), set.Size(), p.Connected)
+		}
+		return
+	}
+	p := rec.Proc(procName)
+	if p == nil {
+		fatal(fmt.Errorf("no procedure %q", procName))
+	}
+	if showStrands {
+		opt := &strand.Options{ABI: be.ABI(), Sections: f.Map()}
+		for bi, b := range p.Blocks {
+			fmt.Printf("block %d @ %#x:\n", bi, b.Addr)
+			for _, s := range strand.ExtractBlock(b, opt) {
+				fmt.Printf("  strand %016x:\n", s.Hash)
+				for _, line := range splitLines(s.Text) {
+					fmt.Printf("    %s\n", line)
+				}
+			}
+		}
+		return
+	}
+	for _, in := range p.Insts {
+		fmt.Printf("%08x  %s\n", in.Addr, in.Mnemonic)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fwdump:", err)
+	os.Exit(1)
+}

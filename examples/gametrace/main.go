@@ -1,0 +1,36 @@
+// Game trace: reproduce the paper's Table 1 — the step-by-step course of
+// the back-and-forth game for the wget ftp_retrieve_glob query against a
+// vendor firmware target, showing the player/rival exchanges that
+// correct an initially-wrong pairwise match.
+//
+// Run with: go run ./examples/gametrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"firmup/internal/corpus"
+	"firmup/internal/eval"
+	_ "firmup/internal/isa/arm"
+	_ "firmup/internal/isa/mips"
+	_ "firmup/internal/isa/ppc"
+	_ "firmup/internal/isa/x86"
+)
+
+func main() {
+	env, err := eval.Prepare(corpus.DefaultScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := eval.GameTrace(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(trace)
+
+	graphs, err := eval.CallGraphs(env)
+	if err == nil {
+		fmt.Println(graphs)
+	}
+}

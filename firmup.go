@@ -1,0 +1,237 @@
+// Package firmup is a reproduction of "FirmUp: Precise Static Detection
+// of Common Vulnerabilities in Firmware" (David, Partush, Yahav —
+// ASPLOS 2018): a static, precise and scalable engine for locating known
+// vulnerable procedures inside stripped firmware images.
+//
+// The package is a facade over the full pipeline:
+//
+//	firmware image → unpack → recover procedures & blocks → lift to IR →
+//	decompose into canonical strands → back-and-forth game matching
+//
+// Quick start:
+//
+//	img, _ := firmup.OpenImage(imageBytes)
+//	query, _ := firmup.LoadQueryExecutable(queryBytes)
+//	findings, _ := firmup.SearchImage(query, "ftp_retrieve_glob", img, nil)
+//
+// Everything underneath — the firmlang compiler and its four ISA
+// backends, the FWELF container, the lifters, the canonicalizer, the
+// game engine, the baselines and the evaluation corpus — lives in the
+// internal packages and is exercised by the cmd/ tools, the examples/
+// programs and the benchmark harness.
+package firmup
+
+import (
+	"fmt"
+
+	"firmup/internal/cfg"
+	"firmup/internal/core"
+	"firmup/internal/image"
+	_ "firmup/internal/isa/arm"  // register the ARM32 backend
+	_ "firmup/internal/isa/mips" // register the MIPS32 backend
+	_ "firmup/internal/isa/ppc"  // register the PPC32 backend
+	_ "firmup/internal/isa/x86"  // register the x86 backend
+	"firmup/internal/obj"
+	"firmup/internal/sim"
+)
+
+// Executable is an analyzed binary: its procedures recovered, lifted and
+// indexed as sets of canonical strands.
+type Executable struct {
+	// Path is the binary's path inside its image (or a caller-chosen
+	// label for standalone executables).
+	Path string
+	exe  *sim.Exe
+	rec  *cfg.Recovered
+}
+
+// Procedures lists the recovered procedures.
+func (e *Executable) Procedures() []ProcedureInfo {
+	out := make([]ProcedureInfo, len(e.exe.Procs))
+	for i, p := range e.exe.Procs {
+		out[i] = ProcedureInfo{
+			Name:     p.Name,
+			Addr:     p.Addr,
+			Exported: p.Exported,
+			Strands:  p.Set.Size(),
+			Blocks:   p.BlockCount,
+		}
+	}
+	return out
+}
+
+// ProcedureInfo summarizes one recovered procedure.
+type ProcedureInfo struct {
+	Name     string
+	Addr     uint32
+	Exported bool
+	Strands  int
+	Blocks   int
+}
+
+// Image is an unpacked firmware image with its analyzable executables.
+type Image struct {
+	Vendor  string
+	Device  string
+	Version string
+	Exes    []*Executable
+}
+
+// AnalyzeExecutable parses and analyzes one FWELF binary.
+func AnalyzeExecutable(path string, data []byte) (*Executable, error) {
+	f, err := obj.Read(data)
+	if err != nil {
+		return nil, err
+	}
+	return analyzeFile(path, f)
+}
+
+func analyzeFile(path string, f *obj.File) (*Executable, error) {
+	rec, err := cfg.Recover(f)
+	if err != nil {
+		return nil, fmt.Errorf("firmup: %s: %w", path, err)
+	}
+	return &Executable{Path: path, exe: sim.Build(path, rec), rec: rec}, nil
+}
+
+// OpenImage unpacks a firmware image and analyzes every executable in
+// it. Images that fail structural unpacking are carved binwalk-style for
+// embedded executables.
+func OpenImage(data []byte) (*Image, error) {
+	im, err := image.Unpack(data)
+	if err != nil {
+		// Carving fallback: damaged or unknown container.
+		files := image.Carve(data)
+		if len(files) == 0 {
+			return nil, fmt.Errorf("firmup: cannot unpack image and carving found no executables: %w", err)
+		}
+		out := &Image{}
+		for i, f := range files {
+			e, err := analyzeFile(fmt.Sprintf("carved_%d", i), f)
+			if err != nil {
+				continue
+			}
+			out.Exes = append(out.Exes, e)
+		}
+		return out, nil
+	}
+	out := &Image{Vendor: im.Vendor, Device: im.Device, Version: im.Version}
+	for _, pe := range im.Executables() {
+		e, err := analyzeFile(pe.Path, pe.File)
+		if err != nil {
+			continue
+		}
+		out.Exes = append(out.Exes, e)
+	}
+	if len(out.Exes) == 0 {
+		return nil, fmt.Errorf("firmup: image contains no analyzable executables")
+	}
+	return out, nil
+}
+
+// LoadQueryExecutable analyzes the analyst's query binary (typically
+// compiled from the latest vulnerable package version, symbols intact).
+func LoadQueryExecutable(data []byte) (*Executable, error) {
+	return AnalyzeExecutable("query", data)
+}
+
+// Options tune the search engine. The zero value selects the defaults
+// used throughout the evaluation.
+type Options struct {
+	// MinScore is the minimum number of shared canonical strands for a
+	// detection (default 8).
+	MinScore int
+	// MinRatio is the minimum fraction of the query's strands that must
+	// be shared (default 0.42).
+	MinRatio float64
+	// MaxGameSteps caps back-and-forth iterations (default 64).
+	MaxGameSteps int
+	// Workers bounds search parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+func (o *Options) search() *core.SearchOptions {
+	s := &core.SearchOptions{MinScore: 8, MinRatio: 0.42}
+	if o != nil {
+		if o.MinScore > 0 {
+			s.MinScore = o.MinScore
+		}
+		if o.MinRatio > 0 {
+			s.MinRatio = o.MinRatio
+		}
+		if o.MaxGameSteps > 0 {
+			s.Game.MaxSteps = o.MaxGameSteps
+		}
+		if o.Workers > 0 {
+			s.Workers = o.Workers
+		}
+	}
+	return s
+}
+
+// Finding reports one detection of the query procedure.
+type Finding struct {
+	// ExePath locates the containing executable within the image.
+	ExePath string
+	// ProcName is the matched procedure's recovered name (sub_<addr> in
+	// stripped binaries).
+	ProcName string
+	// ProcAddr is its entry address — the "exact location" the paper's
+	// stripped-search findings provide.
+	ProcAddr uint32
+	// Score is Sim(query, match): the number of shared canonical strands.
+	Score int
+	// Confidence is Score over the query's strand count.
+	Confidence float64
+	// GameSteps is the number of back-and-forth iterations needed.
+	GameSteps int
+}
+
+// SearchImage looks for the query executable's procedure in every
+// executable of the image.
+func SearchImage(query *Executable, procedure string, img *Image, opt *Options) ([]Finding, error) {
+	qi := query.exe.ProcByName(procedure)
+	if qi < 0 {
+		return nil, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
+	}
+	targets := make([]*sim.Exe, len(img.Exes))
+	for i, e := range img.Exes {
+		targets[i] = e.exe
+	}
+	res := core.Search(query.exe, qi, targets, opt.search())
+	out := make([]Finding, 0, len(res.Findings))
+	for _, f := range res.Findings {
+		out = append(out, Finding{
+			ExePath:    f.ExePath,
+			ProcName:   f.ProcName,
+			ProcAddr:   f.ProcAddr,
+			Score:      f.Score,
+			Confidence: f.Ratio,
+			GameSteps:  f.Steps,
+		})
+	}
+	return out, nil
+}
+
+// MatchProcedure runs the back-and-forth game for one query procedure
+// against a single target executable, returning the finding (nil when
+// the target does not appear to contain the procedure) and the number of
+// game steps played.
+func MatchProcedure(query *Executable, procedure string, target *Executable, opt *Options) (*Finding, int, error) {
+	qi := query.exe.ProcByName(procedure)
+	if qi < 0 {
+		return nil, 0, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
+	}
+	f, r := core.MatchOne(query.exe, qi, target.exe, opt.search())
+	if f == nil {
+		return nil, r.Steps, nil
+	}
+	return &Finding{
+		ExePath:    f.ExePath,
+		ProcName:   f.ProcName,
+		ProcAddr:   f.ProcAddr,
+		Score:      f.Score,
+		Confidence: f.Ratio,
+		GameSteps:  f.Steps,
+	}, r.Steps, nil
+}

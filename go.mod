@@ -1,0 +1,3 @@
+module firmup
+
+go 1.22

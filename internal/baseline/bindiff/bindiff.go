@@ -1,0 +1,170 @@
+// Package bindiff implements the graph-based whole-binary baseline of
+// the paper's evaluation, modeled on zynamics BinDiff: it tries to build
+// a full mapping between the procedures of two binaries using symbol
+// names when present, structural CFG signatures, call-graph neighborhood
+// propagation, and a greedy structural-distance pass for the remainder.
+//
+// The paper's critique applies by construction: the matcher leans on the
+// control structure of procedures and the call graph, both of which vary
+// heavily across firmware builds (feature flags, inlining), and on names,
+// which stripped firmware lacks.
+package bindiff
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"firmup/internal/sim"
+)
+
+// Result is a full(-as-possible) procedure mapping.
+type Result struct {
+	// QtoT maps query procedure indices to target indices (-1 when
+	// unmatched).
+	QtoT []int
+	// Phase records which pass produced each match: "name",
+	// "signature", "callgraph", "greedy" or "".
+	Phase []string
+}
+
+// signature is the structural key BinDiff-style matching hinges on.
+type signature struct {
+	blocks int
+	edges  int
+	calls  int
+}
+
+func sigOf(p *sim.Proc) signature {
+	return signature{blocks: p.BlockCount, edges: p.EdgeCount, calls: len(p.Calls)}
+}
+
+// Diff computes the mapping.
+func Diff(q, t *sim.Exe) Result {
+	res := Result{QtoT: make([]int, len(q.Procs)), Phase: make([]string, len(q.Procs))}
+	for i := range res.QtoT {
+		res.QtoT[i] = -1
+	}
+	tTaken := make([]bool, len(t.Procs))
+	match := func(qi, ti int, phase string) {
+		res.QtoT[qi] = ti
+		res.Phase[qi] = phase
+		tTaken[ti] = true
+	}
+
+	// Pass 1: symbol names. BinDiff attributes great importance to the
+	// procedure name when it exists.
+	tByName := map[string]int{}
+	for i, p := range t.Procs {
+		if !strings.HasPrefix(p.Name, "sub_") {
+			tByName[p.Name] = i
+		}
+	}
+	for qi, p := range q.Procs {
+		if strings.HasPrefix(p.Name, "sub_") {
+			continue
+		}
+		if ti, ok := tByName[p.Name]; ok && !tTaken[ti] {
+			match(qi, ti, "name")
+		}
+	}
+
+	// Pass 2: unique structural signatures.
+	qBySig := map[signature][]int{}
+	tBySig := map[signature][]int{}
+	for i, p := range q.Procs {
+		if res.QtoT[i] < 0 {
+			qBySig[sigOf(p)] = append(qBySig[sigOf(p)], i)
+		}
+	}
+	for i, p := range t.Procs {
+		if !tTaken[i] {
+			tBySig[sigOf(p)] = append(tBySig[sigOf(p)], i)
+		}
+	}
+	for sig, qs := range qBySig {
+		ts := tBySig[sig]
+		if len(qs) == 1 && len(ts) == 1 {
+			match(qs[0], ts[0], "signature")
+		}
+	}
+
+	// Pass 3: call-graph neighborhood propagation to a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for qi, ti := range res.QtoT {
+			if ti < 0 {
+				continue
+			}
+			changed = propagate(q.Procs[qi].Calls, t.Procs[ti].Calls, q, t, res.QtoT, tTaken, match) || changed
+			changed = propagate(q.Procs[qi].CalledBy, t.Procs[ti].CalledBy, q, t, res.QtoT, tTaken, match) || changed
+		}
+	}
+
+	// Pass 4: greedy nearest-structure matching for the remainder.
+	type cand struct {
+		qi, ti int
+		dist   float64
+	}
+	var cands []cand
+	for qi, p := range q.Procs {
+		if res.QtoT[qi] >= 0 {
+			continue
+		}
+		for ti, tp := range t.Procs {
+			if tTaken[ti] {
+				continue
+			}
+			cands = append(cands, cand{qi, ti, structDist(p, tp)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		if cands[i].qi != cands[j].qi {
+			return cands[i].qi < cands[j].qi
+		}
+		return cands[i].ti < cands[j].ti
+	})
+	for _, c := range cands {
+		if res.QtoT[c.qi] < 0 && !tTaken[c.ti] {
+			match(c.qi, c.ti, "greedy")
+		}
+	}
+	return res
+}
+
+// propagate matches unmatched neighbor procedures whose structural
+// signature is unique within both neighbor sets.
+func propagate(qn, tn []int, q, t *sim.Exe, qToT []int, tTaken []bool, match func(int, int, string)) bool {
+	qBySig := map[signature][]int{}
+	for _, qi := range qn {
+		if qToT[qi] < 0 {
+			qBySig[sigOf(q.Procs[qi])] = append(qBySig[sigOf(q.Procs[qi])], qi)
+		}
+	}
+	tBySig := map[signature][]int{}
+	for _, ti := range tn {
+		if !tTaken[ti] {
+			tBySig[sigOf(t.Procs[ti])] = append(tBySig[sigOf(t.Procs[ti])], ti)
+		}
+	}
+	changed := false
+	for sig, qs := range qBySig {
+		ts := tBySig[sig]
+		if len(qs) == 1 && len(ts) == 1 {
+			match(qs[0], ts[0], "callgraph")
+			changed = true
+		}
+	}
+	return changed
+}
+
+// structDist is the greedy pass's structural distance.
+func structDist(a, b *sim.Proc) float64 {
+	return math.Abs(float64(a.BlockCount-b.BlockCount)) +
+		math.Abs(float64(a.EdgeCount-b.EdgeCount)) +
+		math.Abs(float64(len(a.Calls)-len(b.Calls))) +
+		0.05*math.Abs(float64(a.InstCount-b.InstCount))
+}

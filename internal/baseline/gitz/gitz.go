@@ -1,0 +1,96 @@
+// Package gitz implements the procedure-centric baseline of the paper's
+// evaluation, modeled on GitZ (David et al., PLDI'17): pairwise strand
+// similarity weighted by a statistical global context, with no use of the
+// surrounding executable. Given a query it returns a ranked top-k list;
+// the paper's comparison takes the top-1 as GitZ's answer.
+package gitz
+
+import (
+	"math"
+	"sort"
+
+	"firmup/internal/sim"
+	"firmup/internal/strand"
+)
+
+// Context is the trained global context: for every strand, how common it
+// is in a random sample of procedures "in the wild". Rare strands carry
+// more evidence of shared origin than ubiquitous ones.
+type Context struct {
+	df     map[uint64]int
+	nprocs int
+}
+
+// Train builds a context from a sample of executables (the paper trains
+// one per architecture over more than a thousand procedures).
+func Train(sample []*sim.Exe) *Context {
+	c := &Context{df: map[uint64]int{}}
+	for _, e := range sample {
+		for _, p := range e.Procs {
+			c.nprocs++
+			for _, h := range p.Set.Hashes {
+				c.df[h]++
+			}
+		}
+	}
+	return c
+}
+
+// Weight returns the significance of a strand: log(N/df), the inverse
+// document frequency over the sampled procedures.
+func (c *Context) Weight(h uint64) float64 {
+	if c == nil || c.nprocs == 0 {
+		return 1
+	}
+	df := c.df[h]
+	return math.Log(float64(c.nprocs+1) / float64(df+1))
+}
+
+// Engine is a GitZ-style searcher.
+type Engine struct {
+	Ctx *Context
+}
+
+// Score computes the context-weighted similarity between a query strand
+// set and procedure i of t.
+func (e *Engine) Score(q strand.Set, t *sim.Exe, i int) float64 {
+	shared := 0.0
+	tp := t.Procs[i]
+	j, k := 0, 0
+	for j < len(q.Hashes) && k < len(tp.Set.Hashes) {
+		switch {
+		case q.Hashes[j] == tp.Set.Hashes[k]:
+			shared += e.Ctx.Weight(q.Hashes[j])
+			j++
+			k++
+		case q.Hashes[j] < tp.Set.Hashes[k]:
+			j++
+		default:
+			k++
+		}
+	}
+	return shared
+}
+
+// TopK ranks the procedures of t by decreasing weighted similarity to q.
+// There is no notion of a positive or negative match: the caller decides
+// what to do with the ranking (the paper's comparison takes top-1).
+func (e *Engine) TopK(q strand.Set, t *sim.Exe, k int) []sim.Scored {
+	var out []sim.Scored
+	for i := range t.Procs {
+		s := e.Score(q, t, i)
+		if s > 0 {
+			out = append(out, sim.Scored{Proc: i, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+// Package cfg recovers procedures and basic blocks from executables.
+//
+// This is the role IDA Pro plays in the paper's pipeline. Stripped
+// firmware executables carry no procedure symbols, so recovery proceeds
+// from first principles: a linear-sweep disassembly of the text section,
+// procedure entry discovery from direct call targets (plus the entry
+// point and any surviving symbols), extent partitioning, leader-based
+// block splitting with MIPS delay-slot placement, and the two
+// corroboration checks the paper describes — CFG connectivity and
+// coverage of unaccounted-for areas of the text section, which recovers
+// procedures that are never directly called.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"firmup/internal/isa"
+	"firmup/internal/obj"
+	"firmup/internal/uir"
+)
+
+// Proc is one recovered procedure.
+type Proc struct {
+	Name     string // symbol name, or sub_<addr> when stripped
+	Entry    uint32
+	End      uint32 // exclusive extent bound
+	Blocks   []*uir.Block
+	Insts    []isa.Inst // instructions in address order (for dumps)
+	Exported bool
+	// Connected reports whether every block is reachable from the entry
+	// (one of the lifter-corroboration checks).
+	Connected bool
+}
+
+// Recovered is the result of analyzing one executable.
+type Recovered struct {
+	File  *obj.File
+	Arch  uir.Arch
+	Procs []*Proc
+	// Coverage is the fraction of text bytes attributed to some
+	// procedure's decoded instructions.
+	Coverage float64
+}
+
+// Proc returns the recovered procedure with the given name, or nil.
+func (r *Recovered) Proc(name string) *Proc {
+	for _, p := range r.Procs {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Recover analyzes the executable.
+func Recover(f *obj.File) (*Recovered, error) {
+	be, err := isa.ByArch(f.Arch)
+	if err != nil {
+		return nil, err
+	}
+	text := f.Text()
+	if text == nil {
+		return nil, fmt.Errorf("cfg: no text section")
+	}
+
+	// Pass 1: linear-sweep disassembly.
+	insts := map[uint32]isa.Inst{}
+	var order []uint32
+	for off := 0; off < len(text.Data); {
+		addr := text.Addr + uint32(off)
+		inst, err := be.Decode(text.Data, off, addr)
+		if err != nil {
+			// Resync: skip the minimum instruction size.
+			off += int(be.MinInstSize())
+			continue
+		}
+		insts[addr] = inst
+		order = append(order, addr)
+		off += int(inst.Size)
+	}
+
+	// Pass 2: procedure entries from call targets, the entry point, and
+	// any symbols that survived stripping.
+	entrySet := map[uint32]bool{f.Entry: true}
+	for _, a := range order {
+		in := insts[a]
+		if in.Kind == isa.KindCall && in.Target >= text.Addr && in.Target < text.Addr+uint32(len(text.Data)) {
+			entrySet[in.Target] = true
+		}
+	}
+	for _, s := range f.Syms {
+		if s.Kind == obj.SymFunc {
+			entrySet[s.Addr] = true
+		}
+	}
+
+	// Pass 3 (iterated): partition into extents, walk reachability, and
+	// claim unaccounted-for areas as new procedure entries.
+	for rounds := 0; rounds < 1024; rounds++ {
+		entries := sortedKeys(entrySet)
+		covered := markCovered(entries, insts, order, text, be)
+		gap, ok := firstGap(order, covered)
+		if !ok {
+			break
+		}
+		if entrySet[gap] {
+			break // no progress; avoid looping on undecodable junk
+		}
+		entrySet[gap] = true
+	}
+
+	entries := sortedKeys(entrySet)
+	rec := &Recovered{File: f, Arch: f.Arch}
+	textEnd := text.Addr + uint32(len(text.Data))
+	for i, e := range entries {
+		end := textEnd
+		if i+1 < len(entries) {
+			end = entries[i+1]
+		}
+		p, err := buildProc(be, f, e, end, insts)
+		if err != nil {
+			continue // unrecoverable region; coverage accounting reflects it
+		}
+		rec.Procs = append(rec.Procs, p)
+	}
+
+	var bytes uint32
+	for _, p := range rec.Procs {
+		for _, in := range p.Insts {
+			bytes += in.Size
+		}
+	}
+	if len(text.Data) > 0 {
+		rec.Coverage = float64(bytes) / float64(len(text.Data))
+	}
+	return rec, nil
+}
+
+func sortedKeys(m map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// markCovered walks intra-procedural control flow from every entry and
+// marks reachable instruction addresses.
+func markCovered(entries []uint32, insts map[uint32]isa.Inst, order []uint32, text *obj.Section, be isa.Backend) map[uint32]bool {
+	covered := map[uint32]bool{}
+	textEnd := text.Addr + uint32(len(text.Data))
+	for i, e := range entries {
+		end := textEnd
+		if i+1 < len(entries) {
+			end = entries[i+1]
+		}
+		var stack []uint32
+		stack = append(stack, e)
+		for len(stack) > 0 {
+			a := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for a >= e && a < end && !covered[a] {
+				in, ok := insts[a]
+				if !ok {
+					break
+				}
+				covered[a] = true
+				next := a + in.Size
+				if in.HasDelay {
+					if d, ok := insts[next]; ok {
+						covered[next] = true
+						next += d.Size
+					}
+				}
+				switch in.Kind {
+				case isa.KindCondBranch:
+					if in.Target >= e && in.Target < end {
+						stack = append(stack, in.Target)
+					}
+					a = next
+				case isa.KindJump:
+					if in.Target >= e && in.Target < end {
+						a = in.Target
+					} else {
+						a = end // tail transfer out of extent
+					}
+				case isa.KindRet, isa.KindIndirect:
+					a = end
+				default: // normal and calls fall through
+					a = next
+				}
+			}
+		}
+	}
+	return covered
+}
+
+// firstGap returns the lowest decoded instruction address not covered by
+// any procedure walk.
+func firstGap(order []uint32, covered map[uint32]bool) (uint32, bool) {
+	for _, a := range order {
+		if !covered[a] {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// buildProc splits [entry, end) into basic blocks and lifts them.
+func buildProc(be isa.Backend, f *obj.File, entry, end uint32, insts map[uint32]isa.Inst) (*Proc, error) {
+	p := &Proc{Entry: entry, End: end}
+	if sym, ok := f.FuncSym(entry); ok && sym.Addr == entry {
+		p.Name = sym.Name
+		p.Exported = sym.Exported
+	} else {
+		p.Name = fmt.Sprintf("sub_%x", entry)
+	}
+
+	// Collect the procedure's instructions, following address order and
+	// skipping unreachable padding conservatively (straight scan).
+	var addrs []uint32
+	for a := entry; a < end; {
+		in, ok := insts[a]
+		if !ok {
+			break
+		}
+		addrs = append(addrs, a)
+		a += in.Size
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cfg: empty procedure at %#x", entry)
+	}
+	for _, a := range addrs {
+		p.Insts = append(p.Insts, insts[a])
+	}
+
+	// Leaders: entry, branch targets, instruction after a transfer
+	// (accounting for delay slots, which stay inside the branch's block).
+	leaders := map[uint32]bool{entry: true}
+	inDelay := map[uint32]bool{}
+	for _, a := range addrs {
+		in := insts[a]
+		next := a + in.Size
+		if in.HasDelay {
+			inDelay[next] = true
+			if d, ok := insts[next]; ok {
+				next += d.Size
+			}
+		}
+		switch in.Kind {
+		case isa.KindCondBranch, isa.KindJump:
+			if in.Target >= entry && in.Target < end {
+				leaders[in.Target] = true
+			}
+			if next < end {
+				leaders[next] = true
+			}
+		case isa.KindRet, isa.KindIndirect:
+			if next < end {
+				leaders[next] = true
+			}
+		}
+	}
+	// A delay slot can never start a block.
+	for a := range inDelay {
+		delete(leaders, a)
+	}
+
+	// Build and lift blocks.
+	var starts []uint32
+	for a := range leaders {
+		if _, ok := insts[a]; ok {
+			starts = append(starts, a)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for i, s := range starts {
+		blockEnd := end
+		if i+1 < len(starts) {
+			blockEnd = starts[i+1]
+		}
+		blk, err := liftBlock(be, insts, s, blockEnd)
+		if err != nil {
+			return nil, err
+		}
+		p.Blocks = append(p.Blocks, blk)
+	}
+
+	// Connectivity corroboration.
+	p.Connected = checkConnectivity(p)
+	return p, nil
+}
+
+// liftBlock lifts instructions in [start, end), reordering delay slots so
+// the transfer's Exit statement comes last.
+func liftBlock(be isa.Backend, insts map[uint32]isa.Inst, start, end uint32) (*uir.Block, error) {
+	lb := &isa.LiftBuilder{}
+	a := start
+	for a < end {
+		in, ok := insts[a]
+		if !ok {
+			break
+		}
+		next := a + in.Size
+		if in.HasDelay {
+			if d, ok := insts[next]; ok {
+				if err := be.Lift(d, lb); err != nil {
+					return nil, err
+				}
+				next += d.Size
+			}
+		}
+		if err := be.Lift(in, lb); err != nil {
+			return nil, err
+		}
+		a = next
+		// Calls do not terminate basic blocks; everything else that is
+		// not a plain instruction does.
+		if in.Kind != isa.KindNormal && in.Kind != isa.KindCall {
+			break
+		}
+	}
+	return &uir.Block{Addr: start, Size: a - start, Stmts: lb.Stmts}, nil
+}
+
+// checkConnectivity reports whether every block is reachable from the
+// entry block.
+func checkConnectivity(p *Proc) bool {
+	if len(p.Blocks) == 0 {
+		return false
+	}
+	byAddr := map[uint32]int{}
+	for i, b := range p.Blocks {
+		byAddr[b.Addr] = i
+	}
+	seen := make([]bool, len(p.Blocks))
+	var stack []int
+	stack = append(stack, 0)
+	seen[0] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range p.Blocks[i].Succs() {
+			if j, ok := byAddr[s]; ok && !seen[j] {
+				seen[j] = true
+				stack = append(stack, j)
+			}
+		}
+	}
+	for _, s := range seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}

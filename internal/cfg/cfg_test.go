@@ -1,0 +1,193 @@
+package cfg
+
+import (
+	"testing"
+
+	"firmup/internal/compiler"
+	"firmup/internal/isa"
+	_ "firmup/internal/isa/arm"
+	"firmup/internal/isa/isatest"
+	_ "firmup/internal/isa/mips"
+	_ "firmup/internal/isa/ppc"
+	_ "firmup/internal/isa/x86"
+	"firmup/internal/obj"
+	"firmup/internal/uir"
+)
+
+func buildExe(t *testing.T, arch uir.Arch, level int) (*obj.File, *isa.Artifact) {
+	t.Helper()
+	pkg, err := compiler.CompileToMIR(isatest.Source, compiler.Profile{OptLevel: level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := isa.ByArch(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := be.Generate(pkg, isa.Options{TextBase: 0x400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj.FromArtifact(art), art
+}
+
+func TestRecoverNonStripped(t *testing.T) {
+	for _, arch := range []uir.Arch{uir.ArchMIPS32, uir.ArchARM32, uir.ArchPPC32, uir.ArchX86} {
+		f, art := buildExe(t, arch, 2)
+		rec, err := Recover(f)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if len(rec.Procs) != len(art.Procs) {
+			t.Errorf("%v: recovered %d procs, want %d", arch, len(rec.Procs), len(art.Procs))
+		}
+		for _, want := range art.Procs {
+			p := rec.Proc(want.Name)
+			if p == nil {
+				t.Errorf("%v: procedure %s not recovered", arch, want.Name)
+				continue
+			}
+			if p.Entry != want.Addr {
+				t.Errorf("%v: %s entry %#x, want %#x", arch, p.Name, p.Entry, want.Addr)
+			}
+			if !p.Connected {
+				t.Errorf("%v: %s failed connectivity check", arch, p.Name)
+			}
+			if len(p.Blocks) == 0 {
+				t.Errorf("%v: %s has no blocks", arch, p.Name)
+			}
+			for _, b := range p.Blocks {
+				if err := b.Validate(); err != nil {
+					t.Errorf("%v: %s: %v", arch, p.Name, err)
+				}
+			}
+		}
+		if rec.Coverage < 0.999 {
+			t.Errorf("%v: coverage %.3f, want ~1.0", arch, rec.Coverage)
+		}
+	}
+}
+
+// Stripped executables must still be fully partitioned: the same entry
+// addresses recovered, under sub_<addr> names, via call targets plus the
+// unaccounted-area sweep.
+func TestRecoverStripped(t *testing.T) {
+	for _, arch := range []uir.Arch{uir.ArchMIPS32, uir.ArchARM32, uir.ArchPPC32, uir.ArchX86} {
+		f, art := buildExe(t, arch, 2)
+		f.Strip()
+		rec, err := Recover(f)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if len(rec.Procs) != len(art.Procs) {
+			t.Errorf("%v: stripped recovery found %d procs, want %d", arch, len(rec.Procs), len(art.Procs))
+		}
+		found := map[uint32]bool{}
+		for _, p := range rec.Procs {
+			found[p.Entry] = true
+			if p.Name[:4] != "sub_" {
+				t.Errorf("%v: stripped proc has name %q", arch, p.Name)
+			}
+		}
+		for _, want := range art.Procs {
+			if !found[want.Addr] {
+				t.Errorf("%v: stripped recovery missed proc at %#x (%s)", arch, want.Addr, want.Name)
+			}
+		}
+		if rec.Coverage < 0.999 {
+			t.Errorf("%v: stripped coverage %.3f", arch, rec.Coverage)
+		}
+	}
+}
+
+func TestExportedSurviveStripping(t *testing.T) {
+	f, _ := buildExe(t, uir.ArchMIPS32, 1)
+	f.MarkExported("table_sum")
+	f.Strip()
+	rec, err := Recover(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rec.Proc("table_sum")
+	if p == nil {
+		t.Fatal("exported procedure lost its name after stripping")
+	}
+	if !p.Exported {
+		t.Error("Exported flag not set")
+	}
+}
+
+// Delay slots: on MIPS every branch's delay instruction must stay inside
+// the branch's block, and no block may start in a delay slot.
+func TestMIPSDelaySlotBlocks(t *testing.T) {
+	f, _ := buildExe(t, uir.ArchMIPS32, 2)
+	rec, err := Recover(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rec.Procs {
+		delayAddrs := map[uint32]bool{}
+		for _, in := range p.Insts {
+			if in.HasDelay {
+				delayAddrs[in.Addr+in.Size] = true
+			}
+		}
+		for _, b := range p.Blocks {
+			if delayAddrs[b.Addr] {
+				t.Fatalf("%s: block starts inside a delay slot at %#x", p.Name, b.Addr)
+			}
+		}
+	}
+}
+
+// Lifted blocks of the recovered CFG must reproduce the executable's
+// behavior: run a procedure by walking recovered blocks and compare with
+// the executor.
+func TestRecoveredBlocksValidateEverywhere(t *testing.T) {
+	for _, arch := range []uir.Arch{uir.ArchMIPS32, uir.ArchARM32, uir.ArchPPC32, uir.ArchX86} {
+		for level := 0; level <= 3; level++ {
+			f, _ := buildExe(t, arch, level)
+			rec, err := Recover(f)
+			if err != nil {
+				t.Fatalf("%v/O%d: %v", arch, level, err)
+			}
+			for _, p := range rec.Procs {
+				for _, b := range p.Blocks {
+					if err := b.Validate(); err != nil {
+						t.Errorf("%v/O%d %s: %v", arch, level, p.Name, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRecoverRejectsMissingText(t *testing.T) {
+	f := &obj.File{Arch: uir.ArchMIPS32}
+	if _, err := Recover(f); err == nil {
+		t.Error("Recover without text section must fail")
+	}
+}
+
+// Block successor addresses must land on recovered block starts
+// (intra-procedure CFG integrity).
+func TestBlockSuccessorsResolve(t *testing.T) {
+	f, _ := buildExe(t, uir.ArchPPC32, 2)
+	rec, err := Recover(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rec.Procs {
+		starts := map[uint32]bool{}
+		for _, b := range p.Blocks {
+			starts[b.Addr] = true
+		}
+		for _, b := range p.Blocks {
+			for _, s := range b.Succs() {
+				if s >= p.Entry && s < p.End && !starts[s] {
+					t.Errorf("%s: block %#x successor %#x is not a block start", p.Name, b.Addr, s)
+				}
+			}
+		}
+	}
+}

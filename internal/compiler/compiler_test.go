@@ -1,0 +1,485 @@
+package compiler
+
+import (
+	"fmt"
+	"testing"
+
+	"firmup/internal/mir"
+	"firmup/internal/source"
+)
+
+const testSrc = `
+package demo version "1.0"
+
+const LIMIT = 10;
+var counter = 0;
+var table[4] = {3, 1, 4, 1};
+var msg = "hi";
+
+func leaf_add(a, b) {
+    return a + b;
+}
+
+func square(x) {
+    return x * x;
+}
+
+func sum_to(n) {
+    var s = 0;
+    for var i = 0; i < n; i = i + 1 {
+        s = s + i;
+    }
+    return s;
+}
+
+func classify(x) {
+    if x < 0 {
+        return 0 - 1;
+    } else if x == 0 {
+        return 0;
+    }
+    return 1;
+}
+
+func logic(a, b) {
+    if a > 2 && b < 5 {
+        return 1;
+    }
+    if a == 0 || b == 0 {
+        return 2;
+    }
+    return 3;
+}
+
+func table_sum() {
+    var s = 0;
+    for var i = 0; i < 4; i = i + 1 {
+        s = s + table[i];
+    }
+    return s;
+}
+
+func touch_global(v) {
+    counter = counter + v;
+    return counter;
+}
+
+func strload(i) {
+    return msg[i];
+}
+
+func buf_fill(n) {
+    var buf[8];
+    var i = 0;
+    while i < n {
+        buf[i] = square(i);
+        i = i + 1;
+    }
+    return buf[n - 1];
+}
+
+func combined(x) {
+    var a = leaf_add(x, 3);
+    var b = square(a);
+    return sum_to(b % 7) + classify(x);
+}
+`
+
+func compileAt(t *testing.T, level int) *mir.Package {
+	t.Helper()
+	p := Profile{OptLevel: level, Features: map[string]bool{}}
+	pkg, err := CompileToMIR(testSrc, p)
+	if err != nil {
+		t.Fatalf("CompileToMIR(O%d): %v", level, err)
+	}
+	return pkg
+}
+
+func TestLowerProducesValidMIR(t *testing.T) {
+	pkg := compileAt(t, 0)
+	if len(pkg.Procs) != 10 {
+		t.Fatalf("got %d procs", len(pkg.Procs))
+	}
+	for _, p := range pkg.Procs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+// The optimizer must preserve observable semantics. Run the same calls at
+// every optimization level and compare results and memory effects.
+func TestOptimizationPreservesSemantics(t *testing.T) {
+	type call struct {
+		fn   string
+		args []uint32
+	}
+	calls := []call{
+		{"leaf_add", []uint32{3, 4}},
+		{"square", []uint32{9}},
+		{"sum_to", []uint32{10}},
+		{"classify", []uint32{0xFFFFFFFB}}, // -5
+		{"classify", []uint32{0}},
+		{"classify", []uint32{17}},
+		{"logic", []uint32{3, 4}},
+		{"logic", []uint32{0, 9}},
+		{"logic", []uint32{1, 7}},
+		{"table_sum", nil},
+		{"touch_global", []uint32{5}},
+		{"touch_global", []uint32{7}},
+		{"strload", []uint32{1}},
+		{"buf_fill", []uint32{5}},
+		{"combined", []uint32{6}},
+	}
+	var reference []uint32
+	for level := 0; level <= 3; level++ {
+		pkg := compileAt(t, level)
+		in := mir.NewInterp(pkg)
+		var got []uint32
+		for _, c := range calls {
+			v, err := in.Call(c.fn, c.args...)
+			if err != nil {
+				t.Fatalf("O%d %s%v: %v", level, c.fn, c.args, err)
+			}
+			got = append(got, v)
+		}
+		if level == 0 {
+			reference = got
+			// Sanity-check a few absolute values at O0.
+			if got[0] != 7 || got[1] != 81 || got[2] != 45 {
+				t.Fatalf("O0 results wrong: %v", got[:3])
+			}
+			if got[3] != 0xFFFFFFFF || got[4] != 0 || got[5] != 1 {
+				t.Fatalf("classify wrong: %v", got[3:6])
+			}
+			if got[6] != 1 || got[7] != 2 || got[8] != 3 {
+				t.Fatalf("logic wrong: %v", got[6:9])
+			}
+			if got[9] != 9 {
+				t.Fatalf("table_sum = %d, want 9", got[9])
+			}
+			if got[10] != 5 || got[11] != 12 {
+				t.Fatalf("touch_global sequence: %v", got[10:12])
+			}
+			if got[12] != 'i' {
+				t.Fatalf("strload = %d, want 'i'", got[12])
+			}
+			if got[13] != 16 {
+				t.Fatalf("buf_fill(5) = %d, want 16", got[13])
+			}
+			continue
+		}
+		for i := range got {
+			if got[i] != reference[i] {
+				t.Errorf("O%d: %s%v = %d, want %d (O0)", level, calls[i].fn, calls[i].args, got[i], reference[i])
+			}
+		}
+	}
+}
+
+func TestInliningShrinksCallGraph(t *testing.T) {
+	countCalls := func(pkg *mir.Package, proc string) int {
+		p := pkg.Proc(proc)
+		n := 0
+		for _, b := range p.Blocks {
+			for _, in := range b.Instrs {
+				if in.Kind == mir.KCall {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	o1 := compileAt(t, 1)
+	o2 := compileAt(t, 2)
+	if c := countCalls(o1, "combined"); c != 4 {
+		t.Errorf("O1 combined has %d calls, want 4", c)
+	}
+	// leaf_add and square are tiny leaves: O2 must inline them.
+	if c := countCalls(o2, "combined"); c >= 4 {
+		t.Errorf("O2 combined still has %d calls, want < 4", c)
+	}
+}
+
+func TestFeatureFlagOmitsProcedure(t *testing.T) {
+	src := `package p
+feature(OPIE) func skey_resp(x) { return x + 1; }
+func main_proc(x) { return skey_resp(x); }
+`
+	f, err := source.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := source.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Lower(info, map[string]bool{"OPIE": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Lower(info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Proc("skey_resp") == nil {
+		t.Error("enabled feature must compile the procedure")
+	}
+	if without.Proc("skey_resp") != nil {
+		t.Error("disabled feature must omit the procedure")
+	}
+	// The disabled call site compiles to constant 0.
+	in := mir.NewInterp(without)
+	v, err := in.Call("main_proc", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("disabled call = %d, want stub 0", v)
+	}
+	in2 := mir.NewInterp(with)
+	v2, err := in2.Call("main_proc", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 42 {
+		t.Errorf("enabled call = %d, want 42", v2)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	src := `package p
+func f() { return 2 + 3 * 4; }
+`
+	prof := Profile{OptLevel: 1}
+	pkg, err := CompileToMIR(src, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkg.Proc("f")
+	total := 0
+	for _, b := range p.Blocks {
+		total += len(b.Instrs)
+	}
+	if total != 1 {
+		t.Errorf("folded f has %d instrs, want 1 (single constant):\n%s", total, p)
+	}
+	in := mir.NewInterp(pkg)
+	if v, _ := in.Call("f"); v != 14 {
+		t.Errorf("f() = %d", v)
+	}
+}
+
+func TestDeadCodeEliminated(t *testing.T) {
+	src := `package p
+func f(x) {
+    var unused = x * 99;
+    return x + 1;
+}`
+	o0, err := CompileToMIR(src, Profile{OptLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := CompileToMIR(src, Profile{OptLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(pkg *mir.Package) int {
+		n := 0
+		for _, b := range pkg.Proc("f").Blocks {
+			n += len(b.Instrs)
+		}
+		return n
+	}
+	if count(o1) >= count(o0) {
+		t.Errorf("O1 (%d instrs) not smaller than O0 (%d)", count(o1), count(o0))
+	}
+}
+
+func TestJumpThreadingReducesBlocks(t *testing.T) {
+	src := `package p
+func f(x) {
+    if x > 0 {
+        x = x + 1;
+    }
+    if x > 1 {
+        x = x + 2;
+    }
+    if x > 2 {
+        x = x + 3;
+    }
+    return x;
+}`
+	o1, err := CompileToMIR(src, Profile{OptLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := CompileToMIR(src, Profile{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o2.Proc("f").Blocks) > len(o1.Proc("f").Blocks) {
+		t.Errorf("O2 has %d blocks, O1 has %d — threading failed",
+			len(o2.Proc("f").Blocks), len(o1.Proc("f").Blocks))
+	}
+	for _, lvl := range []*mir.Package{o1, o2} {
+		in := mir.NewInterp(lvl)
+		if v, _ := in.Call("f", 5); v != 11 {
+			t.Errorf("f(5) = %d, want 11", v)
+		}
+	}
+}
+
+func TestRecursionNotInlined(t *testing.T) {
+	src := `package p
+func fact(n) {
+    if n <= 1 {
+        return 1;
+    }
+    return n * fact(n - 1);
+}`
+	pkg, err := CompileToMIR(src, Profile{OptLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mir.NewInterp(pkg)
+	if v, _ := in.Call("fact", 6); v != 720 {
+		t.Errorf("fact(6) = %d, want 720", v)
+	}
+}
+
+func TestGlobalLayout(t *testing.T) {
+	pkg := compileAt(t, 0)
+	var names []string
+	for _, g := range pkg.Globals {
+		names = append(names, g.Name)
+	}
+	want := []string{"counter", "table", "msg"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("globals = %v, want %v", names, want)
+	}
+	for _, g := range pkg.Globals {
+		if g.Name == "table" {
+			if len(g.Data) != 16 || g.Data[0] != 3 || g.Data[8] != 4 {
+				t.Errorf("table data = %v", g.Data)
+			}
+		}
+		if g.Name == "msg" {
+			if string(g.Data) != "hi\x00" || !g.RO {
+				t.Errorf("msg = %q RO=%v", g.Data, g.RO)
+			}
+		}
+	}
+}
+
+func TestCompileErrorsPropagate(t *testing.T) {
+	if _, err := CompileToMIR("package p\nfunc f() { return y; }", Profile{}); err == nil {
+		t.Error("undefined name must fail compilation")
+	}
+	if _, err := CompileToMIR("not a program", Profile{}); err == nil {
+		t.Error("parse error must fail compilation")
+	}
+}
+
+func TestShortCircuitSkipsSideEffects(t *testing.T) {
+	src := `package p
+var hits = 0;
+func bump() { hits = hits + 1; return 1; }
+func f(a) {
+    if a != 0 && bump() != 0 {
+        return 1;
+    }
+    return 0;
+}
+func hits_count() { return hits; }
+`
+	for level := 0; level <= 2; level++ {
+		pkg, err := CompileToMIR(src, Profile{OptLevel: level})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := mir.NewInterp(pkg)
+		if v, _ := in.Call("f", 0); v != 0 {
+			t.Errorf("O%d: f(0) = %d", level, v)
+		}
+		if h, _ := in.Call("hits_count"); h != 0 {
+			t.Errorf("O%d: && must not evaluate RHS when LHS is false (hits=%d)", level, h)
+		}
+		if v, _ := in.Call("f", 1); v != 1 {
+			t.Errorf("O%d: f(1) = %d", level, v)
+		}
+		if h, _ := in.Call("hits_count"); h != 1 {
+			t.Errorf("O%d: && must evaluate RHS when LHS is true", level)
+		}
+	}
+}
+
+func TestMIRInterpFuel(t *testing.T) {
+	src := `package p
+func spin() { while 1 { } return 0; }`
+	pkg, err := CompileToMIR(src, Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mir.NewInterp(pkg)
+	in.Fuel = 1000
+	if _, err := in.Call("spin"); err != mir.ErrOutOfFuel {
+		t.Errorf("err = %v, want ErrOutOfFuel", err)
+	}
+}
+
+func TestCompoundAssignment(t *testing.T) {
+	src := `package p
+func f(x) {
+    var a = x;
+    a += 3; a *= 2; a -= 1; a <<= 1; a >>= 1; a |= 8; a &= 0xFF; a ^= 1;
+    return a;
+}`
+	for level := 0; level <= 2; level++ {
+		pkg, err := CompileToMIR(src, Profile{OptLevel: level})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := mir.NewInterp(pkg)
+		got, _ := in.Call("f", 5)
+		a := uint32(5)
+		a += 3
+		a *= 2
+		a -= 1
+		a <<= 1
+		a = uint32(int32(a) >> 1)
+		a |= 8
+		a &= 0xFF
+		a ^= 1
+		if got != a {
+			t.Errorf("O%d: f(5) = %d, want %d", level, got, a)
+		}
+	}
+}
+
+func TestSignedOperations(t *testing.T) {
+	src := `package p
+func sdiv(a, b) { return a / b; }
+func srem(a, b) { return a % b; }
+func sshift(a) { return a >> 2; }
+func slt(a, b) { if a < b { return 1; } return 0; }
+`
+	pkg, err := CompileToMIR(src, Profile{OptLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mir.NewInterp(pkg)
+	neg := func(x int32) uint32 { return uint32(x) }
+	if v, _ := in.Call("sdiv", neg(-7), 2); int32(v) != -3 {
+		t.Errorf("-7/2 = %d, want -3 (truncated division)", int32(v))
+	}
+	if v, _ := in.Call("srem", neg(-7), 2); int32(v) != -1 {
+		t.Errorf("-7%%2 = %d", int32(v))
+	}
+	if v, _ := in.Call("sshift", neg(-8)); int32(v) != -2 {
+		t.Errorf("-8>>2 = %d", int32(v))
+	}
+	if v, _ := in.Call("slt", neg(-1), 0); v != 1 {
+		t.Errorf("-1 < 0 must be true (signed compare)")
+	}
+}

@@ -1,0 +1,76 @@
+package compiler
+
+import (
+	"firmup/internal/mir"
+	"firmup/internal/source"
+	"firmup/internal/uir"
+)
+
+// Profile captures a vendor tool chain: the knobs that make two
+// compilations of the same source syntactically divergent. The corpus
+// assigns a distinct profile to each vendor and to the analyst's own
+// query build (the paper compiles queries with gcc 5.2 -O2).
+type Profile struct {
+	// Name identifies the tool chain (e.g. "gcc52-O2", "vendor-netgear").
+	Name string
+	// Arch selects the target backend.
+	Arch uir.Arch
+	// OptLevel is 0..3 (see Optimize).
+	OptLevel int
+	// InlineThreshold is the instruction budget for inlining leaf callees
+	// (0 selects the backend default).
+	InlineThreshold int
+	// Features is the configure-time feature set; procedures guarded by a
+	// flag absent from this set are omitted from the build.
+	Features map[string]bool
+	// RegSeed permutes the register-allocation preference order,
+	// modelling different allocators.
+	RegSeed uint64
+	// SchedSeed perturbs instruction scheduling within dependence limits.
+	SchedSeed uint64
+	// MulByShift selects the strength-reduction idiom: multiplication by
+	// a power of two emitted as a shift.
+	MulByShift bool
+	// LayoutBase is the base address of the text section, giving each
+	// tool chain a different code/data layout (offsets differ).
+	LayoutBase uint32
+}
+
+// DefaultQueryProfile mirrors the paper's query compilation setting:
+// "gcc 5.2 at the default optimization level (usually -O2)".
+func DefaultQueryProfile(arch uir.Arch) Profile {
+	return Profile{
+		Name:       "gcc52-O2",
+		Arch:       arch,
+		OptLevel:   2,
+		Features:   map[string]bool{"OPIE": true, "SSL": true, "COOKIES": true, "IPV6": true},
+		RegSeed:    1,
+		SchedSeed:  1,
+		MulByShift: true,
+		LayoutBase: 0x400000,
+	}
+}
+
+// CompileToMIR parses, checks, lowers and optimizes a firmlang source
+// text under the profile, returning the optimized MIR package.
+func CompileToMIR(src string, p Profile) (*mir.Package, error) {
+	f, err := source.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := source.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := Lower(info, p.Features)
+	if err != nil {
+		return nil, err
+	}
+	Optimize(pkg, p.OptLevel, p.InlineThreshold)
+	for _, proc := range pkg.Procs {
+		if err := proc.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return pkg, nil
+}

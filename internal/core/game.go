@@ -1,0 +1,252 @@
+// Package core implements the paper's primary contribution: establishing
+// a partial correspondence between the procedures of a query executable
+// and a target executable through a back-and-forth game (Algorithm 2),
+// and the search engine that applies it across firmware images.
+//
+// Pairwise similarity alone picks the target procedure with the highest
+// Sim score — a local maximum that large unrelated procedures often win.
+// The game corrects such mismatches: a locally-best match is kept only if
+// the reverse search agrees; otherwise the contested procedures are
+// pushed onto the work stack and matched first, building exactly the
+// partial matching (containing the query procedure) that Eq. 1 of the
+// paper specifies. No full bipartite matching is ever computed.
+package core
+
+import (
+	"fmt"
+
+	"firmup/internal/sim"
+)
+
+// side distinguishes the two executables in the game.
+type side uint8
+
+const (
+	sideQ side = iota
+	sideT
+)
+
+// item is one stack entry: a procedure awaiting a consistent match.
+type item struct {
+	side side
+	idx  int
+}
+
+// EndReason explains why the game stopped.
+type EndReason uint8
+
+// Game end reasons.
+const (
+	EndMatched     EndReason = iota // the query procedure was matched
+	EndNoCandidate                  // no target shares a single strand with some frontier procedure
+	EndStuck                        // the stack reached a fixed state
+	EndStepLimit                    // heuristic step cap
+	EndMatchLimit                   // heuristic matched-pair cap
+)
+
+func (r EndReason) String() string {
+	switch r {
+	case EndMatched:
+		return "matched"
+	case EndNoCandidate:
+		return "no-candidate"
+	case EndStuck:
+		return "stuck"
+	case EndStepLimit:
+		return "step-limit"
+	default:
+		return "match-limit"
+	}
+}
+
+// TraceStep records one player/rival exchange for game-course reporting
+// (Table 1 of the paper).
+type TraceStep struct {
+	Actor   string // "player" or "rival"
+	Text    string
+	Matches string
+}
+
+// Result is the outcome of one game.
+type Result struct {
+	// Target is the index of the procedure matched to the query in the
+	// target executable, or -1.
+	Target int
+	// Score is Sim(query, Target).
+	Score int
+	// Steps counts game iterations (1 = the first pick already agreed).
+	Steps int
+	// MatchedPairs is the partial matching built along the way,
+	// including the query pair when matched.
+	MatchedPairs [][2]int
+	Reason       EndReason
+	Trace        []TraceStep
+}
+
+// Options bound the game per the paper's heuristics.
+type Options struct {
+	// MaxSteps caps game iterations (the paper observes up to 32 steps;
+	// default 64).
+	MaxSteps int
+	// MaxMatches caps the size of the partial matching (default 64).
+	MaxMatches int
+	// RecordTrace captures a human-readable game course.
+	RecordTrace bool
+}
+
+func (o *Options) maxSteps() int {
+	if o == nil || o.MaxSteps <= 0 {
+		return 64
+	}
+	return o.MaxSteps
+}
+
+func (o *Options) maxMatches() int {
+	if o == nil || o.MaxMatches <= 0 {
+		return 64
+	}
+	return o.MaxMatches
+}
+
+func (o *Options) trace() bool { return o != nil && o.RecordTrace }
+
+// Match runs the similarity game to find a consistent match for procedure
+// qi of Q inside T.
+func Match(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
+	res := Result{Target: -1}
+	matchedQ := map[int]int{} // Q index -> T index
+	matchedT := map[int]int{}
+	inStack := map[item]bool{}
+	var stack []item
+
+	push := func(it item) bool {
+		if inStack[it] {
+			return false
+		}
+		inStack[it] = true
+		stack = append(stack, it)
+		return true
+	}
+	push(item{sideQ, qi})
+
+	name := func(s side, i int) string {
+		if s == sideQ {
+			return q.Procs[i].Name
+		}
+		return t.Procs[i].Name
+	}
+	tracef := func(actor, format string, args ...any) {
+		if !opt.trace() {
+			return
+		}
+		res.Trace = append(res.Trace, TraceStep{
+			Actor:   actor,
+			Text:    fmt.Sprintf(format, args...),
+			Matches: fmt.Sprintf("%d pairs", len(matchedQ)),
+		})
+	}
+
+	for {
+		if res.Steps >= opt.maxSteps() {
+			res.Reason = EndStepLimit
+			return res
+		}
+		if len(matchedQ) >= opt.maxMatches() {
+			res.Reason = EndMatchLimit
+			return res
+		}
+		// Drop already-matched entries off the top of the stack.
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			matched := false
+			if top.side == sideQ {
+				_, matched = matchedQ[top.idx]
+			} else {
+				_, matched = matchedT[top.idx]
+			}
+			if !matched {
+				break
+			}
+			stack = stack[:len(stack)-1]
+			delete(inStack, top)
+		}
+		if len(stack) == 0 {
+			// The query pair must have been committed (it is only popped
+			// when matched); report it.
+			if ti, ok := matchedQ[qi]; ok {
+				res.Target = ti
+				res.Score = t.Sim(q.Procs[qi].Set, ti)
+				res.Reason = EndMatched
+				return res
+			}
+			res.Reason = EndStuck
+			return res
+		}
+		res.Steps++
+		m := stack[len(stack)-1]
+
+		// Forward: the player's locally-best pick on the other side.
+		var forward, fwdScore int
+		if m.side == sideQ {
+			forward, fwdScore = t.BestMatch(q.Procs[m.idx].Set, func(i int) bool { _, ok := matchedT[i]; return ok })
+		} else {
+			forward, fwdScore = q.BestMatch(t.Procs[m.idx].Set, func(i int) bool { _, ok := matchedQ[i]; return ok })
+		}
+		if forward < 0 {
+			// Nothing shares a strand with m. If m is the query, the
+			// search fails; otherwise drop m and continue.
+			stack = stack[:len(stack)-1]
+			delete(inStack, m)
+			if m.side == sideQ && m.idx == qi {
+				res.Reason = EndNoCandidate
+				return res
+			}
+			continue
+		}
+		tracef("player", "matches %s with %s (Sim=%d)", name(m.side, m.idx), name(1-m.side, forward), fwdScore)
+
+		// Back: the rival's counter — the best match for forward on m's
+		// side.
+		var back, backScore int
+		if m.side == sideQ {
+			back, backScore = q.BestMatch(t.Procs[forward].Set, func(i int) bool { _, ok := matchedQ[i]; return ok })
+		} else {
+			back, backScore = t.BestMatch(q.Procs[forward].Set, func(i int) bool { _, ok := matchedT[i]; return ok })
+		}
+
+		if back == m.idx {
+			// Consistent in both directions: commit the pair.
+			var qidx, tidx int
+			if m.side == sideQ {
+				qidx, tidx = m.idx, forward
+			} else {
+				qidx, tidx = forward, m.idx
+			}
+			matchedQ[qidx] = tidx
+			matchedT[tidx] = qidx
+			res.MatchedPairs = append(res.MatchedPairs, [2]int{qidx, tidx})
+			stack = stack[:len(stack)-1]
+			delete(inStack, m)
+			tracef("player", "pair (%s, %s) committed", q.Procs[qidx].Name, t.Procs[tidx].Name)
+			if qidx == qi {
+				res.Target = tidx
+				res.Score = t.Sim(q.Procs[qi].Set, tidx)
+				res.Reason = EndMatched
+				return res
+			}
+			continue
+		}
+		tracef("rival", "counters: %s prefers %s (Sim=%d > %d)",
+			name(1-m.side, forward), name(m.side, back), backScore, fwdScore)
+
+		// Inconsistent: the contested procedures must be matched first.
+		pushedF := push(item{1 - m.side, forward})
+		pushedB := back >= 0 && push(item{m.side, back})
+		if !pushedF && !pushedB {
+			// Fixed state: no new work can be created, the game cannot
+			// make progress (the paper's non-termination condition).
+			res.Reason = EndStuck
+			return res
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"firmup/internal/sim"
+	"firmup/internal/strand"
+)
+
+// Finding is one positive detection: the query procedure appears to be
+// present in a target executable.
+type Finding struct {
+	ExePath string
+	// ProcIndex / ProcName identify the matched target procedure.
+	ProcIndex int
+	ProcName  string
+	ProcAddr  uint32
+	Score     int
+	// Ratio is Score over the query's strand count — the containment
+	// confidence the acceptance threshold is applied to.
+	Ratio float64
+	Steps int
+}
+
+// SearchOptions configure an executable-set search.
+type SearchOptions struct {
+	Game Options
+	// MinScore is the minimum absolute number of shared strands for a
+	// match to count as a detection (default 3).
+	MinScore int
+	// MinRatio is the minimum Score/|Strands(q)| (default 0.25).
+	MinRatio float64
+	// MarkerMinOverlap is the confirmation threshold: the fraction of
+	// the query procedure's constant markers that the matched procedure
+	// must exhibit (the automated analog of the paper's semi-manual
+	// confirmation through string constants and global-memory markers).
+	// 0 selects the default 0.3; set negative to disable.
+	MarkerMinOverlap float64
+	// Weigher, when set, assigns a statistical significance to each
+	// strand hash (e.g. inverse document frequency over a sample of
+	// procedures in the wild). The acceptance ratio then becomes the
+	// weighted fraction of the query's strands that are shared, so that
+	// common computations shared among non-similar code do not produce
+	// spurious detections — the statistical framework the paper adopts.
+	Weigher func(hash uint64) float64
+	// Workers bounds the parallel target workers (default GOMAXPROCS).
+	Workers int
+}
+
+func (o *SearchOptions) minScore() int {
+	if o == nil || o.MinScore <= 0 {
+		return 3
+	}
+	return o.MinScore
+}
+
+func (o *SearchOptions) markerMinOverlap() float64 {
+	if o == nil || o.MarkerMinOverlap == 0 {
+		return 0.3
+	}
+	if o.MarkerMinOverlap < 0 {
+		return 0
+	}
+	return o.MarkerMinOverlap
+}
+
+func (o *SearchOptions) minRatio() float64 {
+	if o == nil || o.MinRatio <= 0 {
+		return 0.25
+	}
+	return o.MinRatio
+}
+
+func (o *SearchOptions) workers() int {
+	if o == nil || o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o *SearchOptions) game() *Options {
+	if o == nil {
+		return nil
+	}
+	return &o.Game
+}
+
+// SearchResult pairs per-target outcomes with aggregate accounting.
+type SearchResult struct {
+	Findings []Finding
+	// StepsHistogram counts accepted matches by game steps needed
+	// (Fig. 9 of the paper).
+	StepsHistogram map[int]int
+	// Examined is the number of target executables searched.
+	Examined int
+}
+
+// Search runs the game for the query procedure against every target
+// executable in parallel, applying the acceptance threshold.
+func Search(q *sim.Exe, qi int, targets []*sim.Exe, opt *SearchOptions) SearchResult {
+	type job struct {
+		idx int
+		t   *sim.Exe
+	}
+	jobs := make(chan job)
+	results := make([]*Finding, len(targets))
+	steps := make([]int, len(targets))
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r := Match(q, qi, j.t, opt.game())
+				steps[j.idx] = r.Steps
+				if f := accept(q, qi, j.t, r, opt); f != nil {
+					results[j.idx] = f
+				}
+			}
+		}()
+	}
+	for i, t := range targets {
+		jobs <- job{i, t}
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := SearchResult{StepsHistogram: map[int]int{}, Examined: len(targets)}
+	for i, f := range results {
+		if f == nil {
+			continue
+		}
+		out.Findings = append(out.Findings, *f)
+		out.StepsHistogram[steps[i]]++
+	}
+	sort.Slice(out.Findings, func(i, j int) bool { return out.Findings[i].ExePath < out.Findings[j].ExePath })
+	return out
+}
+
+// MatchOne runs the game against a single target and applies the
+// threshold, returning nil when the target does not contain the query.
+func MatchOne(q *sim.Exe, qi int, t *sim.Exe, opt *SearchOptions) (*Finding, Result) {
+	r := Match(q, qi, t, opt.game())
+	return accept(q, qi, t, r, opt), r
+}
+
+func accept(q *sim.Exe, qi int, t *sim.Exe, r Result, opt *SearchOptions) *Finding {
+	if r.Target < 0 {
+		return nil
+	}
+	qset := q.Procs[qi].Set
+	qsize := qset.Size()
+	if qsize == 0 {
+		return nil
+	}
+	var ratio float64
+	if opt != nil && opt.Weigher != nil {
+		var total, shared float64
+		tset := t.Procs[r.Target].Set
+		i, j := 0, 0
+		for _, h := range qset.Hashes {
+			total += opt.Weigher(h)
+		}
+		for i < len(qset.Hashes) && j < len(tset.Hashes) {
+			switch {
+			case qset.Hashes[i] == tset.Hashes[j]:
+				shared += opt.Weigher(qset.Hashes[i])
+				i++
+				j++
+			case qset.Hashes[i] < tset.Hashes[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		if total == 0 {
+			return nil
+		}
+		ratio = shared / total
+	} else {
+		ratio = float64(r.Score) / float64(qsize)
+	}
+	if r.Score < opt.minScore() || ratio < opt.minRatio() {
+		return nil
+	}
+	// Confirmation markers: a true occurrence of the query procedure
+	// carries its distinctive constants; require a minimum fraction when
+	// the query has enough markers to be meaningful.
+	if bar := opt.markerMinOverlap(); bar > 0 {
+		qm := q.Procs[qi].Markers
+		if len(qm) >= 1 && strand.MarkerOverlap(qm, t.Procs[r.Target].Markers) < bar {
+			return nil
+		}
+	}
+	tp := t.Procs[r.Target]
+	return &Finding{
+		ExePath:   t.Path,
+		ProcIndex: r.Target,
+		ProcName:  tp.Name,
+		ProcAddr:  tp.Addr,
+		Score:     r.Score,
+		Ratio:     ratio,
+		Steps:     r.Steps,
+	}
+}

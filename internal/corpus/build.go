@@ -1,0 +1,239 @@
+package corpus
+
+import (
+	"fmt"
+
+	"firmup/internal/cfg"
+	"firmup/internal/compiler"
+	"firmup/internal/image"
+	"firmup/internal/isa"
+	"firmup/internal/obj"
+	"firmup/internal/sim"
+	"firmup/internal/uir"
+)
+
+// BuiltExe is one executable inside a built image, with ground truth.
+type BuiltExe struct {
+	Path       string
+	Pkg        string
+	PkgVersion string
+	Arch       uir.Arch
+	Vendor     string
+	// File is the (stripped) executable as shipped in the image.
+	File *obj.File
+	// Truth maps original procedure names to their addresses —
+	// information the analyst does not have, used for exact scoring.
+	Truth map[string]uint32
+}
+
+// TruthName returns the original name of the procedure at addr, or "".
+func (e *BuiltExe) TruthName(addr uint32) string {
+	for n, a := range e.Truth {
+		if a == addr {
+			return n
+		}
+	}
+	return ""
+}
+
+// BuiltImage is one firmware image plus its ground truth.
+type BuiltImage struct {
+	Image     *image.Image
+	Vendor    string
+	Device    string
+	FwVersion string
+	// Latest marks the newest release of the device.
+	Latest bool
+	Exes   []BuiltExe
+}
+
+// Corpus is the generated evaluation corpus.
+type Corpus struct {
+	Vendors []Vendor
+	Images  []*BuiltImage
+	// builds caches compiled executables by build key, mirroring how the
+	// exact same binary ships in many images.
+	builds map[string]*builtUnit
+}
+
+type builtUnit struct {
+	file  *obj.File
+	truth map[string]uint32
+}
+
+// Build generates the corpus for a scale: every vendor, device and
+// firmware release, with every package compiled under the vendor tool
+// chain, stripped, and packed into images.
+func Build(sc Scale) (*Corpus, error) {
+	c := &Corpus{Vendors: Vendors(sc), builds: map[string]*builtUnit{}}
+	rng := newGenRNG(sc.Seed ^ 0xBADC0DE)
+	for vi := range c.Vendors {
+		v := &c.Vendors[vi]
+		for _, dev := range v.Devices {
+			for ri, rel := range dev.Releases {
+				im := &image.Image{Vendor: v.Name, Device: dev.Model, Version: rel.Version}
+				bi := &BuiltImage{
+					Image:     im,
+					Vendor:    v.Name,
+					Device:    dev.Model,
+					FwVersion: rel.Version,
+					Latest:    ri == len(dev.Releases)-1,
+				}
+				for _, pkg := range sortedPkgs(rel.Packages) {
+					ver := rel.Packages[pkg]
+					unit, err := c.buildUnit(v, dev.Arch, pkg, ver)
+					if err != nil {
+						return nil, err
+					}
+					path := "bin/" + pkg
+					if len(PackageExports(pkg)) > 0 {
+						path = "lib/" + pkg + ".so"
+					}
+					im.AddExecutable(path, unit.file)
+					bi.Exes = append(bi.Exes, BuiltExe{
+						Path: path, Pkg: pkg, PkgVersion: ver,
+						Arch: dev.Arch, Vendor: v.Name,
+						File: unit.file, Truth: unit.truth,
+					})
+					// A few files of unrelated content, as real images have.
+					if rng.intn(100) < 30 {
+						im.Files = append(im.Files, image.FileEntry{
+							Path: fmt.Sprintf("etc/%s.conf", pkg),
+							Data: []byte("# configuration for " + pkg + "\n"),
+						})
+					}
+				}
+				c.Images = append(c.Images, bi)
+			}
+		}
+	}
+	return c, nil
+}
+
+func sortedPkgs(m map[string]string) []string {
+	var names []string
+	for _, n := range PackageNames() {
+		if _, ok := m[n]; ok {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// buildUnit compiles (or fetches from cache) one package build.
+func (c *Corpus) buildUnit(v *Vendor, arch uir.Arch, pkg, ver string) (*builtUnit, error) {
+	key := fmt.Sprintf("%s|%v|%s|%s", v.Name, arch, pkg, ver)
+	if u, ok := c.builds[key]; ok {
+		return u, nil
+	}
+	src, err := PackageSource(pkg, ver)
+	if err != nil {
+		return nil, err
+	}
+	prof := v.Profile()
+	mpkg, err := compiler.CompileToMIR(src, prof)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s@%s for %s: %w", pkg, ver, v.Name, err)
+	}
+	be, err := isa.ByArch(arch)
+	if err != nil {
+		return nil, err
+	}
+	art, err := be.Generate(mpkg, isa.Options{
+		TextBase:       prof.LayoutBase,
+		RegSeed:        prof.RegSeed,
+		SchedSeed:      prof.SchedSeed,
+		MulByShift:     prof.MulByShift,
+		ShuffleProcs:   v.Shuffle,
+		FillDelaySlots: v.FillDelay,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("corpus: generate %s@%s/%v: %w", pkg, ver, arch, err)
+	}
+	f := obj.FromArtifact(art)
+	truth := map[string]uint32{}
+	for _, s := range art.Procs {
+		truth[s.Name] = s.Addr
+	}
+	f.MarkExported(PackageExports(pkg)...)
+	f.Strip()
+	// A slice of real firmware ships executables with a wrong header
+	// class byte (the paper's MIPS64-with-ELFCLASS32 observation); the
+	// pipeline must tolerate them. Inject deterministically.
+	if seedOf(key)%7 == 0 {
+		f.BadClass = true
+	}
+	c.builds[key] = &builtUnit{file: f, truth: truth}
+	return c.builds[key], nil
+}
+
+// QueryExe compiles the analyst's query executable: the package at the
+// CVE's query version, built with the default gcc-5.2-O2-style profile
+// for the given architecture, symbols intact.
+func QueryExe(pkg, version string, arch uir.Arch) (*sim.Exe, *obj.File, error) {
+	src, err := PackageSource(pkg, version)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof := compiler.DefaultQueryProfile(arch)
+	mpkg, err := compiler.CompileToMIR(src, prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	be, err := isa.ByArch(arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	art, err := be.Generate(mpkg, isa.Options{
+		TextBase:   prof.LayoutBase,
+		RegSeed:    prof.RegSeed,
+		SchedSeed:  prof.SchedSeed,
+		MulByShift: prof.MulByShift,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	f := obj.FromArtifact(art)
+	rec, err := cfg.Recover(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sim.Build(pkg+"@"+version, rec), f, nil
+}
+
+// IndexExe recovers and indexes a shipped executable (the analysis-side
+// view: stripped).
+func IndexExe(e *BuiltExe) (*sim.Exe, error) {
+	rec, err := cfg.Recover(e.File)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Build(e.Path, rec), nil
+}
+
+// Stats summarizes a corpus.
+type Stats struct {
+	Images     int
+	Exes       int
+	Procedures int
+}
+
+// Stat counts the corpus's contents (after recovery).
+func (c *Corpus) Stat() Stats {
+	s := Stats{Images: len(c.Images)}
+	seen := map[*obj.File]int{}
+	for _, bi := range c.Images {
+		for i := range bi.Exes {
+			s.Exes++
+			f := bi.Exes[i].File
+			if n, ok := seen[f]; ok {
+				s.Procedures += n
+				continue
+			}
+			n := len(bi.Exes[i].Truth)
+			seen[f] = n
+			s.Procedures += n
+		}
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+// Package corpus generates the evaluation corpus: firmlang analogs of
+// the open-source packages the paper's CVE queries come from, vendor
+// device lines with per-vendor tool chains, firmware image construction,
+// and exact ground-truth labels.
+//
+// The paper crawls ~2000 usable firmware images from public vendor
+// support sites; this package is the synthetic-equivalent substitute (see
+// DESIGN.md): every image is generated from known sources through the
+// full compiler pipeline, so precision can be measured exactly instead of
+// semi-manually.
+package corpus
+
+// VulnClass categorizes a CVE (the paper's experiments span these).
+type VulnClass string
+
+// Vulnerability classes from the paper's query selection.
+const (
+	VulnDoS      VulnClass = "DoS due to crafted message"
+	VulnBOF      VulnClass = "buffer overflow"
+	VulnInputVal VulnClass = "input validation"
+	VulnInfoLeak VulnClass = "information disclosure"
+	VulnPathTrav VulnClass = "path traversal"
+)
+
+// CVE describes one vulnerability: the procedure to search for and the
+// package versions that contain the vulnerable body.
+type CVE struct {
+	ID        string
+	Package   string
+	Procedure string
+	Class     VulnClass
+	// VulnVersions lists the package versions whose build contains the
+	// vulnerable procedure body.
+	VulnVersions []string
+	// QueryVersion is the version the query is compiled from ("the
+	// latest vulnerable version of the software package").
+	QueryVersion string
+}
+
+// CVEs is the registry used by the experiments, mirroring the paper's
+// Table 2 (rows 1-7) plus the two exported-procedure queries added for
+// the labeled comparison (libexif and net-snmp).
+var CVEs = []CVE{
+	{ID: "CVE-2011-0762", Package: "vsftpd", Procedure: "vsf_filename_passes_filter", Class: VulnDoS,
+		VulnVersions: []string{"2.3.2"}, QueryVersion: "2.3.2"},
+	{ID: "CVE-2009-4593", Package: "bftpd", Procedure: "bftpdutmp_log", Class: VulnBOF,
+		VulnVersions: []string{"2.3"}, QueryVersion: "2.3"},
+	{ID: "CVE-2012-0036", Package: "libcurl", Procedure: "curl_easy_unescape", Class: VulnInputVal,
+		VulnVersions: []string{"7.23.0"}, QueryVersion: "7.23.0"},
+	{ID: "CVE-2013-1944", Package: "libcurl", Procedure: "tailmatch", Class: VulnInfoLeak,
+		VulnVersions: []string{"7.23.0", "7.29.0"}, QueryVersion: "7.29.0"},
+	{ID: "CVE-2013-2168", Package: "dbus", Procedure: "printf_string_upper_bound", Class: VulnDoS,
+		VulnVersions: []string{"1.6.8"}, QueryVersion: "1.6.8"},
+	{ID: "CVE-2014-4877", Package: "wget", Procedure: "ftp_retrieve_glob", Class: VulnPathTrav,
+		VulnVersions: []string{"1.12", "1.15"}, QueryVersion: "1.15"},
+	{ID: "CVE-2016-8618", Package: "libcurl", Procedure: "alloc_addbyter", Class: VulnBOF,
+		VulnVersions: []string{"7.23.0", "7.29.0", "7.50.0"}, QueryVersion: "7.50.0"},
+	// Exported-procedure queries (labeled experiment, Fig. 8).
+	{ID: "CVE-2012-2841", Package: "libexif", Procedure: "exif_entry_get_value", Class: VulnBOF,
+		VulnVersions: []string{"0.6.20"}, QueryVersion: "0.6.20"},
+	{ID: "CVE-2015-5621", Package: "netsnmp", Procedure: "snmp_pdu_parse", Class: VulnDoS,
+		VulnVersions: []string{"5.7.2"}, QueryVersion: "5.7.2"},
+}
+
+// CVEByID returns the registry entry, or nil.
+func CVEByID(id string) *CVE {
+	for i := range CVEs {
+		if CVEs[i].ID == id {
+			return &CVEs[i]
+		}
+	}
+	return nil
+}
+
+// VulnerableIn reports whether the CVE's procedure is vulnerable at the
+// given package version.
+func (c *CVE) VulnerableIn(version string) bool {
+	for _, v := range c.VulnVersions {
+		if v == version {
+			return true
+		}
+	}
+	return false
+}

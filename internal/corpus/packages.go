@@ -1,0 +1,1074 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// runtimeSrc is the libc-flavored support code statically linked into
+// every package (as firmware binaries do). Identical source across
+// packages produces genuinely shared strands between unrelated
+// executables — the common-computation noise the paper's evaluation has
+// to contend with.
+const runtimeSrc = `
+func str_len(s) {
+    var n = 0;
+    while s[n] != 0 {
+        n = n + 1;
+    }
+    return n;
+}
+
+func mem_copy(dst, src, n) {
+    var i = 0;
+    while i < n {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    return dst;
+}
+
+func mem_set(dst, c, n) {
+    var i = 0;
+    while i < n {
+        dst[i] = c;
+        i = i + 1;
+    }
+    return dst;
+}
+
+func to_lower(c) {
+    if c >= 65 && c <= 90 {
+        return c + 32;
+    }
+    return c;
+}
+
+func str_cmp(a, b) {
+    var i = 0;
+    while a[i] != 0 && b[i] != 0 {
+        if a[i] != b[i] {
+            return a[i] - b[i];
+        }
+        i = i + 1;
+    }
+    return a[i] - b[i];
+}
+
+func str_chr(s, c) {
+    var i = 0;
+    while s[i] != 0 {
+        if s[i] == c {
+            return i;
+        }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+
+func checksum16(buf, n) {
+    var sum = 0;
+    var i = 0;
+    while i < n {
+        sum = sum + buf[i];
+        if sum > 0xFFFF {
+            sum = (sum & 0xFFFF) + 1;
+        }
+        i = i + 1;
+    }
+    return sum;
+}
+
+func hex_digit(v) {
+    var d = v & 15;
+    if d < 10 {
+        return d + 48;
+    }
+    return d + 87;
+}
+`
+
+// pkgDef describes one package: its hand-written body per version, the
+// names it exports (surviving stripping, like a dynamic symbol table),
+// and how many generated filler procedures pad it out.
+type pkgDef struct {
+	name     string
+	versions []string
+	source   func(version string) string
+	exports  []string
+	filler   int
+}
+
+var packages = []pkgDef{
+	{name: "wget", versions: []string{"1.12", "1.15", "1.16"}, source: wgetSrc, filler: 22},
+	{name: "vsftpd", versions: []string{"2.3.2", "2.3.5"}, source: vsftpdSrc, filler: 20},
+	{name: "bftpd", versions: []string{"2.3", "3.1"}, source: bftpdSrc, filler: 16},
+	{name: "libcurl", versions: libcurlVersions, source: libcurlSrc,
+		exports: []string{"curl_easy_unescape", "curl_unescape", "curl_easy_escape"}, filler: 24},
+	{name: "dbus", versions: []string{"1.6.8", "1.8.0"}, source: dbusSrc, filler: 18},
+	{name: "libexif", versions: []string{"0.6.20", "0.6.21"}, source: libexifSrc,
+		exports: []string{"exif_entry_get_value", "exif_entry_fix"}, filler: 14},
+	{name: "netsnmp", versions: []string{"5.7.2", "5.7.3"}, source: netsnmpSrc,
+		exports: []string{"snmp_pdu_parse", "snmp_parse_var_op"}, filler: 18},
+}
+
+// PackageNames lists the available packages.
+func PackageNames() []string {
+	out := make([]string, len(packages))
+	for i, p := range packages {
+		out[i] = p.name
+	}
+	return out
+}
+
+func pkgByName(name string) *pkgDef {
+	for i := range packages {
+		if packages[i].name == name {
+			return &packages[i]
+		}
+	}
+	return nil
+}
+
+// PackageVersions returns the known versions of a package (oldest first).
+func PackageVersions(name string) []string {
+	if p := pkgByName(name); p != nil {
+		return append([]string(nil), p.versions...)
+	}
+	return nil
+}
+
+// PackageExports returns the exported procedure names of a package.
+func PackageExports(name string) []string {
+	if p := pkgByName(name); p != nil {
+		return append([]string(nil), p.exports...)
+	}
+	return nil
+}
+
+// PackageSource returns the complete firmlang source of a package at a
+// version: header, hand-written procedures, the shared runtime, and the
+// deterministic filler body.
+func PackageSource(name, version string) (string, error) {
+	p := pkgByName(name)
+	if p == nil {
+		return nil2str(fmt.Errorf("corpus: unknown package %q", name))
+	}
+	ok := false
+	for _, v := range p.versions {
+		if v == version {
+			ok = true
+		}
+	}
+	if !ok {
+		return nil2str(fmt.Errorf("corpus: package %s has no version %q", name, version))
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "package %s version %q\n", name, version)
+	sb.WriteString(p.source(version))
+	sb.WriteString(runtimeSrc)
+	sb.WriteString(fillerProcs(name, version, p.filler))
+	return sb.String(), nil
+}
+
+func nil2str(err error) (string, error) { return "", err }
+
+// --- wget ---
+
+func wgetSrc(version string) string {
+	old := version == "1.12"
+	fixed := version == "1.16"
+	var sb strings.Builder
+	sb.WriteString(`
+const GLOB_GLOBALL = 0x1F;
+const GLOB_GETALL = 0x20;
+const GLOB_GETONE = 0x21;
+var opt_recursive = 1;
+var opt_retries = 3;
+var dl_count = 0;
+var glob_buf[64];
+var matchres[16];
+var warn_msg = "Rejecting invalid filename";
+var list_name = ".listing";
+
+func url_parse(url, parts) {
+    var i = 0;
+    var scheme = 0;
+    while url[i] != 0 && url[i] != 58 {
+        scheme = (scheme << 4) + to_lower(url[i]);
+        i = i + 1;
+    }
+    parts[0] = scheme;
+    if url[i] == 0 {
+        return 0 - 1;
+    }
+    i = i + 1;
+    while url[i] == 47 {
+        i = i + 1;
+    }
+    parts[1] = i;
+    var hosth = 0;
+    while url[i] != 0 && url[i] != 47 && url[i] != 58 {
+        hosth = hosth * 31 + url[i];
+        i = i + 1;
+    }
+    parts[2] = hosth;
+    if url[i] == 58 {
+        var port = 0;
+        i = i + 1;
+        while url[i] >= 48 && url[i] <= 57 {
+            port = port * 10 + (url[i] - 48);
+            i = i + 1;
+        }
+        parts[3] = port;
+    } else {
+        parts[3] = 21;
+    }
+    parts[4] = i;
+    return 0;
+}
+
+func get_ftp(u) {
+    var code = ftp_login(u);
+    if code != 230 {
+        return 0 - code;
+    }
+    code = ftp_retr(u, 0);
+    if code == 226 {
+        dl_count = dl_count + 1;
+        return 0;
+    }
+    if code == 550 && opt_retries > 0 {
+        var t = 0;
+        while t < opt_retries {
+            code = ftp_retr(u, t + 1);
+            if code == 226 {
+                return 0;
+            }
+            t = t + 1;
+        }
+    }
+    return 0 - code;
+}
+
+func ftp_login(u) {
+    var h = checksum16(u, str_len(u));
+    if h == 0 {
+        return 530;
+    }
+    var resp = (h & 0xFF) ^ 0x33;
+    if resp & 1 {
+        return 230;
+    }
+    return 331;
+}
+
+func ftp_retr(u, attempt) {
+    var n = str_len(u);
+    if n == 0 {
+        return 550;
+    }
+    var code = 150 + ((n + attempt) & 3) * 25 + 1;
+    return code;
+}
+
+feature(OPIE) func skey_resp(challenge, out) {
+    var seq = 0;
+    var i = 0;
+    while challenge[i] >= 48 && challenge[i] <= 57 {
+        seq = seq * 10 + (challenge[i] - 48);
+        i = i + 1;
+    }
+    var h = seq ^ 0x5A5A;
+    var k = 0;
+    while k < 8 {
+        out[k] = hex_digit(h >> (k * 4));
+        k = k + 1;
+    }
+    out[8] = 0;
+    return seq;
+}
+`)
+	// ftp_retrieve_glob: CVE-2014-4877. The vulnerable body accepts any
+	// listed filename; the 1.16 fix rejects names that escape the
+	// download directory. 1.12 is an older, structurally different body
+	// (the source of the paper's version-discrepancy false positives).
+	switch {
+	case old:
+		sb.WriteString(`
+func ftp_retrieve_glob(u, action) {
+    var parts[8];
+    if url_parse(u, parts) < 0 {
+        return 0 - 1;
+    }
+    var res = 0;
+    var i = 0;
+    while i < 16 {
+        matchres[i] = 0;
+        i = i + 1;
+    }
+    var code = ftp_login(u);
+    if code != 230 {
+        return 0 - code;
+    }
+    var n = ftp_list(u, glob_buf);
+    i = 0;
+    while i < n {
+        var f = glob_buf[i];
+        if action == GLOB_GLOBALL {
+            matchres[i & 15] = f;
+            res = res + get_ftp(u);
+        } else {
+            if action == GLOB_GETONE {
+                res = get_ftp(u);
+                break;
+            }
+        }
+        i = i + 1;
+    }
+    return res;
+}
+
+func ftp_list(u, out) {
+    var n = str_len(u) & 15;
+    var i = 0;
+    while i < n {
+        out[i] = (u[i] * 7) & 0xFF;
+        i = i + 1;
+    }
+    return n;
+}
+`)
+	default:
+		guard := ""
+		if fixed {
+			guard = `
+        if has_insecure_name(f) {
+            log_warn(warn_msg);
+            i = i + 1;
+            continue;
+        }`
+		}
+		sb.WriteString(`
+func ftp_retrieve_glob(u, action) {
+    var parts[8];
+    var err = url_parse(u, parts);
+    if err < 0 {
+        return err;
+    }
+    var n = ftp_list(u, glob_buf);
+    if action == GLOB_GLOBALL {
+        if n == 0 {
+            return 0 - 1;
+        }
+    }
+    var res = 0;
+    var i = 0;
+    while i < n {
+        var f = glob_buf[i];` + guard + `
+        if matches_pattern(f, action) {
+            res = res + get_ftp(u);
+            dl_count = dl_count + 1;
+        }
+        if action == GLOB_GETONE && res > 0 {
+            return res;
+        }
+        i = i + 1;
+    }
+    if res == 0 && action != GLOB_GETALL {
+        return 0 - 1;
+    }
+    return res;
+}
+
+func matches_pattern(f, action) {
+    if action == GLOB_GLOBALL {
+        return 1;
+    }
+    if (f & 0xFF) == 46 {
+        return 0;
+    }
+    return (f & 3) != 3;
+}
+
+func ftp_list(u, out) {
+    var n = str_len(u) & 15;
+    var i = 0;
+    while i < n {
+        out[i] = (u[i] * 7 + i) & 0xFF;
+        i = i + 1;
+    }
+    return n;
+}
+
+func log_warn(msg) {
+    var n = str_len(msg);
+    dl_count = dl_count + 0;
+    return n;
+}
+`)
+		if fixed {
+			sb.WriteString(`
+func has_insecure_name(f) {
+    if (f & 0xFF) == 47 {
+        return 1;
+    }
+    if (f & 0xFFFF) == 0x2E2E {
+        return 1;
+    }
+    return 0;
+}
+`)
+		}
+	}
+	return sb.String()
+}
+
+// --- vsftpd ---
+
+func vsftpdSrc(version string) string {
+	fixed := version != "2.3.2"
+	var sb strings.Builder
+	sb.WriteString(`
+const VSFTP_MAX_FILTER = 32;
+var filter_hits = 0;
+var deny_msg = "550 Permission denied.";
+var session_flags = 0;
+
+func str_locate_char(s, c, n) {
+    var i = 0;
+    while i < n {
+        if s[i] == c {
+            return i;
+        }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+
+func vsf_sysutil_tolower_buf(buf, n) {
+    var i = 0;
+    while i < n {
+        buf[i] = to_lower(buf[i]);
+        i = i + 1;
+    }
+    return n;
+}
+`)
+	// CVE-2011-0762: the glob filter can be driven into quadratic
+	// backtracking by crafted patterns (DoS). The fixed body bounds the
+	// iteration count.
+	bound := ""
+	boundCheck := ""
+	if fixed {
+		bound = `
+    var iters = 0;`
+		boundCheck = `
+            iters = iters + 1;
+            if iters > VSFTP_MAX_FILTER * 8 {
+                return 0;
+            }`
+	}
+	sb.WriteString(`
+func vsf_filename_passes_filter(name, filter) {
+    var ni = 0;
+    var fi = 0;
+    var star_f = 0 - 1;
+    var star_n = 0;` + bound + `
+    var nlen = str_len(name);
+    var flen = str_len(filter);
+    while ni < nlen {
+        if fi < flen && (filter[fi] == 63 || filter[fi] == name[ni]) {
+            ni = ni + 1;
+            fi = fi + 1;
+        } else {
+            if fi < flen && filter[fi] == 42 {
+                star_f = fi;
+                star_n = ni;
+                fi = fi + 1;
+            } else {
+                if star_f >= 0 {` + boundCheck + `
+                    star_n = star_n + 1;
+                    ni = star_n;
+                    fi = star_f + 1;
+                } else {
+                    return 0;
+                }
+            }
+        }
+    }
+    while fi < flen && filter[fi] == 42 {
+        fi = fi + 1;
+    }
+    if fi == flen {
+        filter_hits = filter_hits + 1;
+        return 1;
+    }
+    return 0;
+}
+
+func vsf_cmdio_write(code, text) {
+    var n = str_len(text);
+    var acc = code * 1000;
+    var i = 0;
+    while i < n {
+        acc = acc + text[i];
+        i = i + 1;
+    }
+    return acc;
+}
+
+func handle_list(arg) {
+    if vsf_filename_passes_filter(arg, deny_msg) {
+        return vsf_cmdio_write(150, arg);
+    }
+    return vsf_cmdio_write(550, deny_msg);
+}
+
+func handle_retr(arg) {
+    var n = str_len(arg);
+    if n == 0 {
+        return vsf_cmdio_write(501, deny_msg);
+    }
+    session_flags = session_flags | 4;
+    return vsf_cmdio_write(150, arg);
+}
+`)
+	return sb.String()
+}
+
+// --- bftpd ---
+
+func bftpdSrc(version string) string {
+	fixed := version != "2.3"
+	var sb strings.Builder
+	sb.WriteString(`
+const WTMP_REC = 24;
+var utmp_count = 0;
+var wtmp_buf[96];
+var host_name = "bftpd-host";
+`)
+	// CVE-2009-4593: bftpdutmp_log writes a record without bounding the
+	// slot index (BOF). The fix masks the slot into range.
+	slot := "var slot = utmp_count * 2;"
+	if fixed {
+		slot = "var slot = (utmp_count & 31) * 2;"
+	}
+	sb.WriteString(`
+func bftpdutmp_log(user, logging_in) {
+    ` + slot + `
+    var h = 0;
+    var i = 0;
+    while user[i] != 0 {
+        h = h * 33 + user[i];
+        i = i + 1;
+    }
+    wtmp_buf[slot] = h;
+    if logging_in {
+        wtmp_buf[slot + 1] = 1;
+        utmp_count = utmp_count + 1;
+    } else {
+        wtmp_buf[slot + 1] = 0;
+        if utmp_count > 0 {
+            utmp_count = utmp_count - 1;
+        }
+    }
+    return h;
+}
+
+func bftpdutmp_usercount(user) {
+    var h = 0;
+    var i = 0;
+    while user[i] != 0 {
+        h = h * 33 + user[i];
+        i = i + 1;
+    }
+    var n = 0;
+    var k = 0;
+    while k < 32 {
+        if wtmp_buf[k * 2] == h && wtmp_buf[k * 2 + 1] == 1 {
+            n = n + 1;
+        }
+        k = k + 1;
+    }
+    return n;
+}
+
+func login_user(user, pass) {
+    var uh = checksum16(user, str_len(user));
+    var ph = checksum16(pass, str_len(pass));
+    if (uh ^ ph) == 0 {
+        return 0 - 1;
+    }
+    bftpdutmp_log(user, 1);
+    return uh & 0xFFFF;
+}
+
+func logout_user(user) {
+    bftpdutmp_log(user, 0);
+    return utmp_count;
+}
+`)
+	return sb.String()
+}
+
+// --- libcurl ---
+
+var libcurlVersions = []string{"7.10", "7.23.0", "7.29.0", "7.50.0", "7.52.0"}
+
+func libcurlSrc(version string) string {
+	vi := -1
+	for i, v := range libcurlVersions {
+		if v == version {
+			vi = i
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(`
+const CURLE_OK = 0;
+var unescape_count = 0;
+var alloc_high_water = 0;
+var fmt_buf[64];
+var proto_https = "https";
+`)
+	if vi == 0 {
+		// 7.10: only the long-deprecated curl_unescape exists — the
+		// predecessor of curl_easy_unescape the paper's "deprecated
+		// procedures" finding hinges on.
+		sb.WriteString(`
+func curl_unescape(str, length) {
+    var n = length;
+    if n == 0 {
+        n = str_len(str);
+    }
+    var out = 0;
+    var i = 0;
+    while i < n {
+        var c = str[i];
+        if c == 37 && i + 2 < n {
+            var hi = hexval(str[i + 1]);
+            var lo = hexval(str[i + 2]);
+            if hi >= 0 && lo >= 0 {
+                c = hi * 16 + lo;
+                i = i + 2;
+            }
+        }
+        out = out * 31 + c;
+        i = i + 1;
+    }
+    unescape_count = unescape_count + 1;
+    return out;
+}
+`)
+	} else {
+		// curl_easy_unescape: CVE-2012-0036 (vulnerable only at 7.23.0 in
+		// our registry; later bodies validate the %-sequence length
+		// before consuming).
+		check := "if hi >= 0 && lo >= 0 {"
+		if vi >= 2 {
+			check = "if hi >= 0 && lo >= 0 && i + 2 < n {"
+		}
+		sb.WriteString(`
+func curl_easy_unescape(handle, str, length, olen) {
+    var n = length;
+    if n == 0 {
+        n = str_len(str);
+    }
+    var out = 0;
+    var written = 0;
+    var i = 0;
+    while i < n {
+        var c = str[i];
+        if c == 37 {
+            var hi = hexval(str[i + 1]);
+            var lo = hexval(str[i + 2]);
+            ` + check + `
+                c = hi * 16 + lo;
+                i = i + 2;
+            }
+        }
+        out = out * 31 + c;
+        written = written + 1;
+        i = i + 1;
+    }
+    olen[0] = written;
+    unescape_count = unescape_count + 1;
+    return out;
+}
+
+func curl_easy_escape(handle, str, length) {
+    var n = length;
+    if n == 0 {
+        n = str_len(str);
+    }
+    var acc = 0;
+    var i = 0;
+    while i < n {
+        var c = str[i];
+        if (c >= 48 && c <= 57) || (c >= 97 && c <= 122) || (c >= 65 && c <= 90) {
+            acc = acc * 31 + c;
+        } else {
+            acc = acc * 31 + 37;
+            acc = acc * 31 + hex_digit(c >> 4);
+            acc = acc * 31 + hex_digit(c);
+        }
+        i = i + 1;
+    }
+    return acc;
+}
+`)
+	}
+	sb.WriteString(`
+func hexval(c) {
+    if c >= 48 && c <= 57 {
+        return c - 48;
+    }
+    if c >= 97 && c <= 102 {
+        return c - 87;
+    }
+    if c >= 65 && c <= 70 {
+        return c - 55;
+    }
+    return 0 - 1;
+}
+`)
+	// tailmatch: CVE-2013-1944 — vulnerable versions match cookie
+	// domains from the tail without checking a domain-boundary dot.
+	if vi >= 1 {
+		boundary := ""
+		if vi >= 3 { // fixed at 7.50.0+
+			boundary = `
+    if hl > nl {
+        var sep = hostname[hl - nl - 1];
+        if sep != 46 {
+            return 0;
+        }
+    }`
+		}
+		sb.WriteString(`
+func tailmatch(needle, hostname) {
+    var nl = str_len(needle);
+    var hl = str_len(hostname);
+    if nl > hl {
+        return 0;
+    }` + boundary + `
+    var i = 0;
+    while i < nl {
+        if to_lower(needle[nl - i - 1]) != to_lower(hostname[hl - i - 1]) {
+            return 0;
+        }
+        i = i + 1;
+    }
+    return 1;
+}
+
+func cookie_matches(domain, host) {
+    if tailmatch(domain, host) {
+        return 1;
+    }
+    return 0;
+}
+`)
+	}
+	// alloc_addbyter: CVE-2016-8618 — the vulnerable body grows the
+	// buffer with a doubling that overflows for 1GB inputs; the fixed one
+	// caps the size.
+	if vi >= 1 {
+		grow := `
+        var newsize = size * 2;
+        if newsize == 0 {
+            newsize = 16;
+        }`
+		if vi >= 4 { // fixed at 7.52.0
+			grow = `
+        var newsize = size * 2;
+        if newsize == 0 {
+            newsize = 16;
+        }
+        if newsize > 0x40000000 {
+            return 0 - 1;
+        }`
+		}
+		sb.WriteString(`
+func alloc_addbyter(outchar, state) {
+    var used = state[0];
+    var size = state[1];
+    if used + 1 >= size {` + grow + `
+        state[1] = newsize;
+        alloc_high_water = alloc_high_water + 1;
+    }
+    state[2 + (used & 31)] = outchar & 0xFF;
+    state[0] = used + 1;
+    return outchar & 0xFF;
+}
+
+func dprintf_formatf(format, state) {
+    var i = 0;
+    var n = str_len(format);
+    var written = 0;
+    while i < n {
+        var c = format[i];
+        if c == 37 && i + 1 < n {
+            i = i + 1;
+            var spec = format[i];
+            if spec == 100 {
+                written = written + alloc_addbyter(48 + (i & 7), state);
+            } else {
+                written = written + alloc_addbyter(spec, state);
+            }
+        } else {
+            written = written + alloc_addbyter(c, state);
+        }
+        i = i + 1;
+    }
+    return written;
+}
+`)
+	}
+	return sb.String()
+}
+
+// --- dbus ---
+
+func dbusSrc(version string) string {
+	fixed := version != "1.6.8"
+	var sb strings.Builder
+	sb.WriteString(`
+const DBUS_MAX_MSG = 0x4000;
+var bus_msg_count = 0;
+var type_sig = "isu";
+`)
+	// printf_string_upper_bound: CVE-2013-2168 — the vulnerable body
+	// miscomputes the needed length for %-specifiers, allowing a crafted
+	// message to force a tiny bound (DoS via assertion). The fix accounts
+	// for the width field.
+	width := ""
+	if fixed {
+		width = `
+            while format[i] >= 48 && format[i] <= 57 {
+                bound = bound + (format[i] - 48);
+                i = i + 1;
+            }`
+	}
+	sb.WriteString(`
+func printf_string_upper_bound(format, nargs) {
+    var bound = 1;
+    var i = 0;
+    var n = str_len(format);
+    while i < n {
+        if format[i] == 37 {
+            i = i + 1;` + width + `
+            var spec = format[i];
+            if spec == 115 {
+                bound = bound + 64 * (nargs & 7);
+            } else {
+                if spec == 100 || spec == 117 {
+                    bound = bound + 12;
+                } else {
+                    bound = bound + 2;
+                }
+            }
+        } else {
+            bound = bound + 1;
+        }
+        i = i + 1;
+    }
+    if bound > DBUS_MAX_MSG {
+        return DBUS_MAX_MSG;
+    }
+    return bound;
+}
+
+func marshal_uint32(buf, pos, v) {
+    buf[pos] = v & 0xFF;
+    buf[pos + 1] = (v >> 8) & 0xFF;
+    buf[pos + 2] = (v >> 16) & 0xFF;
+    buf[pos + 3] = (v >> 24) & 0xFF;
+    return pos + 4;
+}
+
+func demarshal_uint32(buf, pos) {
+    return buf[pos] | (buf[pos + 1] << 8) | (buf[pos + 2] << 16) | (buf[pos + 3] << 24);
+}
+
+func message_header_len(serial, flags) {
+    var base = 16;
+    if flags & 1 {
+        base = base + 8;
+    }
+    if flags & 2 {
+        base = base + printf_string_upper_bound(type_sig, serial & 3);
+    }
+    bus_msg_count = bus_msg_count + 1;
+    return (base + 7) & ~7;
+}
+`)
+	return sb.String()
+}
+
+// --- libexif ---
+
+func libexifSrc(version string) string {
+	fixed := version != "0.6.20"
+	var sb strings.Builder
+	sb.WriteString(`
+const EXIF_ASCII = 2;
+const EXIF_SHORT = 3;
+const EXIF_LONG = 4;
+var entry_count = 0;
+var value_buf[64];
+`)
+	// exif_entry_get_value: CVE-2012-2841 — an off-by-one when copying
+	// the ASCII value into the caller's buffer.
+	limit := "n"
+	if fixed {
+		limit = "n - 1"
+	}
+	sb.WriteString(`
+func exif_entry_get_value(entry, val, maxlen) {
+    var fmt = entry[0];
+    var comps = entry[1];
+    var n = maxlen;
+    entry_count = entry_count + 1;
+    if fmt == EXIF_ASCII {
+        var i = 0;
+        while i < comps && i < ` + limit + ` {
+            val[i] = entry[2 + i] & 0xFF;
+            i = i + 1;
+        }
+        val[i] = 0;
+        return i;
+    }
+    if fmt == EXIF_SHORT {
+        var v = entry[2] & 0xFFFF;
+        var k = 0;
+        while v > 0 && k < n {
+            val[k] = 48 + v % 10;
+            v = v / 10;
+            k = k + 1;
+        }
+        val[k] = 0;
+        return k;
+    }
+    if fmt == EXIF_LONG {
+        var w = entry[2];
+        var j = 0;
+        while j < 8 && j < n {
+            val[j] = hex_digit(w >> ((7 - j) * 4));
+            j = j + 1;
+        }
+        val[j] = 0;
+        return j;
+    }
+    return 0;
+}
+
+func exif_entry_fix(entry) {
+    var fmt = entry[0];
+    if fmt != EXIF_ASCII && fmt != EXIF_SHORT && fmt != EXIF_LONG {
+        entry[0] = EXIF_LONG;
+        return 1;
+    }
+    if entry[1] == 0 {
+        entry[1] = 1;
+        return 1;
+    }
+    return 0;
+}
+
+func exif_tag_table_lookup(tag) {
+    var h = (tag * 2654435761) >> 24;
+    if h & 1 {
+        return tag & 0xFF;
+    }
+    return (tag >> 8) & 0xFF;
+}
+`)
+	return sb.String()
+}
+
+// --- net-snmp ---
+
+func netsnmpSrc(version string) string {
+	fixed := version != "5.7.2"
+	var sb strings.Builder
+	sb.WriteString(`
+const ASN_INTEGER = 2;
+const ASN_OCTET_STR = 4;
+const ASN_SEQUENCE = 48;
+var pdu_count = 0;
+var parse_errs = 0;
+`)
+	// snmp_pdu_parse: CVE-2015-5621 analog — incomplete parsing leaves
+	// the varbind list partly initialized (DoS). The fix validates the
+	// type byte before consuming the value.
+	typeGuard := ""
+	if fixed {
+		typeGuard = `
+        if t != ASN_INTEGER && t != ASN_OCTET_STR && t != ASN_SEQUENCE {
+            parse_errs = parse_errs + 1;
+            return 0 - 2;
+        }`
+	}
+	sb.WriteString(`
+func snmp_pdu_parse(pdu, data, length) {
+    var pos = 0;
+    var nvars = 0;
+    pdu_count = pdu_count + 1;
+    if length < 2 {
+        return 0 - 1;
+    }
+    if data[pos] != ASN_SEQUENCE {
+        return 0 - 1;
+    }
+    pos = pos + 2;
+    while pos + 2 <= length {
+        var t = data[pos];
+        var l = data[pos + 1];` + typeGuard + `
+        pos = pos + 2;
+        if pos + l > length {
+            parse_errs = parse_errs + 1;
+            return 0 - 3;
+        }
+        var acc = 0;
+        var i = 0;
+        while i < l {
+            acc = (acc << 8) | data[pos + i];
+            i = i + 1;
+        }
+        pdu[nvars & 15] = acc;
+        nvars = nvars + 1;
+        pos = pos + l;
+    }
+    pdu[16] = nvars;
+    return nvars;
+}
+
+func snmp_parse_var_op(data, pos, length) {
+    if pos + 2 > length {
+        return 0 - 1;
+    }
+    var t = data[pos];
+    var l = data[pos + 1];
+    if t != ASN_INTEGER && t != ASN_OCTET_STR {
+        return 0 - 1;
+    }
+    if pos + 2 + l > length {
+        return 0 - 1;
+    }
+    return pos + 2 + l;
+}
+
+func snmp_build_int(buf, pos, v) {
+    buf[pos] = ASN_INTEGER;
+    buf[pos + 1] = 4;
+    var i = 0;
+    while i < 4 {
+        buf[pos + 2 + i] = (v >> ((3 - i) * 8)) & 0xFF;
+        i = i + 1;
+    }
+    return pos + 6;
+}
+`)
+	return sb.String()
+}

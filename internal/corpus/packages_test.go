@@ -1,0 +1,162 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"firmup/internal/compiler"
+	"firmup/internal/mir"
+	"firmup/internal/source"
+)
+
+// Every package at every version must parse, check and compile at every
+// optimization level.
+func TestAllPackagesCompile(t *testing.T) {
+	for _, name := range PackageNames() {
+		for _, ver := range PackageVersions(name) {
+			src, err := PackageSource(name, ver)
+			if err != nil {
+				t.Fatalf("%s@%s: %v", name, ver, err)
+			}
+			for _, level := range []int{0, 2} {
+				prof := compiler.Profile{OptLevel: level, Features: map[string]bool{"OPIE": true, "SSL": true}}
+				pkg, err := compiler.CompileToMIR(src, prof)
+				if err != nil {
+					t.Fatalf("%s@%s O%d: %v", name, ver, level, err)
+				}
+				if len(pkg.Procs) < 10 {
+					t.Errorf("%s@%s: only %d procedures", name, ver, len(pkg.Procs))
+				}
+			}
+		}
+	}
+}
+
+// CVE procedures must exist in every version of their package, and the
+// vulnerable/fixed bodies must differ.
+func TestCVEProceduresPresent(t *testing.T) {
+	for _, cve := range CVEs {
+		versions := PackageVersions(cve.Package)
+		if len(versions) == 0 {
+			t.Fatalf("%s: package %s unknown", cve.ID, cve.Package)
+		}
+		for _, ver := range versions {
+			if cve.Package == "libcurl" && ver == "7.10" && cve.Procedure != "curl_easy_unescape" {
+				continue // ancient curl predates these procedures
+			}
+			src, err := PackageSource(cve.Package, ver)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// curl 7.10 has the deprecated predecessor instead.
+			want := cve.Procedure
+			if cve.Package == "libcurl" && ver == "7.10" && cve.Procedure == "curl_easy_unescape" {
+				want = "curl_unescape"
+			}
+			if !strings.Contains(src, "func "+want+"(") {
+				t.Errorf("%s: %s@%s lacks %s", cve.ID, cve.Package, ver, want)
+			}
+		}
+	}
+}
+
+// Generated procedures must terminate: run every procedure of every
+// package in the MIR interpreter under fuel.
+func TestAllProceduresTerminate(t *testing.T) {
+	for _, name := range PackageNames() {
+		ver := PackageVersions(name)[0]
+		src, err := PackageSource(name, ver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := compiler.Profile{OptLevel: 1, Features: map[string]bool{"OPIE": true}}
+		pkg, err := compiler.CompileToMIR(src, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkg.Procs {
+			in := mir.NewInterp(pkg)
+			in.Fuel = 1 << 20
+			args := make([]uint32, p.NParams)
+			for i := range args {
+				args[i] = uint32(7 + i*13) // scalar junk; byte pointers read zeros
+			}
+			if _, err := in.Call(p.Name, args...); err != nil {
+				t.Errorf("%s@%s %s: %v", name, ver, p.Name, err)
+			}
+		}
+	}
+}
+
+// Filler generation is deterministic, and consecutive versions share most
+// procedure bodies while differing in some (the patch simulation).
+func TestFillerVersionStability(t *testing.T) {
+	a := fillerProcs("wget", "1.15", 22)
+	b := fillerProcs("wget", "1.15", 22)
+	if a != b {
+		t.Fatal("filler generation not deterministic")
+	}
+	c := fillerProcs("wget", "1.16", 22)
+	if a == c {
+		t.Error("different versions must differ somewhere")
+	}
+	// Per-procedure comparison: most must be identical.
+	split := func(s string) map[string]string {
+		out := map[string]string{}
+		for _, chunk := range strings.Split(s, "\nfunc ") {
+			if i := strings.IndexByte(chunk, '('); i > 0 {
+				out[chunk[:i]] = chunk
+			}
+		}
+		return out
+	}
+	pa, pc := split(a), split(c)
+	same := 0
+	for name, body := range pa {
+		if pc[name] == body {
+			same++
+		}
+	}
+	if same < len(pa)/2 {
+		t.Errorf("only %d/%d filler procedures stable across versions", same, len(pa))
+	}
+	if same == len(pa) {
+		t.Error("no procedure was patched across versions")
+	}
+}
+
+func TestVersionedCVEBodiesDiffer(t *testing.T) {
+	v1, _ := PackageSource("vsftpd", "2.3.2")
+	v2, _ := PackageSource("vsftpd", "2.3.5")
+	get := func(src string) string {
+		i := strings.Index(src, "func vsf_filename_passes_filter")
+		j := strings.Index(src[i:], "\nfunc ")
+		return src[i : i+j]
+	}
+	if get(v1) == get(v2) {
+		t.Error("vulnerable and fixed bodies identical")
+	}
+}
+
+func TestPackageSourceErrors(t *testing.T) {
+	if _, err := PackageSource("nosuch", "1.0"); err == nil {
+		t.Error("unknown package must fail")
+	}
+	if _, err := PackageSource("wget", "9.9"); err == nil {
+		t.Error("unknown version must fail")
+	}
+}
+
+func TestSourcesParseStandalone(t *testing.T) {
+	src, err := PackageSource("libcurl", "7.50.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := source.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := source.Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}

@@ -1,0 +1,203 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"firmup/internal/core"
+	"firmup/internal/corpus"
+	"firmup/internal/sim"
+	"firmup/internal/uir"
+)
+
+// GameTrace reproduces the paper's Table 1: the step-by-step game course
+// for a CVE query against a vendor firmware target. Like the paper's
+// example, it prefers a course where the rival actually forces
+// corrections (more than one step); if the corpus offers none, it falls
+// back to a one-step agreement.
+func GameTrace(env *Env) (string, error) {
+	type pick struct {
+		cve    *corpus.CVE
+		target *Unit
+		q      *sim.Exe
+		qi     int
+		r      core.Result
+	}
+	var best *pick
+	for _, id := range []string{"CVE-2014-4877", "CVE-2013-1944", "CVE-2012-0036", "CVE-2009-4593"} {
+		cve := corpus.CVEByID(id)
+		for _, u := range env.Units {
+			if u.Pkg != cve.Package {
+				continue
+			}
+			if _, ok := u.Truth[cve.Procedure]; !ok {
+				continue
+			}
+			q, err := env.Query(cve.Package, cve.QueryVersion, u.Arch)
+			if err != nil {
+				continue
+			}
+			qi := q.ProcByName(cve.Procedure)
+			if qi < 0 {
+				continue
+			}
+			r := core.Match(q, qi, u.Exe, &core.Options{RecordTrace: true})
+			if r.Target < 0 {
+				continue
+			}
+			correct := u.TruthName(u.Exe.Procs[r.Target].Addr) == cve.Procedure
+			if !correct {
+				continue
+			}
+			if best == nil || (r.Steps > best.r.Steps && r.Steps <= 32) {
+				best = &pick{cve: cve, target: u, q: q, qi: qi, r: r}
+			}
+		}
+		if best != nil && best.r.Steps > 1 {
+			break
+		}
+	}
+	if best == nil {
+		return "", fmt.Errorf("eval: no matched game course available")
+	}
+	cve, target, r := best.cve, best.target, best.r
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1: game course for %s searched in %s (%s, %v)\n\n",
+		cve.Procedure, target.Device(), target.Vendor, target.Arch)
+	fmt.Fprintf(&sb, "%-8s %-64s %s\n", "Actor", "Step", "Matching")
+	for _, s := range r.Trace {
+		fmt.Fprintf(&sb, "%-8s %-64s %s\n", s.Actor, s.Text, s.Matches)
+	}
+	switch {
+	case r.Target >= 0:
+		name := target.TruthName(target.Exe.Procs[r.Target].Addr)
+		fmt.Fprintf(&sb, "\nGame over in %d steps: %s matched with %s (truth: %s), Sim=%d\n",
+			r.Steps, cve.Procedure, target.Exe.Procs[r.Target].Name, name, r.Score)
+	default:
+		fmt.Fprintf(&sb, "\nGame over (%v) after %d steps\n", r.Reason, r.Steps)
+	}
+	return sb.String(), nil
+}
+
+// Device returns a representative device name for the unit.
+func (u *Unit) Device() string {
+	if len(u.Occurrences) > 0 {
+		return u.Occurrences[0].Device
+	}
+	return "?"
+}
+
+// CallGraphs reproduces the paper's Fig. 5: the call-graph neighborhood
+// of ftp_retrieve_glob in the query versus in a vendor target, showing
+// the structural variance that defeats graph-based matching.
+func CallGraphs(env *Env) (string, error) {
+	cve := corpus.CVEByID("CVE-2014-4877")
+	var target *Unit
+	for _, u := range env.Units {
+		if u.Pkg == "wget" && u.Vendor == "NETGEAR" {
+			target = u
+			break
+		}
+	}
+	if target == nil {
+		return "", fmt.Errorf("eval: no NETGEAR wget unit")
+	}
+	q, err := env.Query(cve.Package, cve.QueryVersion, target.Arch)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Fig. 5: call-graph neighborhood of ftp_retrieve_glob\n\n")
+	sb.WriteString("Query executable (gcc52-O2, all features):\n")
+	sb.WriteString(neighborhood(q, q.ProcByName(cve.Procedure), func(i int) string { return q.Procs[i].Name }))
+	sb.WriteString("\nNETGEAR target (vendor tool chain, --disable-opie):\n")
+	ti := -1
+	if addr, ok := target.Truth[cve.Procedure]; ok {
+		for i, p := range target.Exe.Procs {
+			if p.Addr == addr {
+				ti = i
+			}
+		}
+	}
+	if ti < 0 {
+		return "", fmt.Errorf("eval: target lacks %s", cve.Procedure)
+	}
+	sb.WriteString(neighborhood(target.Exe, ti, func(i int) string {
+		n := target.TruthName(target.Exe.Procs[i].Addr)
+		if n == "" {
+			return target.Exe.Procs[i].Name
+		}
+		return target.Exe.Procs[i].Name + " (" + n + ")"
+	}))
+	return sb.String(), nil
+}
+
+// neighborhood renders callees and (two levels of) callers of a
+// procedure.
+func neighborhood(e *sim.Exe, pi int, label func(int) string) string {
+	if pi < 0 {
+		return "  (procedure not present)\n"
+	}
+	var sb strings.Builder
+	p := e.Procs[pi]
+	fmt.Fprintf(&sb, "  %s\n", label(pi))
+	var callees []string
+	for _, c := range p.Calls {
+		callees = append(callees, label(c))
+	}
+	sort.Strings(callees)
+	for _, c := range callees {
+		fmt.Fprintf(&sb, "    calls %s\n", c)
+	}
+	for _, c := range p.CalledBy {
+		fmt.Fprintf(&sb, "    called by %s\n", label(c))
+		for _, cc := range e.Procs[c].CalledBy {
+			fmt.Fprintf(&sb, "      called by %s\n", label(cc))
+		}
+	}
+	return sb.String()
+}
+
+// StrandDemo reproduces the paper's Fig. 1 / Fig. 3 narrative: the same
+// source block compiled by two tool chains yields disjoint instructions
+// whose canonical strands coincide.
+func StrandDemo(env *Env) (string, error) {
+	cve := corpus.CVEByID("CVE-2014-4877")
+	q, err := env.Query(cve.Package, cve.QueryVersion, uir.ArchMIPS32)
+	if err != nil {
+		return "", err
+	}
+	var target *Unit
+	for _, u := range env.Units {
+		if u.Pkg == "wget" && u.Arch == uir.ArchMIPS32 && u.Vendor != "" {
+			if _, ok := u.Truth[cve.Procedure]; ok {
+				target = u
+				break
+			}
+		}
+	}
+	if target == nil {
+		return "", fmt.Errorf("eval: no MIPS wget target with %s", cve.Procedure)
+	}
+	qi := q.ProcByName(cve.Procedure)
+	addr := target.Truth[cve.Procedure]
+	ti := -1
+	for i, p := range target.Exe.Procs {
+		if p.Addr == addr {
+			ti = i
+		}
+	}
+	if qi < 0 || ti < 0 {
+		return "", fmt.Errorf("eval: demo procedures missing")
+	}
+	qp, tp := q.Procs[qi], target.Exe.Procs[ti]
+	shared := qp.Set.Intersect(tp.Set)
+	var sb strings.Builder
+	sb.WriteString("Fig. 1/3: the syntactic gap and its canonical bridge\n\n")
+	fmt.Fprintf(&sb, "query  %s: %d canonical strands (gcc52-O2 profile)\n", cve.Procedure, qp.Set.Size())
+	fmt.Fprintf(&sb, "target %s: %d canonical strands (%s tool chain, stripped as %s)\n",
+		cve.Procedure, tp.Set.Size(), target.Vendor, tp.Name)
+	fmt.Fprintf(&sb, "shared canonical strands: %d (Sim)\n", shared)
+	return sb.String(), nil
+}

@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"firmup/internal/corpus"
+	_ "firmup/internal/isa/arm"
+	_ "firmup/internal/isa/mips"
+	_ "firmup/internal/isa/ppc"
+	_ "firmup/internal/isa/x86"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+// testEnv builds the default-scale environment once for all tests.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = Prepare(corpus.DefaultScale())
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestPrepare(t *testing.T) {
+	env := testEnv(t)
+	if len(env.Units) == 0 {
+		t.Fatal("no units")
+	}
+	for _, u := range env.Units {
+		if u.Exe == nil || len(u.Exe.Procs) == 0 {
+			t.Errorf("unit %s not indexed", u.Key)
+		}
+		if len(u.Occurrences) == 0 {
+			t.Errorf("unit %s has no occurrences", u.Key)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := Table2(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(res.Rows))
+	}
+	confirmed, _ := res.TotalConfirmed()
+	if confirmed == 0 {
+		t.Fatal("no confirmed findings at all")
+	}
+	totalFP := 0
+	for _, row := range res.Rows {
+		totalFP += row.FPs
+		t.Logf("%-14s %-28s confirmed=%d fps=%d patched=%d missed=%d latest=%d vendors=%v",
+			row.CVE, row.Procedure, row.Confirmed, row.FPs, row.Patched, row.Missed, row.Latest, row.Vendors)
+	}
+	// Shape: confirmed findings dominate false positives overall.
+	if totalFP*3 > confirmed {
+		t.Errorf("FP rate too high: %d FPs vs %d confirmed", totalFP, confirmed)
+	}
+	out := res.Format()
+	if !strings.Contains(out, "CVE-2014-4877") {
+		t.Error("format missing rows")
+	}
+}
+
+func TestCompareBinDiffShape(t *testing.T) {
+	env := testEnv(t)
+	res, err := CompareBinDiff(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuP, fuFP, fuFN, blP, blFP, blFN := res.Rates()
+	t.Logf("FirmUp P/FP/FN = %d/%d/%d, BinDiff = %d/%d/%d", fuP, fuFP, fuFN, blP, blFP, blFN)
+	fuT := fuP + fuFP + fuFN
+	blT := blP + blFP + blFN
+	if fuT == 0 || blT == 0 {
+		t.Fatal("no labeled targets")
+	}
+	// The paper's Fig. 6 shape: FirmUp's success rate far above BinDiff's.
+	fuRate := float64(fuP) / float64(fuT)
+	blRate := float64(blP) / float64(blT)
+	if fuRate < 0.75 {
+		t.Errorf("FirmUp labeled success rate %.2f too low", fuRate)
+	}
+	if fuRate <= blRate {
+		t.Errorf("FirmUp (%.2f) must beat BinDiff (%.2f)", fuRate, blRate)
+	}
+	t.Log("\n" + res.Format())
+}
+
+func TestCompareGitZShape(t *testing.T) {
+	env := testEnv(t)
+	res, err := CompareGitZ(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(res.Rows))
+	}
+	fuP, fuFP, fuFN, blP, blFP, blFN := res.Rates()
+	t.Logf("FirmUp P/FP/FN = %d/%d/%d, GitZ = %d/%d/%d", fuP, fuFP, fuFN, blP, blFP, blFN)
+	fuT := fuP + fuFP + fuFN
+	blT := blP + blFP + blFN
+	fuFalse := float64(fuFP+fuFN) / float64(fuT)
+	blFalse := float64(blFP+blFN) / float64(blT)
+	// The paper's Fig. 8 shape: FirmUp's false rate well below GitZ's.
+	if fuFalse >= blFalse {
+		t.Errorf("FirmUp false rate %.2f must be below GitZ %.2f", fuFalse, blFalse)
+	}
+	t.Log("\n" + res.Format())
+	t.Log("\n" + FormatFig9(res))
+	// Fig. 9 shape: most matches need one step; the ablated engine is
+	// no better than the full game.
+	buckets := Fig9Buckets(res.StepsHistogram)
+	if buckets[0].Count == 0 {
+		t.Error("no one-step matches at all")
+	}
+	if res.NoGameP > fuP {
+		t.Errorf("ablation (%d) outperformed the game (%d)", res.NoGameP, fuP)
+	}
+}
+
+func TestGameTraceRenders(t *testing.T) {
+	env := testEnv(t)
+	out, err := GameTrace(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Game over") {
+		t.Errorf("trace output:\n%s", out)
+	}
+	t.Log("\n" + out)
+}
+
+func TestCallGraphsRender(t *testing.T) {
+	env := testEnv(t)
+	out, err := CallGraphs(env)
+	if err != nil {
+		t.Skip("no NETGEAR wget in default scale:", err)
+	}
+	if !strings.Contains(out, "Query executable") {
+		t.Error("missing query graph")
+	}
+	t.Log("\n" + out)
+}
+
+func TestStrandDemoRenders(t *testing.T) {
+	env := testEnv(t)
+	out, err := StrandDemo(env)
+	if err != nil {
+		t.Skip("demo target unavailable at this scale:", err)
+	}
+	if !strings.Contains(out, "shared canonical strands") {
+		t.Error("demo incomplete")
+	}
+	t.Log("\n" + out)
+}

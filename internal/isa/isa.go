@@ -1,0 +1,245 @@
+// Package isa hosts the machine layer: per-architecture backends that
+// turn MIR into encoded machine code (codegen + assembler) and back into
+// UIR (disassembler + lifter), plus the shared register allocator,
+// scheduler and layout driver they all use.
+//
+// The four backends — mips, arm, ppc and x86 — model the four prevalent
+// embedded architectures the paper evaluates. They are synthetic ISAs,
+// faithful in spirit: fixed 32-bit big-endian words with branch delay
+// slots for MIPS, condition flags and a link register for ARM, cr0-based
+// compares for PPC, and variable-length two-operand encodings with EFLAGS
+// and stack-passed arguments for x86.
+package isa
+
+import (
+	"fmt"
+	"sort"
+
+	"firmup/internal/mir"
+	"firmup/internal/uir"
+)
+
+// Options are the codegen-side tool chain knobs (see compiler.Profile).
+type Options struct {
+	// TextBase is the load address of the text section.
+	TextBase uint32
+	// RegSeed permutes register-allocation preference order.
+	RegSeed uint64
+	// SchedSeed perturbs within-block instruction scheduling.
+	SchedSeed uint64
+	// MulByShift lowers multiplication by a power of two to a shift.
+	MulByShift bool
+	// ShuffleProcs permutes procedure layout order.
+	ShuffleProcs bool
+	// FillDelaySlots makes delay-slot architectures (MIPS) hoist the
+	// preceding instruction into branch/call delay slots when safe,
+	// instead of padding with a nop — the tool-chain behavior behind the
+	// paper's delay-slot lifting caveat (the first instruction of the
+	// following block ends up attached to the branch).
+	FillDelaySlots bool
+}
+
+// Sym is a named address range inside an artifact section.
+type Sym struct {
+	Name string
+	Addr uint32
+	Size uint32
+}
+
+// Artifact is the output of code generation for one package: encoded text
+// and data with symbol tables, prior to container packaging.
+type Artifact struct {
+	Arch     uir.Arch
+	TextBase uint32
+	Text     []byte
+	DataBase uint32
+	Data     []byte
+	Procs    []Sym
+	Globals  []Sym
+}
+
+// ProcSym returns the symbol for a procedure, if present.
+func (a *Artifact) ProcSym(name string) (Sym, bool) {
+	for _, s := range a.Procs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sym{}, false
+}
+
+// GlobalSym returns the symbol for a global, if present.
+func (a *Artifact) GlobalSym(name string) (Sym, bool) {
+	for _, s := range a.Globals {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sym{}, false
+}
+
+// InstKind classifies decoded instructions for CFG recovery.
+type InstKind uint8
+
+// Decoded-instruction kinds.
+const (
+	KindNormal     InstKind = iota
+	KindJump                // unconditional direct jump
+	KindCondBranch          // conditional direct branch (falls through otherwise)
+	KindCall                // direct call
+	KindRet                 // procedure return
+	KindIndirect            // indirect jump
+)
+
+// Inst is one decoded machine instruction, the unit shared by the CFG
+// recoverer, the lifter and disassembly dumps.
+type Inst struct {
+	Addr     uint32
+	Size     uint32
+	Raw      uint64 // raw bits (up to 8 bytes for x86)
+	Mnemonic string
+	Kind     InstKind
+	Target   uint32 // branch/call destination for direct transfers
+	// HasDelay is set on MIPS branches: the following instruction
+	// executes before the transfer and belongs to this block.
+	HasDelay bool
+}
+
+// Backend is one target architecture: code generation, decoding and
+// lifting.
+type Backend interface {
+	// Arch identifies the architecture.
+	Arch() uir.Arch
+	// ABI describes the calling convention the backend implements.
+	ABI() *uir.ABI
+	// Generate compiles a MIR package to an artifact.
+	Generate(pkg *mir.Package, opt Options) (*Artifact, error)
+	// Decode decodes the instruction at text[off:]; addr is its address.
+	Decode(text []byte, off int, addr uint32) (Inst, error)
+	// Lift appends the UIR statements for inst to lb.
+	Lift(inst Inst, lb *LiftBuilder) error
+	// MinInstSize is the smallest legal instruction length, used by
+	// recovery sweeps.
+	MinInstSize() uint32
+}
+
+// Backends returns all registered backends keyed by architecture. The
+// per-arch constructors live in the subpackages; registration happens in
+// their init functions via Register.
+func Backends() map[uir.Arch]Backend {
+	out := make(map[uir.Arch]Backend, len(registry))
+	for k, v := range registry {
+		out[k] = v
+	}
+	return out
+}
+
+var registry = map[uir.Arch]Backend{}
+
+// Register installs a backend; called from subpackage init functions.
+func Register(b Backend) { registry[b.Arch()] = b }
+
+// ByArch returns the backend for arch.
+func ByArch(a uir.Arch) (Backend, error) {
+	b, ok := registry[a]
+	if !ok {
+		return nil, fmt.Errorf("isa: no backend registered for %v", a)
+	}
+	return b, nil
+}
+
+// LiftBuilder accumulates UIR statements for a basic block, allocating
+// SSA temporaries.
+type LiftBuilder struct {
+	Stmts []uir.Stmt
+	next  uir.Temp
+}
+
+// NewTemp allocates a fresh temporary.
+func (lb *LiftBuilder) NewTemp() uir.Temp {
+	t := lb.next
+	lb.next++
+	return t
+}
+
+// Emit appends a statement.
+func (lb *LiftBuilder) Emit(s uir.Stmt) { lb.Stmts = append(lb.Stmts, s) }
+
+// GetReg emits a register read and returns the temp.
+func (lb *LiftBuilder) GetReg(r uir.Reg) uir.Temp {
+	t := lb.NewTemp()
+	lb.Emit(uir.Get{Dst: t, Reg: r})
+	return t
+}
+
+// PutReg emits a register write.
+func (lb *LiftBuilder) PutReg(r uir.Reg, src uir.Operand) {
+	lb.Emit(uir.Put{Reg: r, Src: src})
+}
+
+// Bin emits a binary op and returns the result temp.
+func (lb *LiftBuilder) Bin(op uir.Op, a, b uir.Operand) uir.Temp {
+	t := lb.NewTemp()
+	lb.Emit(uir.Bin{Dst: t, Op: op, A: a, B: b})
+	return t
+}
+
+// Un emits a unary op and returns the result temp.
+func (lb *LiftBuilder) Un(op uir.Op, a uir.Operand) uir.Temp {
+	t := lb.NewTemp()
+	lb.Emit(uir.Un{Dst: t, Op: op, A: a})
+	return t
+}
+
+// rng is a small deterministic PRNG (splitmix64) used for the seeded
+// tool-chain perturbations; math/rand would also do, but a local
+// implementation keeps streams stable across Go releases.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed + 0x9E3779B97F4A7C15} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// permuteRegs returns a seeded permutation of regs (seed 0 = identity).
+func permuteRegs(regs []uir.Reg, seed uint64) []uir.Reg {
+	out := append([]uir.Reg(nil), regs...)
+	if seed == 0 {
+		return out
+	}
+	r := newRNG(seed)
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// shuffleOrder returns a seeded permutation of 0..n-1.
+func shuffleOrder(n int, seed uint64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	if seed == 0 {
+		return out
+	}
+	r := newRNG(seed)
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// sortSyms orders symbols by address; recovery code expects this.
+func sortSyms(syms []Sym) {
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Addr < syms[j].Addr })
+}

@@ -1,0 +1,242 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+
+	"firmup/internal/mir"
+	"firmup/internal/uir"
+)
+
+// buildLoopProc makes a procedure with a loop so liveness must extend
+// intervals across back edges: v0 (param) and an accumulator live through
+// the loop.
+func buildLoopProc(nTemps int) *mir.Proc {
+	p := &mir.Proc{Name: "loop", NParams: 1, NVRegs: 1}
+	acc := p.NewVReg()
+	i := p.NewVReg()
+	one := p.NewVReg()
+	cond := p.NewVReg()
+	sum := p.NewVReg()
+	inext := p.NewVReg()
+	extra := make([]mir.VReg, nTemps)
+	for k := range extra {
+		extra[k] = p.NewVReg()
+	}
+	b0 := &mir.Block{ID: 0, Instrs: []mir.Instr{
+		{Kind: mir.KMovConst, Dst: acc, Const: 0},
+		{Kind: mir.KMovConst, Dst: i, Const: 0},
+		{Kind: mir.KMovConst, Dst: one, Const: 1},
+	}, Term: mir.Term{Kind: mir.TJump, True: 1}}
+	head := &mir.Block{ID: 1, Instrs: []mir.Instr{
+		{Kind: mir.KBin, Op: uir.OpCmpLTS, Dst: cond, A: i, B: 0},
+	}, Term: mir.Term{Kind: mir.TBranch, Cond: cond, True: 2, False: 3}}
+	body := &mir.Block{ID: 2, Term: mir.Term{Kind: mir.TJump, True: 1}}
+	body.Instrs = append(body.Instrs,
+		mir.Instr{Kind: mir.KBin, Op: uir.OpAdd, Dst: sum, A: acc, B: i},
+		mir.Instr{Kind: mir.KMovReg, Dst: acc, A: sum},
+	)
+	for k, r := range extra {
+		src := mir.VReg(0)
+		if k > 0 {
+			src = extra[k-1]
+		}
+		body.Instrs = append(body.Instrs, mir.Instr{Kind: mir.KBin, Op: uir.OpAdd, Dst: r, A: src, B: one})
+	}
+	// Use every extra temp so they are simultaneously live.
+	for _, r := range extra {
+		body.Instrs = append(body.Instrs, mir.Instr{Kind: mir.KBin, Op: uir.OpXor, Dst: sum, A: r, B: acc})
+		body.Instrs = append(body.Instrs, mir.Instr{Kind: mir.KMovReg, Dst: acc, A: sum})
+	}
+	body.Instrs = append(body.Instrs, mir.Instr{Kind: mir.KBin, Op: uir.OpAdd, Dst: inext, A: i, B: one},
+		mir.Instr{Kind: mir.KMovReg, Dst: i, A: inext})
+	exit := &mir.Block{ID: 3, Term: mir.Term{Kind: mir.TRet, RetVal: acc}}
+	p.Blocks = []*mir.Block{b0, head, body, exit}
+	return p
+}
+
+func TestAllocateRegsNoAliasingLiveRanges(t *testing.T) {
+	p := buildLoopProc(3)
+	regs := []uir.Reg{16, 17, 18, 19}
+	asn, spills := allocateRegs(p, regs)
+	// Every vreg is either assigned or spilled, never both.
+	for v := mir.VReg(0); v < mir.VReg(p.NVRegs); v++ {
+		_, hasReg := asn.reg[v]
+		spilled := false
+		for _, s := range asn.spillIdx {
+			if s == v {
+				spilled = true
+			}
+		}
+		if hasReg && spilled {
+			t.Errorf("v%d both assigned and spilled", v)
+		}
+	}
+	// Loop-carried registers must not share a physical register with
+	// temporaries live in the same blocks.
+	start, end := liveIntervals(p)
+	for a, ra := range asn.reg {
+		for b, rb := range asn.reg {
+			if a >= b || ra != rb {
+				continue
+			}
+			if start[a] <= end[b] && start[b] <= end[a] {
+				t.Errorf("v%d and v%d share r%d with overlapping intervals [%d,%d] [%d,%d]",
+					a, b, ra, start[a], end[a], start[b], end[b])
+			}
+		}
+	}
+	_ = spills
+}
+
+func TestAllocateRegsSpillsUnderPressure(t *testing.T) {
+	p := buildLoopProc(12)
+	_, spills := allocateRegs(p, []uir.Reg{16, 17})
+	if spills == 0 {
+		t.Error("expected spills with 2 registers and 12 live temps")
+	}
+}
+
+func TestLiveIntervalsCoverLoop(t *testing.T) {
+	p := buildLoopProc(1)
+	start, end := liveIntervals(p)
+	// The accumulator (v1) is defined in block 0 and live through the
+	// loop (blocks 1-2) until the return in block 3.
+	acc := mir.VReg(1)
+	if start[acc] != 0 || end[acc] != 3 {
+		t.Errorf("acc interval = [%d,%d], want [0,3]", start[acc], end[acc])
+	}
+}
+
+// The scheduler must preserve dependences: for random blocks, every
+// register value produced under any seed must match the original order's
+// semantics (checked structurally: defs precede uses, memory order kept).
+func TestScheduleRespectsDependences(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		p := &mir.Proc{Name: "s", NParams: 2, NVRegs: 2}
+		b := &mir.Block{ID: 0, Term: mir.Term{Kind: mir.TRet, RetVal: 0}}
+		n := 3 + rng.Intn(12)
+		var defined []mir.VReg
+		defined = append(defined, 0, 1)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				d := p.NewVReg()
+				b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.KBin, Op: uir.OpAdd, Dst: d,
+					A: defined[rng.Intn(len(defined))], B: defined[rng.Intn(len(defined))]})
+				defined = append(defined, d)
+			case 2:
+				b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.KStore, A: defined[rng.Intn(len(defined))],
+					B: defined[rng.Intn(len(defined))], Size: 4})
+			default:
+				d := p.NewVReg()
+				b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.KLoad, Dst: d,
+					A: defined[rng.Intn(len(defined))], Size: 4})
+				defined = append(defined, d)
+			}
+		}
+		out := schedule(b, uint64(trial+1))
+		if len(out) != len(b.Instrs) {
+			t.Fatalf("trial %d: schedule dropped instructions", trial)
+		}
+		// Defs must precede uses.
+		pos := map[mir.VReg]int{0: -1, 1: -1}
+		for i, in := range out {
+			for _, u := range in.Uses() {
+				if _, ok := pos[u]; !ok {
+					t.Fatalf("trial %d: use of v%d before def at %d", trial, u, i)
+				}
+			}
+			if d := in.Def(); d != mir.NoReg {
+				if _, dup := pos[d]; dup && d > 1 {
+					t.Fatalf("trial %d: double def of v%d", trial, d)
+				}
+				pos[d] = i
+			}
+		}
+		// Stores keep their relative order; loads never cross stores in
+		// either direction relative to the original order.
+		var origMem, schedMem []int
+		memIdx := func(list []mir.Instr) []int {
+			var out []int
+			for i, in := range list {
+				if in.Kind == mir.KStore {
+					out = append(out, i)
+					_ = i
+				}
+			}
+			return out
+		}
+		origMem = memIdx(b.Instrs)
+		schedMem = memIdx(out)
+		if len(origMem) != len(schedMem) {
+			t.Fatalf("trial %d: store count changed", trial)
+		}
+	}
+}
+
+func TestScheduleSeedZeroIsIdentity(t *testing.T) {
+	p := &mir.Proc{Name: "s", NParams: 1, NVRegs: 1}
+	b := &mir.Block{ID: 0}
+	for i := 0; i < 5; i++ {
+		d := p.NewVReg()
+		b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.KMovConst, Dst: d, Const: uint32(i)})
+	}
+	out := schedule(b, 0)
+	for i := range out {
+		if out[i].Const != b.Instrs[i].Const {
+			t.Fatal("seed 0 must keep source order")
+		}
+	}
+}
+
+func TestPermuteRegsStableForSeedZero(t *testing.T) {
+	regs := []uir.Reg{1, 2, 3, 4, 5}
+	got := permuteRegs(regs, 0)
+	for i := range regs {
+		if got[i] != regs[i] {
+			t.Fatal("seed 0 must be identity")
+		}
+	}
+	a := permuteRegs(regs, 42)
+	bb := permuteRegs(regs, 42)
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatal("permutation not deterministic")
+		}
+	}
+}
+
+func TestShuffleOrderIsPermutation(t *testing.T) {
+	got := shuffleOrder(10, 7)
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("not a permutation: %v", got)
+		}
+		seen[v] = true
+	}
+}
+
+func TestArtifactSymbolLookup(t *testing.T) {
+	art := &Artifact{
+		Procs:   []Sym{{Name: "f", Addr: 0x100, Size: 4}},
+		Globals: []Sym{{Name: "g", Addr: 0x200, Size: 8}},
+	}
+	if s, ok := art.ProcSym("f"); !ok || s.Addr != 0x100 {
+		t.Error("ProcSym")
+	}
+	if _, ok := art.ProcSym("nope"); ok {
+		t.Error("ProcSym false positive")
+	}
+	if s, ok := art.GlobalSym("g"); !ok || s.Size != 8 {
+		t.Error("GlobalSym")
+	}
+}
+
+func TestByArchErrors(t *testing.T) {
+	if _, err := ByArch(uir.ArchNone); err == nil {
+		t.Error("unregistered arch must error")
+	}
+}

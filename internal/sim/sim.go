@@ -1,0 +1,178 @@
+// Package sim builds the indexed procedure representation the search
+// layers operate on: every procedure of an executable as a set of hashed
+// canonical strands, plus call-graph and CFG shape metadata used by the
+// graph-based baseline, with an inverted strand index for fast
+// best-match queries (the paper's Sim(q,t) = |Strands(q) ∩ Strands(t)|).
+package sim
+
+import (
+	"sort"
+
+	"firmup/internal/cfg"
+	"firmup/internal/isa"
+	"firmup/internal/strand"
+	"firmup/internal/uir"
+)
+
+// Proc is one indexed procedure.
+type Proc struct {
+	Name     string
+	Addr     uint32
+	Exported bool
+	Set      strand.Set
+	// Markers are the procedure's distinctive plain constants, used by
+	// the automated confirmation step (see strand.ConstMarkers).
+	Markers []uint32
+	// CFG/call-graph shape, consumed by the BinDiff-style baseline.
+	BlockCount int
+	EdgeCount  int
+	InstCount  int
+	Calls      []int // indices of called procedures within the executable
+	CalledBy   []int
+}
+
+// Exe is one indexed executable.
+type Exe struct {
+	Path  string
+	Arch  uir.Arch
+	Procs []*Proc
+	// Stripped mirrors the container flag.
+	Stripped bool
+	index    map[uint64][]int32
+}
+
+// Build indexes a recovered executable.
+func Build(path string, rec *cfg.Recovered) *Exe {
+	be, err := isa.ByArch(rec.Arch)
+	var abi *uir.ABI
+	if err == nil {
+		abi = be.ABI()
+	}
+	opt := &strand.Options{ABI: abi, Sections: rec.File.Map()}
+	e := &Exe{Path: path, Arch: rec.Arch, Stripped: rec.File.Stripped}
+	entryIdx := map[uint32]int{}
+	for i, p := range rec.Procs {
+		entryIdx[p.Entry] = i
+	}
+	for _, p := range rec.Procs {
+		sp := &Proc{
+			Name:       p.Name,
+			Addr:       p.Entry,
+			Exported:   p.Exported,
+			Set:        strand.FromBlocks(p.Blocks, opt),
+			Markers:    strand.ConstMarkers(p.Blocks, opt),
+			BlockCount: len(p.Blocks),
+			InstCount:  len(p.Insts),
+		}
+		for _, b := range p.Blocks {
+			sp.EdgeCount += len(b.Succs())
+		}
+		seenCall := map[int]bool{}
+		for _, in := range p.Insts {
+			if in.Kind == isa.KindCall {
+				if ti, ok := entryIdx[in.Target]; ok && !seenCall[ti] {
+					seenCall[ti] = true
+					sp.Calls = append(sp.Calls, ti)
+				}
+			}
+		}
+		e.Procs = append(e.Procs, sp)
+	}
+	for i, p := range e.Procs {
+		for _, c := range p.Calls {
+			e.Procs[c].CalledBy = append(e.Procs[c].CalledBy, i)
+		}
+	}
+	e.buildIndex()
+	return e
+}
+
+// FromProcs assembles an executable directly from procedures (used by
+// tests and synthetic scenarios).
+func FromProcs(path string, procs []*Proc) *Exe {
+	e := &Exe{Path: path, Procs: procs}
+	e.buildIndex()
+	return e
+}
+
+func (e *Exe) buildIndex() {
+	e.index = map[uint64][]int32{}
+	for i, p := range e.Procs {
+		for _, h := range p.Set.Hashes {
+			e.index[h] = append(e.index[h], int32(i))
+		}
+	}
+}
+
+// ProcByName returns the index of the named procedure, or -1.
+func (e *Exe) ProcByName(name string) int {
+	for i, p := range e.Procs {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Sim computes the paper's similarity score between an external strand
+// set and procedure i.
+func (e *Exe) Sim(q strand.Set, i int) int {
+	return q.Intersect(e.Procs[i].Set)
+}
+
+// SimAll computes Sim(q, t) for every procedure via the inverted index:
+// one counter bump per (query strand, containing procedure) pair.
+func (e *Exe) SimAll(q strand.Set) []int {
+	counts := make([]int, len(e.Procs))
+	for _, h := range q.Hashes {
+		for _, pi := range e.index[h] {
+			counts[pi]++
+		}
+	}
+	return counts
+}
+
+// BestMatch returns the procedure with maximal Sim to q, skipping indices
+// for which excluded returns true. Ties break toward the lower index
+// (deterministic). Returns (-1, 0) when no candidate shares any strand.
+func (e *Exe) BestMatch(q strand.Set, excluded func(int) bool) (int, int) {
+	counts := e.SimAll(q)
+	best, bestScore := -1, 0
+	for i, c := range counts {
+		if c == 0 || (excluded != nil && excluded(i)) {
+			continue
+		}
+		if c > bestScore {
+			best, bestScore = i, c
+		}
+	}
+	return best, bestScore
+}
+
+// TopK returns the k most similar procedures in descending score order
+// (procedures sharing no strands are omitted).
+func (e *Exe) TopK(q strand.Set, k int) []Scored {
+	counts := e.SimAll(q)
+	var out []Scored
+	for i, c := range counts {
+		if c > 0 {
+			out = append(out, Scored{Proc: i, Score: float64(c)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Scored pairs a procedure index with a score.
+type Scored struct {
+	Proc  int
+	Score float64
+}

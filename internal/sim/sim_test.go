@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"firmup/internal/cfg"
+	"firmup/internal/compiler"
+	"firmup/internal/isa"
+	"firmup/internal/isa/isatest"
+	_ "firmup/internal/isa/mips"
+	"firmup/internal/obj"
+	"firmup/internal/strand"
+	"firmup/internal/uir"
+)
+
+func mk(name string, hashes ...uint64) *Proc {
+	s := append([]uint64(nil), hashes...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return &Proc{Name: name, Set: strand.Set{Hashes: s}}
+}
+
+func TestSimAllMatchesDirectIntersect(t *testing.T) {
+	e := FromProcs("T", []*Proc{
+		mk("a", 1, 2, 3),
+		mk("b", 3, 4),
+		mk("c", 9),
+	})
+	q := strand.Set{Hashes: []uint64{2, 3, 4}}
+	counts := e.SimAll(q)
+	want := []int{2, 2, 0}
+	for i := range counts {
+		if counts[i] != want[i] {
+			t.Errorf("SimAll[%d] = %d, want %d", i, counts[i], want[i])
+		}
+		if got := e.Sim(q, i); got != want[i] {
+			t.Errorf("Sim(%d) = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+// Property: the index-accelerated SimAll always equals the direct sorted
+// intersection for random sets.
+func TestSimAllProperty(t *testing.T) {
+	f := func(qraw, araw, braw []uint8) bool {
+		toSet := func(raw []uint8) strand.Set {
+			seen := map[uint64]bool{}
+			var out []uint64
+			for _, x := range raw {
+				h := uint64(x % 32)
+				if !seen[h] {
+					seen[h] = true
+					out = append(out, h)
+				}
+			}
+			for i := 1; i < len(out); i++ {
+				for j := i; j > 0 && out[j] < out[j-1]; j-- {
+					out[j], out[j-1] = out[j-1], out[j]
+				}
+			}
+			return strand.Set{Hashes: out}
+		}
+		q := toSet(qraw)
+		pa := &Proc{Name: "a", Set: toSet(araw)}
+		pb := &Proc{Name: "b", Set: toSet(braw)}
+		e := FromProcs("T", []*Proc{pa, pb})
+		counts := e.SimAll(q)
+		return counts[0] == q.Intersect(pa.Set) && counts[1] == q.Intersect(pb.Set)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestMatchExclusionAndTies(t *testing.T) {
+	e := FromProcs("T", []*Proc{
+		mk("a", 1, 2),
+		mk("b", 1, 2),
+		mk("c", 1),
+	})
+	q := strand.Set{Hashes: []uint64{1, 2}}
+	best, score := e.BestMatch(q, nil)
+	if best != 0 || score != 2 {
+		t.Errorf("tie must break to the lower index: got %d (%d)", best, score)
+	}
+	best, _ = e.BestMatch(q, func(i int) bool { return i == 0 })
+	if best != 1 {
+		t.Errorf("exclusion ignored: got %d", best)
+	}
+	best, _ = e.BestMatch(strand.Set{Hashes: []uint64{77}}, nil)
+	if best != -1 {
+		t.Errorf("no shared strands must yield -1, got %d", best)
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	e := FromProcs("T", []*Proc{
+		mk("a", 1),
+		mk("b", 1, 2),
+		mk("c", 1, 2, 3),
+		mk("d", 9),
+	})
+	q := strand.Set{Hashes: []uint64{1, 2, 3}}
+	top := e.TopK(q, 10)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].Proc != 2 || top[1].Proc != 1 || top[2].Proc != 0 {
+		t.Errorf("order = %v", top)
+	}
+	if got := e.TopK(q, 2); len(got) != 2 {
+		t.Errorf("cutoff failed: %v", got)
+	}
+}
+
+func TestBuildPopulatesCallGraph(t *testing.T) {
+	pkg, err := compiler.CompileToMIR(isatest.Source, compiler.Profile{OptLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, _ := isa.ByArch(uir.ArchMIPS32)
+	art, err := be.Generate(pkg, isa.Options{TextBase: 0x400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := cfg.Recover(obj.FromArtifact(art))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Build("t", rec)
+	di := e.ProcByName("deep")
+	if di < 0 {
+		t.Fatal("deep missing")
+	}
+	d := e.Procs[di]
+	if len(d.Calls) < 3 {
+		t.Errorf("deep has %d callees, want >= 3", len(d.Calls))
+	}
+	for _, c := range d.Calls {
+		found := false
+		for _, cb := range e.Procs[c].CalledBy {
+			if cb == di {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("callee %s lacks back edge", e.Procs[c].Name)
+		}
+	}
+	if d.BlockCount == 0 || d.EdgeCount == 0 || d.InstCount == 0 {
+		t.Errorf("shape metadata empty: %+v", d)
+	}
+}
+
+func TestProcByName(t *testing.T) {
+	e := FromProcs("T", []*Proc{mk("x", 1)})
+	if e.ProcByName("x") != 0 || e.ProcByName("y") != -1 {
+		t.Error("ProcByName lookup broken")
+	}
+}

@@ -1,0 +1,212 @@
+// Package source implements firmlang, the small C-like language the
+// reproduction's package corpus is written in.
+//
+// The FirmUp paper searches for procedures that "originate from the same
+// source code" across wildly different compilations. To reproduce that
+// setting with known ground truth, the corpus packages (wget, vsftpd,
+// libcurl, ... analogs) are authored in firmlang and compiled by
+// internal/compiler to each target ISA under divergent toolchain
+// profiles. firmlang is deliberately small — 32-bit integers, global
+// scalars/arrays/strings, procedures — but expressive enough to produce
+// realistic control flow and data flow.
+package source
+
+import "fmt"
+
+// Pos is a byte offset plus line/column for diagnostics.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// File is one firmlang translation unit: a package of declarations.
+type File struct {
+	Package string
+	Version string
+	Decls   []Decl
+}
+
+// Decl is a top-level declaration.
+type Decl interface{ declNode() }
+
+// VarDecl declares a global scalar (Size == 0) or array (Size > 0),
+// optionally initialized. A string initializer allocates the bytes in the
+// read-only data section.
+type VarDecl struct {
+	Pos   Pos
+	Name  string
+	Size  int
+	Init  []int32
+	Str   string
+	IsStr bool
+}
+
+// ConstDecl declares a named integer constant.
+type ConstDecl struct {
+	Pos  Pos
+	Name string
+	Val  int32
+}
+
+// FuncDecl declares a procedure. Feature, when non-empty, names a
+// configure-style build flag: the procedure (and calls to it) are only
+// compiled when the flag is enabled, reproducing the paper's
+// --disable-opie structural-variance effect. Extern procedures have no
+// body; the linker satisfies them from the runtime shim package.
+type FuncDecl struct {
+	Pos     Pos
+	Name    string
+	Params  []string
+	Body    *BlockStmt
+	Feature string
+	Extern  bool
+}
+
+func (*VarDecl) declNode()   {}
+func (*ConstDecl) declNode() {}
+func (*FuncDecl) declNode()  {}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable with an optional initializer.
+// Locals may also be arrays (stack buffers), a common source of the
+// buffer-overflow CVEs the paper hunts.
+type DeclStmt struct {
+	Pos  Pos
+	Name string
+	Size int
+	Init Expr
+}
+
+// AssignStmt assigns to an identifier or an index expression. Op is "="
+// or a compound form ("+=", "-=", ...).
+type AssignStmt struct {
+	Pos Pos
+	LHS Expr
+	Op  string
+	RHS Expr
+}
+
+// IfStmt is a conditional with an optional else arm.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt or nil
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is the C-style three-clause loop; any clause may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // DeclStmt or AssignStmt
+	Cond Expr
+	Post Stmt // AssignStmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the procedure; Value may be nil.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// ExprStmt evaluates an expression (typically a call) for effect.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is an expression node. All values are 32-bit integers; arrays and
+// strings evaluate to their base address.
+type Expr interface{ exprNode() }
+
+// Ident references a constant, global, parameter or local.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int32
+}
+
+// StrLit evaluates to the read-only data address of its bytes
+// (NUL-terminated).
+type StrLit struct {
+	Pos Pos
+	Val string
+}
+
+// Binary applies an infix operator: + - * / % & | ^ << >>
+// == != < <= > >= && ||. Logical forms short-circuit.
+type Binary struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+}
+
+// Unary applies a prefix operator: - ! ~.
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Call invokes a procedure by name.
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// Index reads element X[I]; elements are 32-bit words for int arrays and
+// bytes for string data accessed through byteload/bytestore externs.
+type Index struct {
+	Pos Pos
+	X   Expr
+	I   Expr
+}
+
+func (*Ident) exprNode()  {}
+func (*IntLit) exprNode() {}
+func (*StrLit) exprNode() {}
+func (*Binary) exprNode() {}
+func (*Unary) exprNode()  {}
+func (*Call) exprNode()   {}
+func (*Index) exprNode()  {}

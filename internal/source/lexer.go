@@ -1,0 +1,240 @@
+package source
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkInt
+	tkString
+	tkPunct
+	tkKeyword
+)
+
+var keywords = map[string]bool{
+	"package": true, "version": true, "var": true, "const": true,
+	"func": true, "extern": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true,
+	"continue": true, "feature": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	val  int32
+	pos  Pos
+}
+
+func (t token) String() string {
+	if t.kind == tkEOF {
+		return "EOF"
+	}
+	return t.text
+}
+
+// Error is a positioned source diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{Offset: l.off, Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off+1 < len(l.src) {
+				if l.peekByte() == '*' && l.src[l.off+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &Error{start, "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-byte punctuation, longest first.
+var punct2 = []string{"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tkEOF, pos: pos}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case c == '_' || unicode.IsLetter(rune(c)):
+		start := l.off
+		for l.off < len(l.src) {
+			c := l.peekByte()
+			if c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.off]
+		if keywords[text] {
+			return token{kind: tkKeyword, text: text, pos: pos}, nil
+		}
+		return token{kind: tkIdent, text: text, pos: pos}, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.off
+		base := 10
+		if c == '0' && l.off+1 < len(l.src) && (l.src[l.off+1] == 'x' || l.src[l.off+1] == 'X') {
+			base = 16
+			l.advance()
+			l.advance()
+		}
+		for l.off < len(l.src) {
+			c := l.peekByte()
+			if unicode.IsDigit(rune(c)) || (base == 16 && isHexLetter(c)) {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.off]
+		digits := text
+		if base == 16 {
+			digits = text[2:]
+			if digits == "" {
+				return token{}, &Error{pos, "malformed hex literal"}
+			}
+		}
+		v, err := strconv.ParseUint(digits, base, 32)
+		if err != nil {
+			return token{}, &Error{pos, fmt.Sprintf("bad integer literal %q", text)}
+		}
+		return token{kind: tkInt, text: text, val: int32(uint32(v)), pos: pos}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return token{}, &Error{pos, "unterminated string literal"}
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if l.off >= len(l.src) {
+					return token{}, &Error{pos, "unterminated escape"}
+				}
+				e := l.advance()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '0':
+					sb.WriteByte(0)
+				case '\\', '"':
+					sb.WriteByte(e)
+				default:
+					return token{}, &Error{pos, fmt.Sprintf("unknown escape \\%c", e)}
+				}
+				continue
+			}
+			sb.WriteByte(c)
+		}
+		return token{kind: tkString, text: sb.String(), pos: pos}, nil
+	default:
+		for _, p := range punct2 {
+			if strings.HasPrefix(l.src[l.off:], p) {
+				for range p {
+					l.advance()
+				}
+				return token{kind: tkPunct, text: p, pos: pos}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%&|^~!<>=(){}[],;", rune(c)) {
+			l.advance()
+			return token{kind: tkPunct, text: string(c), pos: pos}, nil
+		}
+		return token{}, &Error{pos, fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+func isHexLetter(c byte) bool {
+	return (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// lexAll tokenizes the whole input; used by the parser and tests.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tkEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package source
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a File back to parseable firmlang text. The corpus
+// generator emits ASTs and prints them; parse∘print round-trips (checked
+// by property tests).
+func Print(f *File) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "package %s", f.Package)
+	if f.Version != "" {
+		fmt.Fprintf(&sb, " version %q", f.Version)
+	}
+	sb.WriteString("\n\n")
+	for _, d := range f.Decls {
+		printDecl(&sb, d)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func printDecl(sb *strings.Builder, d Decl) {
+	switch v := d.(type) {
+	case *ConstDecl:
+		fmt.Fprintf(sb, "const %s = %d;\n", v.Name, v.Val)
+	case *VarDecl:
+		fmt.Fprintf(sb, "var %s", v.Name)
+		if v.Size > 0 {
+			fmt.Fprintf(sb, "[%d]", v.Size)
+		}
+		switch {
+		case v.IsStr:
+			fmt.Fprintf(sb, " = %s", quoteString(v.Str))
+		case len(v.Init) == 1 && v.Size == 0:
+			fmt.Fprintf(sb, " = %d", v.Init[0])
+		case len(v.Init) > 0:
+			sb.WriteString(" = {")
+			for i, x := range v.Init {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(sb, "%d", x)
+			}
+			sb.WriteString("}")
+		}
+		sb.WriteString(";\n")
+	case *FuncDecl:
+		if v.Extern {
+			fmt.Fprintf(sb, "extern func %s(%s);\n", v.Name, strings.Join(v.Params, ", "))
+			return
+		}
+		if v.Feature != "" {
+			fmt.Fprintf(sb, "feature(%s) ", v.Feature)
+		}
+		fmt.Fprintf(sb, "func %s(%s) ", v.Name, strings.Join(v.Params, ", "))
+		printBlock(sb, v.Body, 0)
+		sb.WriteByte('\n')
+	}
+}
+
+func quoteString(s string) string {
+	q := strconv.Quote(s)
+	// strconv escapes NUL as \x00; the firmlang lexer expects \0.
+	return strings.ReplaceAll(q, `\x00`, `\0`)
+}
+
+func indent(sb *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		sb.WriteString("    ")
+	}
+}
+
+func printBlock(sb *strings.Builder, b *BlockStmt, depth int) {
+	sb.WriteString("{\n")
+	for _, s := range b.Stmts {
+		printStmt(sb, s, depth+1)
+	}
+	indent(sb, depth)
+	sb.WriteString("}")
+}
+
+func printStmt(sb *strings.Builder, s Stmt, depth int) {
+	indent(sb, depth)
+	switch v := s.(type) {
+	case *BlockStmt:
+		printBlock(sb, v, depth)
+		sb.WriteByte('\n')
+	case *DeclStmt:
+		fmt.Fprintf(sb, "var %s", v.Name)
+		if v.Size > 0 {
+			fmt.Fprintf(sb, "[%d]", v.Size)
+		}
+		if v.Init != nil {
+			sb.WriteString(" = ")
+			printExpr(sb, v.Init, 0)
+		}
+		sb.WriteString(";\n")
+	case *AssignStmt:
+		printExpr(sb, v.LHS, 0)
+		fmt.Fprintf(sb, " %s ", v.Op)
+		printExpr(sb, v.RHS, 0)
+		sb.WriteString(";\n")
+	case *IfStmt:
+		printIf(sb, v, depth)
+		sb.WriteByte('\n')
+	case *WhileStmt:
+		sb.WriteString("while ")
+		printExpr(sb, v.Cond, 0)
+		sb.WriteByte(' ')
+		printBlock(sb, v.Body, depth)
+		sb.WriteByte('\n')
+	case *ForStmt:
+		sb.WriteString("for ")
+		if v.Init != nil {
+			printSimple(sb, v.Init)
+		}
+		// A DeclStmt initializer already supplies the first separator when
+		// printed by printSimple.
+		sb.WriteString("; ")
+		if v.Cond != nil {
+			printExpr(sb, v.Cond, 0)
+		}
+		sb.WriteString("; ")
+		if v.Post != nil {
+			printSimple(sb, v.Post)
+		}
+		sb.WriteByte(' ')
+		printBlock(sb, v.Body, depth)
+		sb.WriteByte('\n')
+	case *ReturnStmt:
+		sb.WriteString("return")
+		if v.Value != nil {
+			sb.WriteByte(' ')
+			printExpr(sb, v.Value, 0)
+		}
+		sb.WriteString(";\n")
+	case *ExprStmt:
+		printExpr(sb, v.X, 0)
+		sb.WriteString(";\n")
+	case *BreakStmt:
+		sb.WriteString("break;\n")
+	case *ContinueStmt:
+		sb.WriteString("continue;\n")
+	}
+}
+
+func printIf(sb *strings.Builder, v *IfStmt, depth int) {
+	sb.WriteString("if ")
+	printExpr(sb, v.Cond, 0)
+	sb.WriteByte(' ')
+	printBlock(sb, v.Then, depth)
+	switch e := v.Else.(type) {
+	case nil:
+	case *IfStmt:
+		sb.WriteString(" else ")
+		printIf(sb, e, depth)
+	case *BlockStmt:
+		sb.WriteString(" else ")
+		printBlock(sb, e, depth)
+	}
+}
+
+// printSimple prints an assignment/expression/decl statement without a
+// trailing newline or semicolon (for-loop clauses).
+func printSimple(sb *strings.Builder, s Stmt) {
+	switch v := s.(type) {
+	case *AssignStmt:
+		printExpr(sb, v.LHS, 0)
+		fmt.Fprintf(sb, " %s ", v.Op)
+		printExpr(sb, v.RHS, 0)
+	case *ExprStmt:
+		printExpr(sb, v.X, 0)
+	case *DeclStmt:
+		fmt.Fprintf(sb, "var %s", v.Name)
+		if v.Init != nil {
+			sb.WriteString(" = ")
+			printExpr(sb, v.Init, 0)
+		}
+	}
+}
+
+// printExpr prints with minimal parentheses using the parser's precedence
+// table; parent is the enclosing precedence level.
+func printExpr(sb *strings.Builder, e Expr, parent int) {
+	switch v := e.(type) {
+	case *Ident:
+		sb.WriteString(v.Name)
+	case *IntLit:
+		fmt.Fprintf(sb, "%d", v.Val)
+	case *StrLit:
+		sb.WriteString(quoteString(v.Val))
+	case *Unary:
+		sb.WriteString(v.Op)
+		printExpr(sb, v.X, 10)
+	case *Binary:
+		prec := binPrec[v.Op]
+		if prec < parent {
+			sb.WriteByte('(')
+		}
+		printExpr(sb, v.X, prec)
+		fmt.Fprintf(sb, " %s ", v.Op)
+		printExpr(sb, v.Y, prec+1)
+		if prec < parent {
+			sb.WriteByte(')')
+		}
+	case *Call:
+		sb.WriteString(v.Name)
+		sb.WriteByte('(')
+		for i, a := range v.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, a, 0)
+		}
+		sb.WriteByte(')')
+	case *Index:
+		printExpr(sb, v.X, 11)
+		sb.WriteByte('[')
+		printExpr(sb, v.I, 0)
+		sb.WriteByte(']')
+	}
+}

@@ -1,0 +1,442 @@
+// Package strand implements procedure decomposition into canonical
+// strands — the representation at the core of the paper's similarity
+// metric.
+//
+// A lifted basic block is decomposed into data-flow slices (Algorithm 1),
+// each slice is brought to a succinct canonical form (standing in for the
+// paper's LLVM `opt` re-optimization: constant folding and propagation,
+// expression simplification, instruction combining, common-subexpression
+// elimination and dead-code elimination), offsets into the binary's code
+// and data sections are eliminated while stack and struct offsets are
+// retained, input registers are folded into positional arguments, names
+// are normalized by order of appearance, and the rendered text is hashed.
+package strand
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"firmup/internal/uir"
+)
+
+// Node kinds of the expression DAG.
+type nodeKind uint8
+
+const (
+	nConst   nodeKind = iota
+	nInput            // architectural register read before written
+	nCallRes          // value produced by the k-th call in the block
+	nLoad             // memory read with no dominating store in the block
+	nBin
+	nUn
+	nSel
+)
+
+// node is a hash-consed DAG node; equal structure ⇒ identical pointer
+// within one builder.
+type node struct {
+	kind    nodeKind
+	op      uir.Op
+	val     uint32
+	reg     uir.Reg
+	idx     int   // call index for nCallRes
+	size    uint8 // load size
+	a, b, c *node
+}
+
+// builder constructs and canonicalizes DAG nodes for one basic block.
+type builder struct {
+	cons  map[string]*node
+	blind map[*node]string
+}
+
+func newBuilder() *builder {
+	return &builder{cons: map[string]*node{}, blind: map[*node]string{}}
+}
+
+// intern hash-conses a node.
+func (bd *builder) intern(n node) *node {
+	k := identKey(&n)
+	if p, ok := bd.cons[k]; ok {
+		return p
+	}
+	p := new(node)
+	*p = n
+	bd.cons[k] = p
+	return p
+}
+
+// identKey is the identity-full structural key used for hash-consing.
+func identKey(n *node) string {
+	var sb strings.Builder
+	writeIdentKey(&sb, n)
+	return sb.String()
+}
+
+func writeIdentKey(sb *strings.Builder, n *node) {
+	switch n.kind {
+	case nConst:
+		fmt.Fprintf(sb, "c%x", n.val)
+	case nInput:
+		fmt.Fprintf(sb, "i%d", n.reg)
+	case nCallRes:
+		fmt.Fprintf(sb, "r%d", n.idx)
+	case nLoad:
+		fmt.Fprintf(sb, "l%d(", n.size)
+		writeIdentKey(sb, n.a)
+		sb.WriteByte(')')
+	case nBin:
+		fmt.Fprintf(sb, "b%d(", n.op)
+		writeIdentKey(sb, n.a)
+		sb.WriteByte(',')
+		writeIdentKey(sb, n.b)
+		sb.WriteByte(')')
+	case nUn:
+		fmt.Fprintf(sb, "u%d(", n.op)
+		writeIdentKey(sb, n.a)
+		sb.WriteByte(')')
+	case nSel:
+		sb.WriteString("s(")
+		writeIdentKey(sb, n.a)
+		sb.WriteByte(',')
+		writeIdentKey(sb, n.b)
+		sb.WriteByte(',')
+		writeIdentKey(sb, n.c)
+		sb.WriteByte(')')
+	}
+}
+
+// blindKey is the register-identity-blind structural key used for
+// commutative operand ordering, so that two compilations assigning
+// different registers order operands the same way.
+func (bd *builder) blindKey(n *node) string {
+	if k, ok := bd.blind[n]; ok {
+		return k
+	}
+	var sb strings.Builder
+	switch n.kind {
+	case nConst:
+		// Constants rank last so canonical operand order is
+		// expression-then-constant (LLVM style).
+		fmt.Fprintf(&sb, "9c%x", n.val)
+	case nInput:
+		sb.WriteString("1i")
+	case nCallRes:
+		sb.WriteString("1r")
+	case nLoad:
+		fmt.Fprintf(&sb, "2l%d(%s)", n.size, bd.blindKey(n.a))
+	case nBin:
+		fmt.Fprintf(&sb, "3b%02d(%s,%s)", n.op, bd.blindKey(n.a), bd.blindKey(n.b))
+	case nUn:
+		fmt.Fprintf(&sb, "3u%02d(%s)", n.op, bd.blindKey(n.a))
+	case nSel:
+		fmt.Fprintf(&sb, "3s(%s,%s,%s)", bd.blindKey(n.a), bd.blindKey(n.b), bd.blindKey(n.c))
+	}
+	k := sb.String()
+	bd.blind[n] = k
+	return k
+}
+
+func (bd *builder) konst(v uint32) *node  { return bd.intern(node{kind: nConst, val: v}) }
+func (bd *builder) input(r uir.Reg) *node { return bd.intern(node{kind: nInput, reg: r}) }
+func (bd *builder) callRes(idx int) *node { return bd.intern(node{kind: nCallRes, idx: idx}) }
+func (bd *builder) load(addr *node, size uint8) *node {
+	return bd.intern(node{kind: nLoad, a: addr, size: size})
+}
+
+// maxBits returns an upper bound on the number of significant low bits of
+// the node's value, or 32 when unknown. Used for mask elimination.
+func maxBits(n *node) int {
+	switch n.kind {
+	case nConst:
+		b := 0
+		for v := n.val; v != 0; v >>= 1 {
+			b++
+		}
+		return b
+	case nLoad:
+		return int(n.size) * 8
+	case nBin:
+		if n.op.IsCompare() {
+			return 1
+		}
+		if n.op == uir.OpAnd {
+			return min(maxBits(n.a), maxBits(n.b))
+		}
+	case nUn:
+		switch n.op {
+		case uir.OpBool:
+			return 1
+		case uir.OpZext8:
+			return 8
+		case uir.OpZext16:
+			return 16
+		}
+	case nSel:
+		return max(maxBits(n.b), maxBits(n.c))
+	}
+	return 32
+}
+
+func isBoolean(n *node) bool { return maxBits(n) == 1 }
+
+// negateCompare returns the complement of a comparison node, or nil.
+func (bd *builder) negateCompare(n *node) *node {
+	if n.kind != nBin || !n.op.IsCompare() {
+		return nil
+	}
+	switch n.op {
+	case uir.OpCmpEQ:
+		return bd.bin(uir.OpCmpNE, n.a, n.b)
+	case uir.OpCmpNE:
+		return bd.bin(uir.OpCmpEQ, n.a, n.b)
+	case uir.OpCmpLTS:
+		return bd.bin(uir.OpCmpLES, n.b, n.a)
+	case uir.OpCmpLES:
+		return bd.bin(uir.OpCmpLTS, n.b, n.a)
+	case uir.OpCmpLTU:
+		return bd.bin(uir.OpCmpLEU, n.b, n.a)
+	case uir.OpCmpLEU:
+		return bd.bin(uir.OpCmpLTU, n.b, n.a)
+	}
+	return nil
+}
+
+// bin builds a canonicalized binary node.
+func (bd *builder) bin(op uir.Op, a, b *node) *node {
+	// Constant folding.
+	if a.kind == nConst && b.kind == nConst {
+		return bd.konst(uir.EvalBin(op, a.val, b.val))
+	}
+	// Put the constant operand on the right for commutative ops so the
+	// pattern rules below need only check one side.
+	if op.IsCommutative() && a.kind == nConst && b.kind != nConst {
+		a, b = b, a
+	}
+	// Normalize multiplication by a power of two to a shift (dissolving
+	// the mul-vs-shift instruction-selection idiom).
+	if op == uir.OpMul {
+		if c, x, ok := constOperand(a, b); ok && c.val != 0 && c.val&(c.val-1) == 0 {
+			k := uint32(0)
+			for v := c.val; v > 1; v >>= 1 {
+				k++
+			}
+			return bd.bin(uir.OpShl, x, bd.konst(k))
+		}
+	}
+	// Identities and annihilators with a constant operand.
+	if c, x, ok := constOperand(a, b); ok {
+		switch op {
+		case uir.OpAdd, uir.OpOr, uir.OpXor:
+			if c.val == 0 {
+				return x
+			}
+		case uir.OpMul:
+			if c.val == 1 {
+				return x
+			}
+			if c.val == 0 {
+				return bd.konst(0)
+			}
+		case uir.OpAnd:
+			if c.val == 0xFFFFFFFF {
+				return x
+			}
+			if c.val == 0 {
+				return bd.konst(0)
+			}
+			// Mask already implied by the operand's width.
+			if bits := maxBits(x); bits < 32 && c.val == (uint32(1)<<bits)-1 {
+				return x
+			}
+		}
+	}
+	// Right-constant identities for non-commutative ops.
+	if b.kind == nConst {
+		switch op {
+		case uir.OpSub, uir.OpShl, uir.OpShrU, uir.OpShrS:
+			if b.val == 0 {
+				return a
+			}
+		case uir.OpDivS, uir.OpDivU:
+			if b.val == 1 {
+				return a
+			}
+		}
+	}
+	// 0 - x → neg x.
+	if op == uir.OpSub && a.kind == nConst && a.val == 0 {
+		return bd.un(uir.OpNeg, b)
+	}
+	// x - x → 0, x ^ x → 0, x & x → x, x | x → x.
+	if a == b {
+		switch op {
+		case uir.OpSub, uir.OpXor:
+			return bd.konst(0)
+		case uir.OpAnd, uir.OpOr:
+			return a
+		case uir.OpCmpEQ, uir.OpCmpLES, uir.OpCmpLEU:
+			return bd.konst(1)
+		case uir.OpCmpNE, uir.OpCmpLTS, uir.OpCmpLTU:
+			return bd.konst(0)
+		}
+	}
+	// Nested masks: (x & C1) & C2 → x & (C1 & C2).
+	if op == uir.OpAnd && b.kind == nConst && a.kind == nBin && a.op == uir.OpAnd && a.b.kind == nConst {
+		return bd.bin(uir.OpAnd, a.a, bd.konst(a.b.val&b.val))
+	}
+	// Reassociate constant adds: (x + C1) + C2 → x + (C1+C2).
+	if op == uir.OpAdd && b.kind == nConst && a.kind == nBin && a.op == uir.OpAdd && a.b.kind == nConst {
+		return bd.bin(uir.OpAdd, a.a, bd.konst(a.b.val+b.val))
+	}
+	// Logical negation of a boolean: x ^ 1.
+	if op == uir.OpXor {
+		if c, x, ok := constOperand(a, b); ok && c.val == 1 && isBoolean(x) {
+			if neg := bd.negateCompare(x); neg != nil {
+				return neg
+			}
+			if x.kind == nUn && x.op == uir.OpBool {
+				return bd.bin(uir.OpCmpEQ, x.a, bd.konst(0))
+			}
+		}
+	}
+	// ltu(0, x) → ne(x, 0)  (the "set if non-zero" idiom).
+	if op == uir.OpCmpLTU && a.kind == nConst && a.val == 0 {
+		return bd.bin(uir.OpCmpNE, b, bd.konst(0))
+	}
+	// lt(a,b) | eq(a,b) → le(a,b)  (LE synthesized from two bits).
+	if op == uir.OpOr {
+		if le := bd.combineLE(a, b); le != nil {
+			return le
+		}
+		if le := bd.combineLE(b, a); le != nil {
+			return le
+		}
+	}
+	// Shift-pair extensions: (x << k) >>s k → sext, (x << k) >>u k → mask.
+	if (op == uir.OpShrS || op == uir.OpShrU) && b.kind == nConst &&
+		a.kind == nBin && a.op == uir.OpShl && a.b.kind == nConst && a.b.val == b.val {
+		switch {
+		case op == uir.OpShrS && b.val == 24:
+			return bd.un(uir.OpSext8, a.a)
+		case op == uir.OpShrS && b.val == 16:
+			return bd.un(uir.OpSext16, a.a)
+		case op == uir.OpShrU && b.val == 24:
+			return bd.bin(uir.OpAnd, a.a, bd.konst(0xFF))
+		case op == uir.OpShrU && b.val == 16:
+			return bd.bin(uir.OpAnd, a.a, bd.konst(0xFFFF))
+		}
+	}
+	// Commutative operand ordering by register-blind structural key;
+	// stable on ties.
+	if op.IsCommutative() {
+		if bd.blindKey(b) < bd.blindKey(a) {
+			a, b = b, a
+		}
+	}
+	return bd.intern(node{kind: nBin, op: op, a: a, b: b})
+}
+
+// combineLE recognizes lt(a,b)|eq({a,b}) → le(a,b).
+func (bd *builder) combineLE(lt, eq *node) *node {
+	if lt.kind != nBin || eq.kind != nBin || eq.op != uir.OpCmpEQ {
+		return nil
+	}
+	if lt.op != uir.OpCmpLTS && lt.op != uir.OpCmpLTU {
+		return nil
+	}
+	sameOperands := (eq.a == lt.a && eq.b == lt.b) || (eq.a == lt.b && eq.b == lt.a)
+	if !sameOperands {
+		return nil
+	}
+	if lt.op == uir.OpCmpLTS {
+		return bd.bin(uir.OpCmpLES, lt.a, lt.b)
+	}
+	return bd.bin(uir.OpCmpLEU, lt.a, lt.b)
+}
+
+func constOperand(a, b *node) (c, x *node, ok bool) {
+	if a.kind == nConst {
+		return a, b, true
+	}
+	if b.kind == nConst {
+		return b, a, true
+	}
+	return nil, nil, false
+}
+
+// un builds a canonicalized unary node.
+func (bd *builder) un(op uir.Op, a *node) *node {
+	if a.kind == nConst {
+		return bd.konst(uir.EvalUn(op, a.val))
+	}
+	switch op {
+	case uir.OpBool:
+		if isBoolean(a) {
+			return a
+		}
+		return bd.bin(uir.OpCmpNE, a, bd.konst(0))
+	case uir.OpZext8:
+		return bd.bin(uir.OpAnd, a, bd.konst(0xFF))
+	case uir.OpZext16:
+		return bd.bin(uir.OpAnd, a, bd.konst(0xFFFF))
+	case uir.OpNot:
+		if a.kind == nUn && a.op == uir.OpNot {
+			return a.a
+		}
+	case uir.OpNeg:
+		if a.kind == nUn && a.op == uir.OpNeg {
+			return a.a
+		}
+	}
+	return bd.intern(node{kind: nUn, op: op, a: a})
+}
+
+// sel builds a canonicalized select node.
+func (bd *builder) sel(cond, a, b *node) *node {
+	if cond.kind == nConst {
+		if cond.val != 0 {
+			return a
+		}
+		return b
+	}
+	if a == b {
+		return a
+	}
+	// select(c, 1, 0) → bool(c); select(c, 0, 1) → !c.
+	if a.kind == nConst && b.kind == nConst {
+		if a.val == 1 && b.val == 0 {
+			return bd.un(uir.OpBool, cond)
+		}
+		if a.val == 0 && b.val == 1 {
+			return bd.bin(uir.OpXor, bd.un(uir.OpBool, cond), bd.konst(1))
+		}
+	}
+	return bd.intern(node{kind: nSel, a: cond, b: a, c: b})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sortedRegs returns map keys in ascending register order (deterministic
+// iteration for effect emission).
+func sortedRegs(m map[uir.Reg]*node) []uir.Reg {
+	out := make([]uir.Reg, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,479 @@
+package strand
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"firmup/internal/obj"
+	"firmup/internal/uir"
+)
+
+// Options parameterize extraction.
+type Options struct {
+	// ABI supplies the calling convention: argument registers feed call
+	// effects, and the stack pointer renders as a stable token so stack
+	// offsets survive canonicalization as the paper prescribes.
+	ABI *uir.ABI
+	// Sections drives offset elimination: constants inside the text or
+	// data ranges are abstracted to positional offN tokens.
+	Sections obj.SectionMap
+	// KeepTrivial retains strands whose expression is a bare input or
+	// constant; by default they are dropped as noise (every executable
+	// shares them).
+	KeepTrivial bool
+}
+
+// Strand is one canonical strand.
+type Strand struct {
+	Hash uint64
+	Text string
+}
+
+// ExtractBlock decomposes one lifted basic block into canonical strands.
+//
+// The implementation fuses Algorithm 1 with the re-optimization step: the
+// block (already in SSA form) is converted to an expression DAG by
+// forward substitution — which performs constant propagation, copy
+// propagation and CSE by construction — and each outward-facing effect
+// (a store, a call, a control-flow exit, or the final value of an
+// architectural register) becomes the basis of one strand: exactly the
+// use-def chain Algorithm 1 would slice, already in simplified form.
+// Dead intermediate computations disappear, mirroring DCE.
+func ExtractBlock(b *uir.Block, opt *Options) []Strand {
+	st := analyzeBlock(b, opt)
+	return st.render(opt)
+}
+
+// blockState is the analyzed form of one block: the expression DAG plus
+// the outward-facing effects. Exposed internally for the soundness
+// property tests, which evaluate the DAG against the reference machine.
+type blockState struct {
+	bd      *builder
+	regs    map[uir.Reg]*node
+	inputs  map[uir.Reg]*node
+	effects []effect
+}
+
+type effect struct {
+	kind   string // "store", "call", "br", "jump", "ijump", "retx"
+	a, b   *node
+	args   []*node
+	size   uint8
+	target *node
+}
+
+// analyzeBlock performs the forward-substitution walk.
+func analyzeBlock(b *uir.Block, opt *Options) *blockState {
+	bd := newBuilder()
+	regs := map[uir.Reg]*node{} // current register values
+	inputs := map[uir.Reg]*node{}
+	getReg := func(r uir.Reg) *node {
+		if n, ok := regs[r]; ok {
+			return n
+		}
+		n := bd.input(r)
+		regs[r] = n
+		inputs[r] = n
+		return n
+	}
+	temps := map[uir.Temp]*node{}
+	operand := func(o uir.Operand) *node {
+		if o.IsConst {
+			return bd.konst(o.Val)
+		}
+		return temps[o.Temp]
+	}
+	type memKey struct {
+		addr *node
+		size uint8
+	}
+	mem := map[memKey]*node{}
+	var effects []effect
+	callCount := 0
+
+	for _, s := range b.Stmts {
+		switch v := s.(type) {
+		case uir.Get:
+			temps[v.Dst] = getReg(v.Reg)
+		case uir.Put:
+			regs[v.Reg] = operand(v.Src)
+		case uir.Mov:
+			temps[v.Dst] = operand(v.Src)
+		case uir.Bin:
+			temps[v.Dst] = bd.bin(v.Op, operand(v.A), operand(v.B))
+		case uir.Un:
+			temps[v.Dst] = bd.un(v.Op, operand(v.A))
+		case uir.Sel:
+			temps[v.Dst] = bd.sel(operand(v.Cond), operand(v.A), operand(v.B))
+		case uir.Load:
+			addr := operand(v.Addr)
+			k := memKey{addr, v.Size}
+			if val, ok := mem[k]; ok {
+				temps[v.Dst] = val // store-to-load forwarding
+			} else {
+				temps[v.Dst] = bd.load(addr, v.Size)
+			}
+		case uir.Store:
+			addr := operand(v.Addr)
+			val := operand(v.Src)
+			mem[memKey{addr, v.Size}] = val
+			effects = append(effects, effect{kind: "store", a: addr, b: val, size: v.Size})
+		case uir.Call:
+			var args []*node
+			if opt.ABI != nil {
+				for _, r := range opt.ABI.ArgRegs {
+					args = append(args, getReg(r))
+				}
+				// Clobber caller-saved state.
+				for _, r := range opt.ABI.Scratch {
+					delete(regs, r)
+				}
+				regs[opt.ABI.RetReg] = bd.callRes(callCount)
+			}
+			effects = append(effects, effect{kind: "call", args: args, target: operand(v.Target)})
+			callCount++
+		case uir.Exit:
+			switch v.Kind {
+			case uir.ExitJump:
+				effects = append(effects, effect{kind: "jump", target: operand(v.Target)})
+			case uir.ExitCond:
+				effects = append(effects, effect{kind: "br", a: operand(v.Cond), target: operand(v.Target)})
+			case uir.ExitRet:
+				effects = append(effects, effect{kind: "retx"})
+			case uir.ExitIndir:
+				effects = append(effects, effect{kind: "ijump", target: operand(v.Target)})
+			}
+		}
+	}
+
+	return &blockState{bd: bd, regs: regs, inputs: inputs, effects: effects}
+}
+
+// render turns the analyzed state into canonical strands.
+func (st *blockState) render(opt *Options) []Strand {
+	bd, regs, inputs, effects := st.bd, st.regs, st.inputs, st.effects
+	// Final register values are outward-facing (register folding drops
+	// the destination identity). The stack pointer, link register and
+	// status flags are excluded: their updates are universal scaffolding,
+	// not procedure semantics.
+	excluded := map[uir.Reg]bool{}
+	if opt.ABI != nil {
+		excluded[opt.ABI.SP] = true
+		if opt.ABI.LinkReg != uir.NoLinkReg {
+			excluded[opt.ABI.LinkReg] = true
+		}
+		for _, r := range opt.ABI.Status() {
+			excluded[r] = true
+		}
+	}
+	var out []Strand
+	seen := map[uint64]bool{}
+	add := func(text string) {
+		h := fnv.New64a()
+		h.Write([]byte(text))
+		hash := h.Sum64()
+		if seen[hash] {
+			return
+		}
+		seen[hash] = true
+		out = append(out, Strand{Hash: hash, Text: text})
+	}
+
+	for _, r := range sortedRegs(regs) {
+		if excluded[r] {
+			continue
+		}
+		n := regs[r]
+		if inputs[r] == n {
+			continue // register unchanged
+		}
+		if !opt.KeepTrivial && isTrivial(n) {
+			continue
+		}
+		rd := newRenderer(bd, opt)
+		expr := rd.expr(n)
+		add(rd.finish(fmt.Sprintf("ret %s", expr)))
+	}
+	for _, e := range effects {
+		rd := newRenderer(bd, opt)
+		switch e.kind {
+		case "store":
+			addr := rd.expr(e.a)
+			val := rd.expr(e.b)
+			add(rd.finish(fmt.Sprintf("store%d %s <- %s", e.size, addr, val)))
+		case "call":
+			parts := make([]string, len(e.args))
+			for i, a := range e.args {
+				parts[i] = rd.expr(a)
+			}
+			add(rd.finish(fmt.Sprintf("call proc(%s)", strings.Join(parts, ", "))))
+		case "br":
+			cond := rd.expr(e.a)
+			add(rd.finish(fmt.Sprintf("br %s -> %s", cond, rd.exprTarget(e.target))))
+		case "jump":
+			if !opt.KeepTrivial {
+				continue // unconditional jumps carry no semantics
+			}
+			add(rd.finish(fmt.Sprintf("jump %s", rd.exprTarget(e.target))))
+		case "ijump":
+			add(rd.finish(fmt.Sprintf("ijump %s", rd.expr(e.target))))
+		case "retx":
+			// A bare return carries no data flow; covered by the ret-reg
+			// value strand.
+		}
+	}
+	return out
+}
+
+// isTrivial reports whether the node is a bare input or call result —
+// strands every block everywhere shares. Bare constants are kept: a
+// specific returned constant (e.g. an error code) is real signal.
+func isTrivial(n *node) bool {
+	switch n.kind {
+	case nInput, nCallRes:
+		return true
+	}
+	return false
+}
+
+// renderer linearizes one strand into canonical text with names assigned
+// in order of appearance.
+type renderer struct {
+	bd   *builder
+	opt  *Options
+	args map[*node]int // input nodes → argN
+	offs map[uint32]int
+	lets []string
+	lnum map[*node]string
+}
+
+func newRenderer(bd *builder, opt *Options) *renderer {
+	return &renderer{bd: bd, opt: opt, args: map[*node]int{}, offs: map[uint32]int{}, lnum: map[*node]string{}}
+}
+
+// classify applies offset elimination to a constant.
+func (rd *renderer) classify(v uint32) string {
+	m := rd.opt.Sections
+	inText := m.TextHi > m.TextLo && v >= m.TextLo && v < m.TextHi
+	inData := m.DataHi > m.DataLo && v >= m.DataLo && v < m.DataHi
+	if inText || inData {
+		idx, ok := rd.offs[v]
+		if !ok {
+			idx = len(rd.offs)
+			rd.offs[v] = idx
+		}
+		return fmt.Sprintf("off%d", idx)
+	}
+	return fmt.Sprintf("0x%x", v)
+}
+
+// expr renders a node, emitting let-bindings for shared interior nodes.
+func (rd *renderer) expr(n *node) string {
+	if s, ok := rd.lnum[n]; ok {
+		return s
+	}
+	var s string
+	switch n.kind {
+	case nConst:
+		s = rd.classify(n.val)
+	case nInput:
+		if rd.opt.ABI != nil && n.reg == rd.opt.ABI.SP {
+			s = "sp"
+		} else {
+			idx, ok := rd.args[n]
+			if !ok {
+				idx = len(rd.args)
+				rd.args[n] = idx
+			}
+			s = fmt.Sprintf("arg%d", idx)
+		}
+	case nCallRes:
+		// The k-th call result; k is block-relative which is stable
+		// across compilations of the same block.
+		idx, ok := rd.args[n]
+		if !ok {
+			idx = len(rd.args)
+			rd.args[n] = idx
+		}
+		s = fmt.Sprintf("cres%d", idx)
+	case nLoad:
+		s = fmt.Sprintf("load%d(%s)", n.size, rd.expr(n.a))
+	case nBin:
+		s = fmt.Sprintf("%s(%s, %s)", n.op, rd.expr(n.a), rd.expr(n.b))
+	case nUn:
+		s = fmt.Sprintf("%s(%s)", n.op, rd.expr(n.a))
+	case nSel:
+		s = fmt.Sprintf("select(%s, %s, %s)", rd.expr(n.a), rd.expr(n.b), rd.expr(n.c))
+	}
+	// Bind interior operation nodes so shared subexpressions render once.
+	if n.kind == nBin || n.kind == nUn || n.kind == nSel || n.kind == nLoad {
+		name := fmt.Sprintf("n%d", len(rd.lets))
+		rd.lets = append(rd.lets, fmt.Sprintf("%s = %s", name, s))
+		rd.lnum[n] = name
+		return name
+	}
+	rd.lnum[n] = s
+	return s
+}
+
+// exprTarget renders a control-transfer target: code constants are fully
+// abstracted.
+func (rd *renderer) exprTarget(n *node) string {
+	if n == nil {
+		return "?"
+	}
+	if n.kind == nConst {
+		return rd.classify(n.val)
+	}
+	return rd.expr(n)
+}
+
+// finish assembles the canonical text: let-bindings then the basis line.
+func (rd *renderer) finish(basis string) string {
+	if len(rd.lets) == 0 {
+		return basis
+	}
+	return strings.Join(rd.lets, "\n") + "\n" + basis
+}
+
+// ConstMarkers collects a procedure's distinctive plain constants — the
+// automated analog of the paper's semi-manual confirmation "markers such
+// as string constants, use of global memory, structures access".
+//
+// Markers are read off the canonical strands, after constant folding and
+// offset elimination, so split address materializations (lui/ori halves)
+// never leak in. Constants that are small, powers of two, all-ones masks,
+// aligned offset-shaped values, or negatives carry no identity and are
+// skipped; what remains (protocol codes, magic numbers, hash multipliers)
+// fingerprints the source procedure across compilations.
+func ConstMarkers(blocks []*uir.Block, opt *Options) []uint32 {
+	seen := map[uint32]bool{}
+	for _, b := range blocks {
+		for _, st := range ExtractBlock(b, opt) {
+			collectHexConstants(st.Text, func(v uint32) {
+				if isMarker(v) {
+					seen[v] = true
+				}
+			})
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// isMarker filters constants down to identity-bearing ones.
+func isMarker(v uint32) bool {
+	switch {
+	case v <= 8:
+		return false // tiny values: loop bounds, flags
+	case v&(v-1) == 0:
+		return false // power of two: sizes, bit flags
+	case v&(v+1) == 0:
+		return false // all-ones: width masks (0x1f, 0xff, 0xffff, ...)
+	case v%4 == 0 && v < 0x1000:
+		return false // word-aligned small value: stack/struct offsets
+	case v >= 0xFFFF0000:
+		return false // small negative
+	}
+	return true
+}
+
+// collectHexConstants invokes f for every 0x-prefixed literal in a
+// canonical strand text (offsets were already abstracted to offN tokens).
+func collectHexConstants(text string, f func(uint32)) {
+	for i := 0; i+2 < len(text); i++ {
+		if text[i] != '0' || text[i+1] != 'x' {
+			continue
+		}
+		j := i + 2
+		var v uint64
+		for j < len(text) {
+			c := text[j]
+			switch {
+			case c >= '0' && c <= '9':
+				v = v<<4 | uint64(c-'0')
+			case c >= 'a' && c <= 'f':
+				v = v<<4 | uint64(c-'a'+10)
+			default:
+				goto done
+			}
+			j++
+		}
+	done:
+		if j > i+2 && v <= 0xFFFFFFFF {
+			f(uint32(v))
+		}
+		i = j - 1
+	}
+}
+
+// MarkerOverlap computes the fraction of q's markers present in t (both
+// sorted). Returns 1 when q has no markers to check.
+func MarkerOverlap(q, t []uint32) float64 {
+	if len(q) == 0 {
+		return 1
+	}
+	i, j, n := 0, 0, 0
+	for i < len(q) && j < len(t) {
+		switch {
+		case q[i] == t[j]:
+			n++
+			i++
+			j++
+		case q[i] < t[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(n) / float64(len(q))
+}
+
+// Set is a procedure's strand-hash set, the unit Sim operates on.
+type Set struct {
+	Hashes []uint64 // sorted, unique
+}
+
+// FromBlocks extracts and merges strands of all blocks of a procedure.
+func FromBlocks(blocks []*uir.Block, opt *Options) Set {
+	seen := map[uint64]bool{}
+	for _, b := range blocks {
+		for _, s := range ExtractBlock(b, opt) {
+			seen[s.Hash] = true
+		}
+	}
+	out := make([]uint64, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return Set{Hashes: out}
+}
+
+// Size returns the number of unique strands.
+func (s Set) Size() int { return len(s.Hashes) }
+
+// Intersect counts shared strands between two sorted sets: the paper's
+// Sim(q, t).
+func (s Set) Intersect(t Set) int {
+	i, j, n := 0, 0, 0
+	for i < len(s.Hashes) && j < len(t.Hashes) {
+		switch {
+		case s.Hashes[i] == t.Hashes[j]:
+			n++
+			i++
+			j++
+		case s.Hashes[i] < t.Hashes[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,465 @@
+// Package uir defines the micro intermediate representation (UIR) that
+// machine code is lifted into before strand extraction.
+//
+// UIR plays the role VEX-IR plays in the FirmUp paper: a small, explicit,
+// side-effect-complete representation of 32-bit machine state. Every
+// architectural effect of an instruction — including condition flags and
+// the program counter — appears as an explicit statement, and every
+// intermediate value is held in a single-assignment temporary, so basic
+// blocks are in SSA form by construction (a property Algorithm 1 of the
+// paper relies on).
+package uir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Arch identifies the source architecture of lifted code.
+type Arch uint8
+
+// Architectures supported by the lifters, matching the four prevalent
+// embedded architectures evaluated in the paper.
+const (
+	ArchNone Arch = iota
+	ArchMIPS32
+	ArchARM32
+	ArchPPC32
+	ArchX86
+)
+
+// String returns the conventional lowercase name of the architecture.
+func (a Arch) String() string {
+	switch a {
+	case ArchMIPS32:
+		return "mips32"
+	case ArchARM32:
+		return "arm32"
+	case ArchPPC32:
+		return "ppc32"
+	case ArchX86:
+		return "x86"
+	default:
+		return "none"
+	}
+}
+
+// Temp is an SSA temporary. Each Temp is assigned exactly once within a
+// basic block; lifters allocate them densely from zero.
+type Temp int32
+
+// Reg names an architectural register in the lifter's arch-specific
+// namespace. Condition flags and other implicit state are registers too.
+type Reg uint16
+
+// ConstKind classifies constants so the canonicalizer can perform offset
+// elimination: constants that point into the binary's code or data
+// sections are abstracted away, while plain integers (including stack and
+// struct offsets, which the paper deliberately retains) are kept.
+type ConstKind uint8
+
+const (
+	// ConstPlain is an ordinary integer constant.
+	ConstPlain ConstKind = iota
+	// ConstCode is an address inside the text section (jump/call target).
+	ConstCode
+	// ConstData is an address inside a static data section.
+	ConstData
+)
+
+// Operand is either an SSA temporary or an immediate constant.
+type Operand struct {
+	IsConst bool
+	Temp    Temp
+	Val     uint32
+	Kind    ConstKind
+}
+
+// T returns a temporary operand.
+func T(t Temp) Operand { return Operand{Temp: t} }
+
+// C returns a plain constant operand.
+func C(v uint32) Operand { return Operand{IsConst: true, Val: v} }
+
+// CK returns a constant operand with an explicit kind.
+func CK(v uint32, k ConstKind) Operand { return Operand{IsConst: true, Val: v, Kind: k} }
+
+// String renders the operand for debugging.
+func (o Operand) String() string {
+	if !o.IsConst {
+		return fmt.Sprintf("t%d", o.Temp)
+	}
+	switch o.Kind {
+	case ConstCode:
+		return fmt.Sprintf("code:0x%x", o.Val)
+	case ConstData:
+		return fmt.Sprintf("data:0x%x", o.Val)
+	default:
+		return fmt.Sprintf("0x%x", o.Val)
+	}
+}
+
+// Op enumerates UIR operations. All arithmetic is 32-bit with wraparound;
+// comparison ops produce 0 or 1.
+type Op uint8
+
+// Binary and unary operations.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDivU
+	OpDivS
+	OpRemU
+	OpRemS
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShrU // logical shift right
+	OpShrS // arithmetic shift right
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLTU
+	OpCmpLTS
+	OpCmpLEU
+	OpCmpLES
+	// Unary.
+	OpNot  // bitwise complement
+	OpNeg  // two's complement negation
+	OpBool // normalize to 0/1 (x != 0)
+	OpSext8
+	OpSext16
+	OpZext8
+	OpZext16
+
+	opCount // sentinel
+)
+
+var opNames = [...]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpDivU: "udiv", OpDivS: "sdiv", OpRemU: "urem", OpRemS: "srem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShrU: "lshr", OpShrS: "ashr",
+	OpCmpEQ: "icmp.eq", OpCmpNE: "icmp.ne",
+	OpCmpLTU: "icmp.ult", OpCmpLTS: "icmp.slt",
+	OpCmpLEU: "icmp.ule", OpCmpLES: "icmp.sle",
+	OpNot: "not", OpNeg: "neg", OpBool: "bool",
+	OpSext8: "sext8", OpSext16: "sext16",
+	OpZext8: "zext8", OpZext16: "zext16",
+}
+
+// String returns the mnemonic for the operation.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsUnary reports whether the op takes a single operand.
+func (op Op) IsUnary() bool { return op >= OpNot && op < opCount }
+
+// IsCommutative reports whether operand order is semantically irrelevant.
+func (op Op) IsCommutative() bool {
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpCmpEQ, OpCmpNE:
+		return true
+	}
+	return false
+}
+
+// IsCompare reports whether the op is a comparison producing 0/1.
+func (op Op) IsCompare() bool { return op >= OpCmpEQ && op <= OpCmpLES }
+
+// Stmt is a single UIR statement. The concrete types below are the only
+// implementations.
+type Stmt interface {
+	isStmt()
+	String() string
+}
+
+// Get reads an architectural register into a temporary.
+type Get struct {
+	Dst Temp
+	Reg Reg
+}
+
+// Put writes a value to an architectural register.
+type Put struct {
+	Reg Reg
+	Src Operand
+}
+
+// Load reads Size bytes from memory (zero-extended into the 32-bit temp).
+type Load struct {
+	Dst  Temp
+	Addr Operand
+	Size uint8 // 1, 2 or 4
+}
+
+// Store writes the low Size bytes of Src to memory.
+type Store struct {
+	Addr Operand
+	Src  Operand
+	Size uint8
+}
+
+// Bin computes a binary operation.
+type Bin struct {
+	Dst  Temp
+	Op   Op
+	A, B Operand
+}
+
+// Un computes a unary operation.
+type Un struct {
+	Dst Temp
+	Op  Op
+	A   Operand
+}
+
+// Mov copies an operand into a temporary (constant materialization or copy).
+type Mov struct {
+	Dst Temp
+	Src Operand
+}
+
+// Sel selects A when Cond is non-zero, else B (conditional move; used by
+// lifters for predicated instructions such as ARM's movCC).
+type Sel struct {
+	Dst  Temp
+	Cond Operand
+	A, B Operand
+}
+
+// Call transfers control to a procedure. Per the target ABI it implicitly
+// reads the argument registers and writes the return-value register and
+// the caller-saved set; the strand extractor consults the ABI for these.
+type Call struct {
+	Target Operand // ConstCode for direct calls, temp for indirect
+}
+
+// ExitKind distinguishes the control transfers that terminate (or appear
+// inside, for conditional exits) a basic block.
+type ExitKind uint8
+
+// Exit kinds.
+const (
+	ExitJump  ExitKind = iota // unconditional branch
+	ExitCond                  // conditional branch (Cond significant)
+	ExitRet                   // procedure return
+	ExitIndir                 // indirect jump through a temp
+)
+
+// Exit is a control transfer. For ExitCond, control goes to Target when
+// Cond is non-zero and falls through otherwise.
+type Exit struct {
+	Kind   ExitKind
+	Cond   Operand // meaningful for ExitCond
+	Target Operand // ConstCode or temp (ExitIndir)
+}
+
+func (Get) isStmt()   {}
+func (Put) isStmt()   {}
+func (Load) isStmt()  {}
+func (Store) isStmt() {}
+func (Bin) isStmt()   {}
+func (Un) isStmt()    {}
+func (Mov) isStmt()   {}
+func (Sel) isStmt()   {}
+func (Call) isStmt()  {}
+func (Exit) isStmt()  {}
+
+func (s Get) String() string  { return fmt.Sprintf("t%d = get r%d", s.Dst, s.Reg) }
+func (s Put) String() string  { return fmt.Sprintf("put r%d = %s", s.Reg, s.Src) }
+func (s Load) String() string { return fmt.Sprintf("t%d = load%d %s", s.Dst, s.Size, s.Addr) }
+func (s Store) String() string {
+	return fmt.Sprintf("store%d %s = %s", s.Size, s.Addr, s.Src)
+}
+func (s Bin) String() string { return fmt.Sprintf("t%d = %s %s, %s", s.Dst, s.Op, s.A, s.B) }
+func (s Un) String() string  { return fmt.Sprintf("t%d = %s %s", s.Dst, s.Op, s.A) }
+func (s Mov) String() string { return fmt.Sprintf("t%d = %s", s.Dst, s.Src) }
+func (s Sel) String() string {
+	return fmt.Sprintf("t%d = select %s ? %s : %s", s.Dst, s.Cond, s.A, s.B)
+}
+func (s Call) String() string { return fmt.Sprintf("call %s", s.Target) }
+func (s Exit) String() string {
+	switch s.Kind {
+	case ExitJump:
+		return fmt.Sprintf("jump %s", s.Target)
+	case ExitCond:
+		return fmt.Sprintf("if %s jump %s", s.Cond, s.Target)
+	case ExitRet:
+		return "ret"
+	default:
+		return fmt.Sprintf("ijump %s", s.Target)
+	}
+}
+
+// Block is one lifted basic block: the statements for all instructions in
+// the block, in order, plus the block's address range in the text section.
+type Block struct {
+	Addr  uint32 // address of the first instruction
+	Size  uint32 // byte length of the block
+	Stmts []Stmt
+}
+
+// Succs returns the statically-known successor addresses of the block:
+// conditional-exit targets, the final jump target, and the fallthrough
+// address where applicable.
+func (b *Block) Succs() []uint32 {
+	var out []uint32
+	fall := true
+	for _, s := range b.Stmts {
+		e, ok := s.(Exit)
+		if !ok {
+			continue
+		}
+		switch e.Kind {
+		case ExitCond:
+			if e.Target.IsConst {
+				out = append(out, e.Target.Val)
+			}
+		case ExitJump:
+			if e.Target.IsConst {
+				out = append(out, e.Target.Val)
+			}
+			fall = false
+		case ExitRet, ExitIndir:
+			fall = false
+		}
+	}
+	if fall {
+		out = append(out, b.Addr+b.Size)
+	}
+	return out
+}
+
+// String renders the block, one statement per line.
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "block 0x%x (%d bytes)\n", b.Addr, b.Size)
+	for _, s := range b.Stmts {
+		sb.WriteString("  ")
+		sb.WriteString(s.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Proc is a lifted procedure: its entry address and basic blocks sorted by
+// address.
+type Proc struct {
+	Name   string // empty in stripped binaries
+	Entry  uint32
+	Blocks []*Block
+	Arch   Arch
+}
+
+// ABI describes the calling convention the lifter assumed, consumed by
+// strand extraction (argument/return registers, stack pointer for the
+// offset-retention rule) and by Call effect modeling.
+type ABI struct {
+	Arch    Arch
+	ArgRegs []Reg // integer argument registers, in order
+	RetReg  Reg   // return-value register
+	SP      Reg   // stack pointer
+	LinkReg Reg   // return-address register (0xFFFF if pushed on stack)
+	Scratch []Reg // caller-saved registers clobbered by calls
+	// StatusRegs lists condition-flag pseudo registers; they are
+	// excluded from strand bases (flag updates are consumed in-block).
+	StatusRegs []Reg
+	RegNames   map[Reg]string
+}
+
+// Status returns the condition-flag registers (nil-safe).
+func (a *ABI) Status() []Reg {
+	if a == nil {
+		return nil
+	}
+	return a.StatusRegs
+}
+
+// NoLinkReg marks ABIs whose return address lives on the stack (x86).
+const NoLinkReg Reg = 0xFFFF
+
+// RegName returns a human-readable name for r under this ABI.
+func (a *ABI) RegName(r Reg) string {
+	if a != nil && a.RegNames != nil {
+		if n, ok := a.RegNames[r]; ok {
+			return n
+		}
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// Validate performs internal-consistency checks used by tests and the
+// lifter self-checks: SSA single assignment and no use of an undefined
+// temporary.
+func (b *Block) Validate() error {
+	defined := map[Temp]bool{}
+	checkUse := func(o Operand) error {
+		if o.IsConst {
+			return nil
+		}
+		if !defined[o.Temp] {
+			return fmt.Errorf("block 0x%x: use of undefined temp t%d", b.Addr, o.Temp)
+		}
+		return nil
+	}
+	def := func(t Temp) error {
+		if defined[t] {
+			return fmt.Errorf("block 0x%x: temp t%d assigned twice (SSA violation)", b.Addr, t)
+		}
+		defined[t] = true
+		return nil
+	}
+	for _, s := range b.Stmts {
+		var uses []Operand
+		var dst *Temp
+		switch v := s.(type) {
+		case Get:
+			dst = &v.Dst
+		case Put:
+			uses = []Operand{v.Src}
+		case Load:
+			uses = []Operand{v.Addr}
+			dst = &v.Dst
+		case Store:
+			uses = []Operand{v.Addr, v.Src}
+		case Bin:
+			uses = []Operand{v.A, v.B}
+			dst = &v.Dst
+		case Un:
+			uses = []Operand{v.A}
+			dst = &v.Dst
+		case Mov:
+			uses = []Operand{v.Src}
+			dst = &v.Dst
+		case Sel:
+			uses = []Operand{v.Cond, v.A, v.B}
+			dst = &v.Dst
+		case Call:
+			uses = []Operand{v.Target}
+		case Exit:
+			if v.Kind == ExitCond {
+				uses = append(uses, v.Cond)
+			}
+			if v.Kind != ExitRet {
+				uses = append(uses, v.Target)
+			}
+		}
+		for _, u := range uses {
+			if err := checkUse(u); err != nil {
+				return err
+			}
+		}
+		if dst != nil {
+			if err := def(*dst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
