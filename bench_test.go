@@ -17,9 +17,11 @@ package firmup_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"firmup"
 	"firmup/internal/cfg"
 	"firmup/internal/compiler"
 	"firmup/internal/core"
@@ -408,4 +410,93 @@ func BenchmarkAblationMarkers(b *testing.B) {
 	b.ReportMetric(float64(fWith), "with-FPs")
 	b.ReportMetric(float64(cWithout), "without-confirmed")
 	b.ReportMetric(float64(fWithout), "without-FPs")
+}
+
+// --- analyzer-session benchmarks: parallel analysis & indexed search ---
+
+// benchImageScenario packs the wget firmware image and compiles the
+// matching query, as bytes (the external-user view).
+func benchImageScenario(b *testing.B) (imgBytes, queryBytes []byte) {
+	b.Helper()
+	c, err := corpus.Build(corpus.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var target *corpus.BuiltImage
+	var arch uir.Arch
+	for _, bi := range c.Images {
+		for _, e := range bi.Exes {
+			if e.Pkg == "wget" && e.PkgVersion == "1.15" {
+				target = bi
+				arch = e.Arch
+			}
+		}
+	}
+	if target == nil {
+		b.Fatal("no wget 1.15 image in default corpus")
+	}
+	_, qf, err := corpus.QueryExe("wget", "1.15", arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return target.Image.Pack(true), qf.Bytes()
+}
+
+// BenchmarkOpenImage measures whole-image analysis under the session
+// worker pool, serial vs parallel.
+func BenchmarkOpenImage(b *testing.B) {
+	imgBytes, _ := benchImageScenario(b)
+	workers := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := firmup.NewAnalyzer(&firmup.AnalyzerOptions{Workers: w})
+				img, err := a.OpenImage(imgBytes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(len(img.Exes)), "exes")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchImage measures a whole-image search with the
+// corpus-index candidate prefilter vs exhaustive examination.
+func BenchmarkSearchImage(b *testing.B) {
+	imgBytes, queryBytes := benchImageScenario(b)
+	a := firmup.NewAnalyzer(nil)
+	img, err := a.OpenImage(imgBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := a.LoadQueryExecutable(queryBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opt  *firmup.Options
+	}{
+		{"indexed", nil},
+		{"exhaustive", &firmup.Options{Exhaustive: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var res *firmup.SearchResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = firmup.SearchImageDetailed(q, "ftp_retrieve_glob", img, mode.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Examined), "examined")
+			b.ReportMetric(float64(len(res.Findings)), "findings")
+		})
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"firmup"
 )
@@ -20,6 +21,9 @@ func main() {
 	proc := flag.String("proc", "", "name of the vulnerable procedure in the query")
 	minScore := flag.Int("min-score", 0, "override minimum shared-strand count")
 	minRatio := flag.Float64("min-ratio", 0, "override minimum shared-strand ratio")
+	workers := flag.Int("workers", 0, "bound parallel image analysis (default GOMAXPROCS)")
+	exhaustive := flag.Bool("exhaustive", false, "disable the corpus-index prefilter (examine every executable)")
+	verbose := flag.Bool("v", false, "report per-file skip reasons and session statistics")
 	flag.Parse()
 
 	if *queryPath == "" || *proc == "" || flag.NArg() == 0 {
@@ -30,31 +34,50 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	query, err := firmup.LoadQueryExecutable(qdata)
+	// One analyzer session covers the query and every image: all strand
+	// sets share the session's interner and every search can use the
+	// per-image corpus index.
+	analyzer := firmup.NewAnalyzer(&firmup.AnalyzerOptions{Workers: *workers})
+	query, err := analyzer.LoadQueryExecutable(qdata)
 	if err != nil {
 		fatal(err)
 	}
-	opt := &firmup.Options{MinScore: *minScore, MinRatio: *minRatio}
-	total := 0
+	opt := &firmup.Options{MinScore: *minScore, MinRatio: *minRatio, Exhaustive: *exhaustive}
+	total, skipped, examined, searchable := 0, 0, 0, 0
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fatal(err)
 		}
-		img, err := firmup.OpenImage(data)
+		img, err := analyzer.OpenImage(data)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "firmup: %s: %v\n", path, err)
 			continue
 		}
-		findings, err := firmup.SearchImage(query, *proc, img, opt)
+		if len(img.Skipped) > 0 {
+			skipped += len(img.Skipped)
+			fmt.Fprintf(os.Stderr, "firmup: %s: %d executable(s) skipped during analysis\n", path, len(img.Skipped))
+			if *verbose {
+				for _, s := range img.Skipped {
+					fmt.Fprintf(os.Stderr, "firmup: %s: skipped %s: %v\n", path, s.Path, s.Err)
+				}
+			}
+		}
+		res, err := firmup.SearchImageDetailed(query, *proc, img, opt)
 		if err != nil {
 			fatal(err)
 		}
-		for _, f := range findings {
+		examined += res.Examined
+		searchable += len(img.Exes)
+		for _, f := range res.Findings {
 			total++
 			fmt.Printf("%s: %s at %#x in %s (Sim=%d, confidence=%.0f%%, %d game steps)\n",
 				path, f.ProcName, f.ProcAddr, f.ExePath, f.Score, 100*f.Confidence, f.GameSteps)
 		}
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "firmup: session: %d unique strands interned, %d/%d executables examined, %d skipped\n",
+			analyzer.UniqueStrands(), examined, searchable, skipped)
 	}
 	if total == 0 {
 		fmt.Println("no occurrences of", *proc, "found")
@@ -64,6 +87,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "firmup:", err)
+	fmt.Fprintln(os.Stderr, "firmup:", strings.TrimPrefix(err.Error(), "firmup: "))
 	os.Exit(1)
 }

@@ -42,8 +42,10 @@ func main() {
 		fatal(err)
 	}
 	st := env.Corpus.Stat()
-	fmt.Printf("corpus ready: %d images, %d executables, %d procedures, %d unique builds\n\n",
+	fmt.Printf("corpus ready: %d images, %d executables, %d procedures, %d unique builds\n",
 		st.Images, st.Exes, st.Procedures, len(env.Units))
+	fmt.Printf("session: %d unique strands interned, %d corpus-index postings\n\n",
+		env.UniqueStrands(), env.Index.Postings())
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 

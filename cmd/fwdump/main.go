@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"firmup"
 	"firmup/internal/cfg"
 	"firmup/internal/image"
 	"firmup/internal/isa"
@@ -64,6 +65,28 @@ func dumpImage(path string) {
 			kind = fmt.Sprintf("%v executable, stripped=%v, badclass=%v", f.Arch, f.Stripped, f.BadClass)
 		}
 		fmt.Printf("  %-30s %8d bytes  %s\n", fe.Path, len(fe.Data), kind)
+	}
+
+	// Analyzed view: run a one-image analyzer session and summarize what
+	// a search would actually operate on.
+	analyzer := firmup.NewAnalyzer(nil)
+	img, err := analyzer.OpenImage(data)
+	if err != nil {
+		fmt.Printf("analysis: %v\n", err)
+		return
+	}
+	fmt.Printf("analysis: %d searchable executable(s), %d unique strands interned, %d index postings\n",
+		len(img.Exes), analyzer.UniqueStrands(), img.IndexedStrands())
+	for _, e := range img.Exes {
+		procs := e.Procedures()
+		strands := 0
+		for _, p := range procs {
+			strands += p.Strands
+		}
+		fmt.Printf("  %-30s %4d procedures %6d strands\n", e.Path, len(procs), strands)
+	}
+	for _, s := range img.Skipped {
+		fmt.Printf("  %-30s skipped: %v\n", s.Path, s.Err)
 	}
 }
 

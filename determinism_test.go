@@ -1,0 +1,59 @@
+package firmup_test
+
+import (
+	"reflect"
+	"testing"
+
+	"firmup/internal/core"
+	"firmup/internal/corpus"
+	"firmup/internal/eval"
+	"firmup/internal/sim"
+	"firmup/internal/uir"
+)
+
+// core.Search distributes targets over a worker pool; the result must
+// not depend on the pool size. Byte-identical Findings and
+// StepsHistogram with 1 and 8 workers over the generated corpus.
+func TestSearchDeterminismAcrossWorkers(t *testing.T) {
+	env, err := eval.Prepare(corpus.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := env.Query("wget", "1.15", uir.ArchMIPS32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qi := q.ProcByName("ftp_retrieve_glob")
+	if qi < 0 {
+		t.Fatal("query lacks ftp_retrieve_glob")
+	}
+	var targets []*sim.Exe
+	for _, u := range env.Units {
+		if u.Arch == uir.ArchMIPS32 {
+			targets = append(targets, u.Exe)
+		}
+	}
+	if len(targets) < 2 {
+		t.Fatalf("only %d MIPS targets in the corpus", len(targets))
+	}
+	run := func(workers int) core.SearchResult {
+		opt := eval.DefaultSearch()
+		opt.Workers = workers
+		return core.Search(q, qi, targets, opt)
+	}
+	one := run(1)
+	eight := run(8)
+	if !reflect.DeepEqual(one.Findings, eight.Findings) {
+		t.Errorf("findings depend on worker count:\n1: %+v\n8: %+v", one.Findings, eight.Findings)
+	}
+	if !reflect.DeepEqual(one.StepsHistogram, eight.StepsHistogram) {
+		t.Errorf("steps histogram depends on worker count: %v vs %v",
+			one.StepsHistogram, eight.StepsHistogram)
+	}
+	if one.Examined != eight.Examined {
+		t.Errorf("examined counts differ: %d vs %d", one.Examined, eight.Examined)
+	}
+	if len(one.Findings) == 0 {
+		t.Error("determinism check matched nothing; scenario is vacuous")
+	}
+}

@@ -29,7 +29,12 @@ func main() {
 	}
 	fmt.Printf("corpus: %d firmware images\n", len(c.Images))
 
-	// 2. Compile the query: wget 1.15 (the latest vulnerable version for
+	// 2. Start an analyzer session: queries and images analyzed under it
+	// share one strand-hash interner, so every search runs over the
+	// session's dense-ID fast paths and per-image corpus indexes.
+	analyzer := firmup.NewAnalyzer(nil)
+
+	// 3. Compile the query: wget 1.15 (the latest vulnerable version for
 	// CVE-2014-4877), default tool chain, symbols intact. A query is
 	// built per target architecture, as in the paper.
 	queries := map[uir.Arch]*firmup.Executable{}
@@ -38,25 +43,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		q, err := firmup.LoadQueryExecutable(qf.Bytes())
+		q, err := analyzer.LoadQueryExecutable(qf.Bytes())
 		if err != nil {
 			log.Fatal(err)
 		}
 		queries[arch] = q
 	}
 
-	// 3. Search every image. Images are packed and re-opened through the
+	// 4. Search every image. Images are packed and re-opened through the
 	// public API, exactly as an external user would handle crawled files.
-	total := 0
+	total, skipped := 0, 0
 	for _, bi := range c.Images {
 		data := bi.Image.Pack(true)
-		img, err := firmup.OpenImage(data)
+		img, err := analyzer.OpenImage(data)
 		if err != nil {
 			log.Printf("skip %s %s: %v", bi.Vendor, bi.Device, err)
 			continue
 		}
+		skipped += len(img.Skipped)
+		for _, s := range img.Skipped {
+			log.Printf("%s %s: skipped %s: %v", bi.Vendor, bi.Device, s.Path, s.Err)
+		}
 		arch := bi.Exes[0].Arch
-		findings, err := firmup.SearchImage(queries[arch], "ftp_retrieve_glob", img, nil)
+		findings, err := analyzer.SearchImage(queries[arch], "ftp_retrieve_glob", img, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,4 +77,6 @@ func main() {
 		}
 	}
 	fmt.Printf("\nCVE-2014-4877 (wget ftp_retrieve_glob): %d occurrence(s) found in stripped firmware\n", total)
+	fmt.Printf("session: %d unique strands interned, %d executable(s) skipped during analysis\n",
+		analyzer.UniqueStrands(), skipped)
 }

@@ -8,11 +8,23 @@
 //	firmware image → unpack → recover procedures & blocks → lift to IR →
 //	decompose into canonical strands → back-and-forth game matching
 //
-// Quick start:
+// Analysis runs under an Analyzer session: every executable analyzed by
+// one session shares a strand-hash interner (canonical strand hashes
+// deduplicated to dense IDs) and every opened image carries a
+// corpus-level inverted index that lets SearchImage rank candidate
+// executables by shared-strand count and skip targets that provably
+// cannot clear the acceptance threshold.
+//
+// Quick start (the package-level functions share one default session):
 //
 //	img, _ := firmup.OpenImage(imageBytes)
 //	query, _ := firmup.LoadQueryExecutable(queryBytes)
 //	findings, _ := firmup.SearchImage(query, "ftp_retrieve_glob", img, nil)
+//
+// Long-lived services should create their own sessions:
+//
+//	a := firmup.NewAnalyzer(nil)
+//	img, _ := a.OpenImage(imageBytes)
 //
 // Everything underneath — the firmlang compiler and its four ISA
 // backends, the FWELF container, the lifters, the canonicalizer, the
@@ -23,9 +35,12 @@ package firmup
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"firmup/internal/cfg"
 	"firmup/internal/core"
+	"firmup/internal/corpusindex"
 	"firmup/internal/image"
 	_ "firmup/internal/isa/arm"  // register the ARM32 backend
 	_ "firmup/internal/isa/mips" // register the MIPS32 backend
@@ -34,6 +49,63 @@ import (
 	"firmup/internal/obj"
 	"firmup/internal/sim"
 )
+
+// AnalyzerOptions tune an analyzer session. The zero value selects the
+// defaults.
+type AnalyzerOptions struct {
+	// Workers bounds the parallel analysis of an image's executables in
+	// OpenImage (default GOMAXPROCS).
+	Workers int
+	// DisableIndex turns off the corpus-level search index: opened
+	// images carry no index and every search examines every target.
+	// Findings are identical either way.
+	DisableIndex bool
+}
+
+func (o *AnalyzerOptions) workers() int {
+	if o == nil || o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o *AnalyzerOptions) indexed() bool { return o == nil || !o.DisableIndex }
+
+// Analyzer is one analysis session. All executables analyzed under it —
+// queries and image contents alike — share its strand-hash interner, so
+// their strand sets carry comparable dense IDs and searches between
+// them take the interned fast paths. An Analyzer is safe for concurrent
+// use.
+type Analyzer struct {
+	opt      AnalyzerOptions
+	interner *corpusindex.Interner
+}
+
+// NewAnalyzer creates a session. NewAnalyzer(nil) selects the defaults.
+func NewAnalyzer(opt *AnalyzerOptions) *Analyzer {
+	a := &Analyzer{interner: corpusindex.NewInterner()}
+	if opt != nil {
+		a.opt = *opt
+	}
+	return a
+}
+
+// UniqueStrands reports the session's strand vocabulary: the number of
+// distinct canonical strand hashes interned across every executable
+// analyzed so far.
+func (a *Analyzer) UniqueStrands() int { return a.interner.Size() }
+
+// defaultSession backs the package-level one-liner API; sharing one
+// session keeps package-level queries and images ID-comparable.
+var (
+	defaultOnce    sync.Once
+	defaultSession *Analyzer
+)
+
+func defaultAnalyzer() *Analyzer {
+	defaultOnce.Do(func() { defaultSession = NewAnalyzer(nil) })
+	return defaultSession
+}
 
 // Executable is an analyzed binary: its procedures recovered, lifted and
 // indexed as sets of canonical strands.
@@ -69,35 +141,71 @@ type ProcedureInfo struct {
 	Blocks   int
 }
 
+// SkipReason records one in-image executable that parsed as an FWELF but
+// failed analysis and was left out of Image.Exes.
+type SkipReason struct {
+	// Path locates the file within the image (carved_<n> for carved
+	// executables).
+	Path string
+	Err  error
+}
+
 // Image is an unpacked firmware image with its analyzable executables.
 type Image struct {
 	Vendor  string
 	Device  string
 	Version string
 	Exes    []*Executable
+	// Skipped lists the executables that failed analysis; they are not
+	// searchable but no longer silently dropped.
+	Skipped []SkipReason
+
+	index *corpusindex.Index
 }
 
-// AnalyzeExecutable parses and analyzes one FWELF binary.
-func AnalyzeExecutable(path string, data []byte) (*Executable, error) {
+// IndexedStrands reports the number of (strand, executable, procedure)
+// postings in the image's search index, or 0 when the image was opened
+// without one.
+func (im *Image) IndexedStrands() int {
+	if im.index == nil {
+		return 0
+	}
+	return im.index.Postings()
+}
+
+// AnalyzeExecutable parses and analyzes one FWELF binary under the
+// session.
+func (a *Analyzer) AnalyzeExecutable(path string, data []byte) (*Executable, error) {
 	f, err := obj.Read(data)
 	if err != nil {
 		return nil, err
 	}
-	return analyzeFile(path, f)
+	return a.analyzeFile(path, f)
 }
 
-func analyzeFile(path string, f *obj.File) (*Executable, error) {
+func (a *Analyzer) analyzeFile(path string, f *obj.File) (*Executable, error) {
 	rec, err := cfg.Recover(f)
 	if err != nil {
 		return nil, fmt.Errorf("firmup: %s: %w", path, err)
 	}
-	return &Executable{Path: path, exe: sim.Build(path, rec), rec: rec}, nil
+	return &Executable{Path: path, exe: sim.Build(path, rec, a.interner), rec: rec}, nil
+}
+
+// LoadQueryExecutable analyzes the analyst's query binary (typically
+// compiled from the latest vulnerable package version, symbols intact)
+// under the session.
+func (a *Analyzer) LoadQueryExecutable(data []byte) (*Executable, error) {
+	return a.AnalyzeExecutable("query", data)
 }
 
 // OpenImage unpacks a firmware image and analyzes every executable in
-// it. Images that fail structural unpacking are carved binwalk-style for
-// embedded executables.
-func OpenImage(data []byte) (*Image, error) {
+// it, in parallel under the session's worker pool. Images that fail
+// structural unpacking are carved binwalk-style for embedded
+// executables. Executables that fail analysis are reported in
+// Image.Skipped rather than silently dropped.
+func (a *Analyzer) OpenImage(data []byte) (*Image, error) {
+	var out *Image
+	var pending []pendingExe
 	im, err := image.Unpack(data)
 	if err != nil {
 		// Carving fallback: damaged or unknown container.
@@ -105,34 +213,84 @@ func OpenImage(data []byte) (*Image, error) {
 		if len(files) == 0 {
 			return nil, fmt.Errorf("firmup: cannot unpack image and carving found no executables: %w", err)
 		}
-		out := &Image{}
+		out = &Image{}
 		for i, f := range files {
-			e, err := analyzeFile(fmt.Sprintf("carved_%d", i), f)
-			if err != nil {
-				continue
-			}
-			out.Exes = append(out.Exes, e)
+			pending = append(pending, pendingExe{path: fmt.Sprintf("carved_%d", i), file: f})
 		}
-		return out, nil
-	}
-	out := &Image{Vendor: im.Vendor, Device: im.Device, Version: im.Version}
-	for _, pe := range im.Executables() {
-		e, err := analyzeFile(pe.Path, pe.File)
-		if err != nil {
-			continue
+	} else {
+		out = &Image{Vendor: im.Vendor, Device: im.Device, Version: im.Version}
+		for _, pe := range im.Executables() {
+			pending = append(pending, pendingExe{path: pe.Path, file: pe.File})
 		}
-		out.Exes = append(out.Exes, e)
 	}
+	a.analyzeAll(pending, out)
 	if len(out.Exes) == 0 {
 		return nil, fmt.Errorf("firmup: image contains no analyzable executables")
+	}
+	if a.opt.indexed() {
+		out.index = corpusindex.NewIndex(a.interner)
+		for _, e := range out.Exes {
+			out.index.Add(e.exe)
+		}
 	}
 	return out, nil
 }
 
-// LoadQueryExecutable analyzes the analyst's query binary (typically
-// compiled from the latest vulnerable package version, symbols intact).
+type pendingExe struct {
+	path string
+	file *obj.File
+}
+
+// analyzeAll runs the session's bounded worker pool over the pending
+// executables, preserving input order in both Exes and Skipped.
+func (a *Analyzer) analyzeAll(pending []pendingExe, out *Image) {
+	exes := make([]*Executable, len(pending))
+	errs := make([]error, len(pending))
+	workers := a.opt.workers()
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				exes[i], errs[i] = a.analyzeFile(pending[i].path, pending[i].file)
+			}
+		}()
+	}
+	for i := range pending {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i := range pending {
+		if errs[i] != nil {
+			out.Skipped = append(out.Skipped, SkipReason{Path: pending[i].path, Err: errs[i]})
+			continue
+		}
+		out.Exes = append(out.Exes, exes[i])
+	}
+}
+
+// AnalyzeExecutable parses and analyzes one FWELF binary under the
+// package's default session.
+func AnalyzeExecutable(path string, data []byte) (*Executable, error) {
+	return defaultAnalyzer().AnalyzeExecutable(path, data)
+}
+
+// OpenImage opens an image under the package's default session (see
+// Analyzer.OpenImage).
+func OpenImage(data []byte) (*Image, error) {
+	return defaultAnalyzer().OpenImage(data)
+}
+
+// LoadQueryExecutable analyzes a query binary under the package's
+// default session.
 func LoadQueryExecutable(data []byte) (*Executable, error) {
-	return AnalyzeExecutable("query", data)
+	return defaultAnalyzer().LoadQueryExecutable(data)
 }
 
 // Options tune the search engine. The zero value selects the defaults
@@ -148,6 +306,10 @@ type Options struct {
 	MaxGameSteps int
 	// Workers bounds search parallelism (default GOMAXPROCS).
 	Workers int
+	// Exhaustive disables the image's corpus-index prefilter for this
+	// search: every executable is examined. Findings are identical; only
+	// the work done differs.
+	Exhaustive bool
 }
 
 func (o *Options) search() *core.SearchOptions {
@@ -187,9 +349,32 @@ type Finding struct {
 	GameSteps int
 }
 
+// SearchResult pairs an image search's findings with its accounting.
+type SearchResult struct {
+	Findings []Finding
+	// Examined is the number of executables the game was actually played
+	// against; with the corpus-index prefilter this is usually well below
+	// len(img.Exes).
+	Examined int
+	// StepsHistogram counts accepted findings by game steps needed.
+	StepsHistogram map[int]int
+}
+
 // SearchImage looks for the query executable's procedure in every
-// executable of the image.
+// executable of the image. When the image carries a search index and the
+// query shares its session, provably-irrelevant executables are skipped
+// without playing the game; the findings are identical either way.
 func SearchImage(query *Executable, procedure string, img *Image, opt *Options) ([]Finding, error) {
+	res, err := SearchImageDetailed(query, procedure, img, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// SearchImageDetailed is SearchImage with the search accounting
+// (examined-target count, steps histogram) exposed.
+func SearchImageDetailed(query *Executable, procedure string, img *Image, opt *Options) (*SearchResult, error) {
 	qi := query.exe.ProcByName(procedure)
 	if qi < 0 {
 		return nil, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
@@ -198,10 +383,32 @@ func SearchImage(query *Executable, procedure string, img *Image, opt *Options) 
 	for i, e := range img.Exes {
 		targets[i] = e.exe
 	}
-	res := core.Search(query.exe, qi, targets, opt.search())
-	out := make([]Finding, 0, len(res.Findings))
+	s := opt.search()
+	if img.index != nil && (opt == nil || !opt.Exhaustive) {
+		// The acceptance ratio here is plain Score/|Strands(q)| (the
+		// facade sets no strand weigher), so both floors prune soundly.
+		minScore, minRatio := s.MinScore, s.MinRatio
+		idx := img.index
+		s.Prefilter = func(q *sim.Exe, qpi int, _ []*sim.Exe) ([]int, bool) {
+			cands, ok := idx.Candidates(q.Procs[qpi].Set, minScore, minRatio)
+			if !ok {
+				return nil, false
+			}
+			out := make([]int, len(cands))
+			for i, c := range cands {
+				out[i] = c.Exe
+			}
+			return out, true
+		}
+	}
+	res := core.Search(query.exe, qi, targets, s)
+	out := &SearchResult{
+		Findings:       make([]Finding, 0, len(res.Findings)),
+		Examined:       res.Examined,
+		StepsHistogram: res.StepsHistogram,
+	}
 	for _, f := range res.Findings {
-		out = append(out, Finding{
+		out.Findings = append(out.Findings, Finding{
 			ExePath:    f.ExePath,
 			ProcName:   f.ProcName,
 			ProcAddr:   f.ProcAddr,
@@ -211,6 +418,12 @@ func SearchImage(query *Executable, procedure string, img *Image, opt *Options) 
 		})
 	}
 	return out, nil
+}
+
+// SearchImage on a session is the package-level SearchImage; it is
+// provided so session users never touch package-level state.
+func (a *Analyzer) SearchImage(query *Executable, procedure string, img *Image, opt *Options) ([]Finding, error) {
+	return SearchImage(query, procedure, img, opt)
 }
 
 // MatchProcedure runs the back-and-forth game for one query procedure

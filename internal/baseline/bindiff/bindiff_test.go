@@ -35,7 +35,7 @@ func build(t *testing.T, prof compiler.Profile, opt isa.Options, strip bool) *si
 	if err != nil {
 		t.Fatal(err)
 	}
-	return sim.Build("exe", rec)
+	return sim.Build("exe", rec, nil)
 }
 
 func accuracy(t *testing.T, q, tgt *sim.Exe, res Result) (int, int) {

@@ -47,6 +47,15 @@ type SearchOptions struct {
 	Weigher func(hash uint64) float64
 	// Workers bounds the parallel target workers (default GOMAXPROCS).
 	Workers int
+	// Prefilter, when set, narrows the target set before any game is
+	// played: it returns the indices of the targets worth examining, or
+	// ok=false when it has no information (every target is then
+	// examined, preserving the exhaustive semantics). The contract is
+	// soundness: a prefilter may only omit targets that provably cannot
+	// produce an accepted finding (e.g. their best per-procedure Sim is
+	// already below MinScore), so findings and the steps histogram are
+	// identical with and without it — only Examined shrinks.
+	Prefilter func(q *sim.Exe, qi int, targets []*sim.Exe) (candidates []int, ok bool)
 }
 
 func (o *SearchOptions) minScore() int {
@@ -97,9 +106,12 @@ type SearchResult struct {
 	Examined int
 }
 
-// Search runs the game for the query procedure against every target
-// executable in parallel, applying the acceptance threshold.
+// Search runs the game for the query procedure against every candidate
+// target executable in parallel, applying the acceptance threshold.
+// Without a prefilter (or when it reports no information) every target
+// is a candidate.
 func Search(q *sim.Exe, qi int, targets []*sim.Exe, opt *SearchOptions) SearchResult {
+	candidates := candidateIndices(q, qi, targets, opt)
 	type job struct {
 		idx int
 		t   *sim.Exe
@@ -121,13 +133,13 @@ func Search(q *sim.Exe, qi int, targets []*sim.Exe, opt *SearchOptions) SearchRe
 			}
 		}()
 	}
-	for i, t := range targets {
-		jobs <- job{i, t}
+	for _, i := range candidates {
+		jobs <- job{i, targets[i]}
 	}
 	close(jobs)
 	wg.Wait()
 
-	out := SearchResult{StepsHistogram: map[int]int{}, Examined: len(targets)}
+	out := SearchResult{StepsHistogram: map[int]int{}, Examined: len(candidates)}
 	for i, f := range results {
 		if f == nil {
 			continue
@@ -136,6 +148,37 @@ func Search(q *sim.Exe, qi int, targets []*sim.Exe, opt *SearchOptions) SearchRe
 		out.StepsHistogram[steps[i]]++
 	}
 	sort.Slice(out.Findings, func(i, j int) bool { return out.Findings[i].ExePath < out.Findings[j].ExePath })
+	return out
+}
+
+// candidateIndices resolves the prefilter to a valid candidate index
+// list, defaulting to every target. Out-of-range and duplicate indices
+// from a misbehaving prefilter are dropped rather than trusted.
+func candidateIndices(q *sim.Exe, qi int, targets []*sim.Exe, opt *SearchOptions) []int {
+	if opt == nil || opt.Prefilter == nil {
+		return allIndices(len(targets))
+	}
+	cand, ok := opt.Prefilter(q, qi, targets)
+	if !ok {
+		return allIndices(len(targets))
+	}
+	seen := make([]bool, len(targets))
+	out := make([]int, 0, len(cand))
+	for _, i := range cand {
+		if i < 0 || i >= len(targets) || seen[i] {
+			continue
+		}
+		seen[i] = true
+		out = append(out, i)
+	}
+	return out
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
 	return out
 }
 

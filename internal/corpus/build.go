@@ -9,6 +9,7 @@ import (
 	"firmup/internal/isa"
 	"firmup/internal/obj"
 	"firmup/internal/sim"
+	"firmup/internal/strand"
 	"firmup/internal/uir"
 )
 
@@ -169,8 +170,16 @@ func (c *Corpus) buildUnit(v *Vendor, arch uir.Arch, pkg, ver string) (*builtUni
 
 // QueryExe compiles the analyst's query executable: the package at the
 // CVE's query version, built with the default gcc-5.2-O2-style profile
-// for the given architecture, symbols intact.
+// for the given architecture, symbols intact. The build is session-less;
+// see QueryExeIn for building under an analyzer session.
 func QueryExe(pkg, version string, arch uir.Arch) (*sim.Exe, *obj.File, error) {
+	return QueryExeIn(nil, pkg, version, arch)
+}
+
+// QueryExeIn is QueryExe under an analyzer session: the query's strand
+// sets are interned by it, making them ID-comparable with every target
+// built under the same session.
+func QueryExeIn(it strand.Interner, pkg, version string, arch uir.Arch) (*sim.Exe, *obj.File, error) {
 	src, err := PackageSource(pkg, version)
 	if err != nil {
 		return nil, nil, err
@@ -198,17 +207,22 @@ func QueryExe(pkg, version string, arch uir.Arch) (*sim.Exe, *obj.File, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return sim.Build(pkg+"@"+version, rec), f, nil
+	return sim.Build(pkg+"@"+version, rec, it), f, nil
 }
 
 // IndexExe recovers and indexes a shipped executable (the analysis-side
-// view: stripped).
+// view: stripped), session-less.
 func IndexExe(e *BuiltExe) (*sim.Exe, error) {
+	return IndexExeIn(nil, e)
+}
+
+// IndexExeIn is IndexExe under an analyzer session.
+func IndexExeIn(it strand.Interner, e *BuiltExe) (*sim.Exe, error) {
 	rec, err := cfg.Recover(e.File)
 	if err != nil {
 		return nil, err
 	}
-	return sim.Build(e.Path, rec), nil
+	return sim.Build(e.Path, rec, it), nil
 }
 
 // Stats summarizes a corpus.

@@ -1,0 +1,215 @@
+// Package corpusindex implements the shared signature store an analyzer
+// session is built around: a strand-hash interner that deduplicates the
+// 64-bit canonical strand hashes of every executable analyzed under one
+// session into dense IDs, and a corpus-level inverted index mapping each
+// dense strand ID to its (executable, procedure) postings.
+//
+// The interner is what lets sim.Exe keep sorted dense-ID sets and
+// slice-backed posting lists instead of per-executable hash maps; the
+// index is what lets a whole-image (or whole-corpus) search rank
+// candidate executables by shared-strand count and skip targets that
+// provably cannot clear the acceptance threshold, instead of playing
+// the back-and-forth game against every executable.
+package corpusindex
+
+import (
+	"sort"
+	"sync"
+
+	"firmup/internal/sim"
+	"firmup/internal/strand"
+)
+
+// Interner assigns dense uint32 IDs to 64-bit strand hashes, first come
+// first served. It is safe for concurrent use: parallel analysis of the
+// executables of an image interns through one shared instance.
+type Interner struct {
+	mu  sync.RWMutex
+	ids map[uint64]uint32
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: map[uint64]uint32{}}
+}
+
+// Intern returns the dense ID for hash, assigning the next free ID on
+// first sight.
+func (it *Interner) Intern(h uint64) uint32 {
+	it.mu.RLock()
+	id, ok := it.ids[h]
+	it.mu.RUnlock()
+	if ok {
+		return id
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if id, ok := it.ids[h]; ok {
+		return id
+	}
+	id = uint32(len(it.ids))
+	it.ids[h] = id
+	return id
+}
+
+// Size reports the number of distinct strand hashes interned so far —
+// the session's strand vocabulary.
+func (it *Interner) Size() int {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	return len(it.ids)
+}
+
+// posting locates one procedure that contains a strand.
+type posting struct {
+	exe  int32
+	proc int32
+}
+
+// Index is the corpus-level inverted index: dense strand ID →
+// (executable, procedure) postings over every executable added to it.
+// Executables are identified by their insertion order.
+type Index struct {
+	mu   sync.RWMutex
+	it   *Interner
+	exes []*sim.Exe
+	post [][]posting // indexed by dense strand ID
+}
+
+// NewIndex returns an empty index over the session's interner.
+func NewIndex(it *Interner) *Index {
+	return &Index{it: it}
+}
+
+// Interner returns the session interner the index is keyed by.
+func (x *Index) Interner() *Interner { return x.it }
+
+// Add indexes every procedure of e and returns e's executable ID (its
+// position in insertion order). The executable must have been built
+// under the index's session so its sets carry comparable dense IDs;
+// un-interned executables are registered but contribute no postings
+// (searches fall back to exhaustive examination for them).
+func (x *Index) Add(e *sim.Exe) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	ei := len(x.exes)
+	x.exes = append(x.exes, e)
+	for pi, p := range e.Procs {
+		if p.Set.It != strand.Interner(x.it) {
+			continue
+		}
+		for _, id := range p.Set.IDs {
+			if int(id) >= len(x.post) {
+				grown := make([][]posting, id+1)
+				copy(grown, x.post)
+				x.post = grown
+			}
+			x.post[id] = append(x.post[id], posting{exe: int32(ei), proc: int32(pi)})
+		}
+	}
+	return ei
+}
+
+// Len reports the number of indexed executables.
+func (x *Index) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.exes)
+}
+
+// Postings reports the total number of (strand, executable, procedure)
+// postings held — the index's size measure.
+func (x *Index) Postings() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	n := 0
+	for _, ps := range x.post {
+		n += len(ps)
+	}
+	return n
+}
+
+// Candidate is one executable that could contain the query procedure.
+type Candidate struct {
+	// Exe is the executable's insertion-order ID.
+	Exe int
+	// MaxSim is the maximum Sim(q, p) over the executable's procedures —
+	// an exact upper bound on the score of any finding the game can
+	// produce in this executable.
+	MaxSim int
+}
+
+// Candidates ranks the indexed executables by MaxSim against the query
+// set and drops those provably unable to clear the acceptance floors:
+// a finding's score is Sim(q, matched procedure) ≤ MaxSim, so an
+// executable with MaxSim < minScore — or, when ratioFloor > 0, with
+// MaxSim/|q| < ratioFloor — cannot yield an accepted finding. Pass
+// ratioFloor 0 when the acceptance ratio is not plain Score/|q| (e.g.
+// under a strand weigher). The ranking is deterministic: MaxSim
+// descending, executable ID ascending.
+//
+// The second return is false when the query set was not interned under
+// this index's session, in which case the caller must fall back to
+// exhaustive examination.
+func (x *Index) Candidates(q strand.Set, minScore int, ratioFloor float64) ([]Candidate, bool) {
+	if q.It != strand.Interner(x.it) {
+		return nil, false
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	// Count shared strands per (exe, proc); the per-exe maximum over
+	// procedures is the bound the floors apply to.
+	counts := map[int64]int{}
+	for _, id := range q.IDs {
+		if int(id) >= len(x.post) {
+			continue
+		}
+		for _, p := range x.post[id] {
+			counts[int64(p.exe)<<32|int64(p.proc)]++
+		}
+	}
+	maxSim := map[int32]int{}
+	for key, c := range counts {
+		ei := int32(key >> 32)
+		if c > maxSim[ei] {
+			maxSim[ei] = c
+		}
+	}
+	qsize := len(q.IDs)
+	if minScore < 1 {
+		minScore = 1
+	}
+	out := make([]Candidate, 0, len(maxSim))
+	for ei, c := range maxSim {
+		if c < minScore {
+			continue
+		}
+		if ratioFloor > 0 && qsize > 0 && float64(c)/float64(qsize) < ratioFloor {
+			continue
+		}
+		out = append(out, Candidate{Exe: int(ei), MaxSim: c})
+	}
+	// Every executable that never interned (no postings) must still be
+	// examined: the index has no information about it.
+	for ei, e := range x.exes {
+		if !interned(x.it, e) {
+			out = append(out, Candidate{Exe: ei, MaxSim: 0})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxSim != out[j].MaxSim {
+			return out[i].MaxSim > out[j].MaxSim
+		}
+		return out[i].Exe < out[j].Exe
+	})
+	return out, true
+}
+
+// interned reports whether e carries dense IDs from it (checked on the
+// first procedure: Build interns all sets or none).
+func interned(it *Interner, e *sim.Exe) bool {
+	if len(e.Procs) == 0 {
+		return true // nothing to examine either way
+	}
+	return e.Procs[0].Set.It == strand.Interner(it)
+}

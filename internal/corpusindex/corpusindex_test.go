@@ -1,0 +1,172 @@
+package corpusindex
+
+import (
+	"sync"
+	"testing"
+
+	"firmup/internal/sim"
+	"firmup/internal/strand"
+)
+
+func set(hashes ...uint64) strand.Set {
+	s := append([]uint64(nil), hashes...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return strand.Set{Hashes: s}
+}
+
+func TestInternerDedup(t *testing.T) {
+	it := NewInterner()
+	a := it.Intern(42)
+	b := it.Intern(77)
+	if a == b {
+		t.Fatalf("distinct hashes share ID %d", a)
+	}
+	if got := it.Intern(42); got != a {
+		t.Errorf("re-intern(42) = %d, want %d", got, a)
+	}
+	if it.Size() != 2 {
+		t.Errorf("Size = %d, want 2", it.Size())
+	}
+}
+
+func TestInternerConcurrent(t *testing.T) {
+	it := NewInterner()
+	const goroutines, hashes = 8, 500
+	var wg sync.WaitGroup
+	ids := make([][]uint32, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]uint32, hashes)
+			for h := 0; h < hashes; h++ {
+				ids[g][h] = it.Intern(uint64(h))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if it.Size() != hashes {
+		t.Fatalf("Size = %d, want %d", it.Size(), hashes)
+	}
+	for g := 1; g < goroutines; g++ {
+		for h := 0; h < hashes; h++ {
+			if ids[g][h] != ids[0][h] {
+				t.Fatalf("goroutine %d saw ID %d for hash %d, goroutine 0 saw %d",
+					g, ids[g][h], h, ids[0][h])
+			}
+		}
+	}
+}
+
+// exes returns a small corpus built under one session plus its index.
+func buildCorpus(t *testing.T) (*Interner, *Index, []*sim.Exe) {
+	t.Helper()
+	it := NewInterner()
+	exes := []*sim.Exe{
+		sim.FromProcsSession("a", []*sim.Proc{
+			{Name: "a0", Set: set(1, 2, 3, 4, 5)},
+			{Name: "a1", Set: set(4, 5, 6)},
+		}, it),
+		sim.FromProcsSession("b", []*sim.Proc{
+			{Name: "b0", Set: set(1, 2)},
+		}, it),
+		sim.FromProcsSession("c", []*sim.Proc{
+			{Name: "c0", Set: set(100, 101)},
+		}, it),
+	}
+	x := NewIndex(it)
+	for _, e := range exes {
+		x.Add(e)
+	}
+	return it, x, exes
+}
+
+func TestCandidatesMatchBruteForce(t *testing.T) {
+	it, x, exes := buildCorpus(t)
+	q := set(1, 2, 3, 9).Interned(it)
+
+	cands, ok := x.Candidates(q, 1, 0)
+	if !ok {
+		t.Fatal("same-session query must be filterable")
+	}
+	want := map[int]int{} // exe -> brute-force max Sim
+	for ei, e := range exes {
+		max := 0
+		for i := range e.Procs {
+			if s := e.Sim(q, i); s > max {
+				max = s
+			}
+		}
+		if max > 0 {
+			want[ei] = max
+		}
+	}
+	if len(cands) != len(want) {
+		t.Fatalf("candidates = %+v, want exes %v", cands, want)
+	}
+	for _, c := range cands {
+		if want[c.Exe] != c.MaxSim {
+			t.Errorf("exe %d MaxSim = %d, want %d", c.Exe, c.MaxSim, want[c.Exe])
+		}
+	}
+	// Ranking: MaxSim descending.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].MaxSim > cands[i-1].MaxSim {
+			t.Errorf("candidates out of order: %+v", cands)
+		}
+	}
+}
+
+func TestCandidatesFloors(t *testing.T) {
+	it, x, _ := buildCorpus(t)
+	q := set(1, 2, 3, 9).Interned(it)
+
+	// minScore 3: only exe a (max Sim 3 via a0) survives.
+	cands, ok := x.Candidates(q, 3, 0)
+	if !ok || len(cands) != 1 || cands[0].Exe != 0 || cands[0].MaxSim != 3 {
+		t.Errorf("minScore=3 candidates = %+v, ok=%v; want just exe 0 at MaxSim 3", cands, ok)
+	}
+	// ratio floor 0.9 with |q|=4: even 3/4 shared fails.
+	cands, ok = x.Candidates(q, 1, 0.9)
+	if !ok || len(cands) != 0 {
+		t.Errorf("ratioFloor=0.9 candidates = %+v, want none", cands)
+	}
+}
+
+func TestCandidatesCrossSession(t *testing.T) {
+	_, x, _ := buildCorpus(t)
+	other := NewInterner()
+	q := set(1, 2, 3).Interned(other)
+	if _, ok := x.Candidates(q, 1, 0); ok {
+		t.Error("query from another session must report ok=false")
+	}
+	if _, ok := x.Candidates(set(1, 2, 3), 1, 0); ok {
+		t.Error("un-interned query must report ok=false")
+	}
+}
+
+func TestUninternedExeAlwaysCandidate(t *testing.T) {
+	it, x, _ := buildCorpus(t)
+	// An executable from outside the session carries no postings; the
+	// index must keep it examinable rather than silently pruning it.
+	foreign := sim.FromProcs("f", []*sim.Proc{{Name: "f0", Set: set(1, 2, 3)}})
+	fi := x.Add(foreign)
+	q := set(1, 2, 3).Interned(it)
+	cands, ok := x.Candidates(q, 3, 0)
+	if !ok {
+		t.Fatal("expected filterable")
+	}
+	found := false
+	for _, c := range cands {
+		if c.Exe == fi {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("foreign exe %d missing from candidates %+v", fi, cands)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"firmup/internal/cfg"
 	"firmup/internal/core"
 	"firmup/internal/corpus"
+	"firmup/internal/corpusindex"
 	"firmup/internal/obj"
 	"firmup/internal/sim"
 	"firmup/internal/uir"
@@ -54,13 +55,24 @@ func (u *Unit) TruthName(addr uint32) string {
 }
 
 // Env is the prepared evaluation environment: the corpus, its unique
-// units indexed for search, and per-(package, arch) query builds.
+// units indexed for search, and per-(package, arch) query builds. Every
+// unit and query is built under one analyzer session (It), so the
+// matcher always takes the interned fast paths; Index is the
+// corpus-level inverted index over the units.
 type Env struct {
 	Corpus *corpus.Corpus
 	Units  []*Unit
+	// It is the session interner shared by every unit and query build.
+	It *corpusindex.Interner
+	// Index maps dense strand IDs to (unit, procedure) postings across
+	// the whole corpus; unit IDs follow Units order.
+	Index *corpusindex.Index
 	// queries caches QueryExe results by pkg|version|arch.
 	queries map[string]*queryBuild
 }
+
+// UniqueStrands reports the session's strand vocabulary size.
+func (env *Env) UniqueStrands() int { return env.It.Size() }
 
 type queryBuild struct {
 	exe *sim.Exe
@@ -73,7 +85,7 @@ func Prepare(sc corpus.Scale) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{Corpus: c, queries: map[string]*queryBuild{}}
+	env := &Env{Corpus: c, It: corpusindex.NewInterner(), queries: map[string]*queryBuild{}}
 	byFile := map[*obj.File]*Unit{}
 	for ii, bi := range c.Images {
 		for ei := range bi.Exes {
@@ -98,12 +110,14 @@ func Prepare(sc corpus.Scale) (*Env, error) {
 		}
 	}
 	sort.Slice(env.Units, func(i, j int) bool { return env.Units[i].Key < env.Units[j].Key })
+	env.Index = corpusindex.NewIndex(env.It)
 	for _, u := range env.Units {
 		rec, err := cfg.Recover(u.File)
 		if err != nil {
 			return nil, fmt.Errorf("eval: recover %s: %w", u.Key, err)
 		}
-		u.Exe = sim.Build(u.Key, rec)
+		u.Exe = sim.Build(u.Key, rec, env.It)
+		env.Index.Add(u.Exe)
 	}
 	return env, nil
 }
@@ -115,7 +129,7 @@ func (env *Env) Query(pkg, version string, arch uir.Arch) (*sim.Exe, error) {
 	if q, ok := env.queries[key]; ok {
 		return q.exe, nil
 	}
-	exe, f, err := corpus.QueryExe(pkg, version, arch)
+	exe, f, err := corpus.QueryExeIn(env.It, pkg, version, arch)
 	if err != nil {
 		return nil, err
 	}

@@ -3,10 +3,16 @@
 // canonical strands, plus call-graph and CFG shape metadata used by the
 // graph-based baseline, with an inverted strand index for fast
 // best-match queries (the paper's Sim(q,t) = |Strands(q) ∩ Strands(t)|).
+//
+// An executable built under an analyzer session (a strand.Interner)
+// stores sorted dense strand IDs alongside its hashes and keeps its
+// inverted index as slice-backed posting lists in CSR form; without a
+// session it falls back to the per-executable hash-map index.
 package sim
 
 import (
 	"sort"
+	"sync"
 
 	"firmup/internal/cfg"
 	"firmup/internal/isa"
@@ -38,11 +44,31 @@ type Exe struct {
 	Procs []*Proc
 	// Stripped mirrors the container flag.
 	Stripped bool
+
+	it strand.Interner
+	// CSR inverted index over dense strand IDs (session mode): ids is
+	// the sorted set of distinct strand IDs present in the executable,
+	// and procs[start[k]:start[k+1]] lists the procedures containing
+	// ids[k].
+	ids   []uint32
+	start []int32
+	procs []int32
+
+	// Hash-map index: the only index in session-less mode, and the
+	// fallback for query sets interned under a different session. Built
+	// lazily so session-mode executables pay for it only if needed.
+	hashOnce sync.Once
 	index    map[uint64][]int32
+
+	nameOnce sync.Once
+	names    map[string]int
 }
 
-// Build indexes a recovered executable.
-func Build(path string, rec *cfg.Recovered) *Exe {
+// Build indexes a recovered executable. A non-nil interner attaches the
+// executable to that analyzer session: every procedure's strand set is
+// interned to dense IDs and the inverted index is built as posting
+// lists over them.
+func Build(path string, rec *cfg.Recovered, it strand.Interner) *Exe {
 	be, err := isa.ByArch(rec.Arch)
 	var abi *uir.ABI
 	if err == nil {
@@ -59,7 +85,7 @@ func Build(path string, rec *cfg.Recovered) *Exe {
 			Name:       p.Name,
 			Addr:       p.Entry,
 			Exported:   p.Exported,
-			Set:        strand.FromBlocks(p.Blocks, opt),
+			Set:        strand.FromBlocks(p.Blocks, opt).Interned(it),
 			Markers:    strand.ConstMarkers(p.Blocks, opt),
 			BlockCount: len(p.Blocks),
 			InstCount:  len(p.Insts),
@@ -83,33 +109,98 @@ func Build(path string, rec *cfg.Recovered) *Exe {
 			e.Procs[c].CalledBy = append(e.Procs[c].CalledBy, i)
 		}
 	}
-	e.buildIndex()
+	e.buildIndex(it)
 	return e
 }
 
 // FromProcs assembles an executable directly from procedures (used by
-// tests and synthetic scenarios).
+// tests and synthetic scenarios), without an analyzer session.
 func FromProcs(path string, procs []*Proc) *Exe {
+	return FromProcsSession(path, procs, nil)
+}
+
+// FromProcsSession assembles an executable from procedures under an
+// analyzer session, interning every strand set when it is non-nil.
+func FromProcsSession(path string, procs []*Proc, it strand.Interner) *Exe {
 	e := &Exe{Path: path, Procs: procs}
-	e.buildIndex()
+	if it != nil {
+		for _, p := range e.Procs {
+			p.Set = p.Set.Interned(it)
+		}
+	}
+	e.buildIndex(it)
 	return e
 }
 
-func (e *Exe) buildIndex() {
-	e.index = map[uint64][]int32{}
-	for i, p := range e.Procs {
-		for _, h := range p.Set.Hashes {
-			e.index[h] = append(e.index[h], int32(i))
+// Session returns the analyzer session the executable was built under,
+// or nil.
+func (e *Exe) Session() strand.Interner { return e.it }
+
+func (e *Exe) buildIndex(it strand.Interner) {
+	e.it = it
+	if it == nil {
+		e.ensureHashIndex()
+		return
+	}
+	// CSR posting lists: gather (strand ID, proc) pairs, sort by ID then
+	// proc, compact runs of equal IDs into one row.
+	n := 0
+	for _, p := range e.Procs {
+		n += len(p.Set.IDs)
+	}
+	type pair struct {
+		id   uint32
+		proc int32
+	}
+	pairs := make([]pair, 0, n)
+	for pi, p := range e.Procs {
+		for _, id := range p.Set.IDs {
+			pairs = append(pairs, pair{id, int32(pi)})
 		}
 	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].id != pairs[j].id {
+			return pairs[i].id < pairs[j].id
+		}
+		return pairs[i].proc < pairs[j].proc
+	})
+	e.procs = make([]int32, len(pairs))
+	for i, pr := range pairs {
+		e.procs[i] = pr.proc
+		if i == 0 || pr.id != pairs[i-1].id {
+			e.ids = append(e.ids, pr.id)
+			e.start = append(e.start, int32(i))
+		}
+	}
+	e.start = append(e.start, int32(len(pairs)))
 }
 
-// ProcByName returns the index of the named procedure, or -1.
-func (e *Exe) ProcByName(name string) int {
-	for i, p := range e.Procs {
-		if p.Name == name {
-			return i
+// ensureHashIndex builds the hash-map index on first need. Safe for
+// concurrent callers (search workers hit shared targets in parallel).
+func (e *Exe) ensureHashIndex() {
+	e.hashOnce.Do(func() {
+		e.index = map[uint64][]int32{}
+		for i, p := range e.Procs {
+			for _, h := range p.Set.Hashes {
+				e.index[h] = append(e.index[h], int32(i))
+			}
 		}
+	})
+}
+
+// ProcByName returns the index of the first procedure with the given
+// name, or -1. The name map is built lazily on first use.
+func (e *Exe) ProcByName(name string) int {
+	e.nameOnce.Do(func() {
+		e.names = make(map[string]int, len(e.Procs))
+		for i, p := range e.Procs {
+			if _, ok := e.names[p.Name]; !ok {
+				e.names[p.Name] = i
+			}
+		}
+	})
+	if i, ok := e.names[name]; ok {
+		return i
 	}
 	return -1
 }
@@ -121,15 +212,60 @@ func (e *Exe) Sim(q strand.Set, i int) int {
 }
 
 // SimAll computes Sim(q, t) for every procedure via the inverted index:
-// one counter bump per (query strand, containing procedure) pair.
+// one counter bump per (query strand, containing procedure) pair. Query
+// sets interned under the executable's own session take the posting-list
+// path; everything else falls back to the hash-map index.
 func (e *Exe) SimAll(q strand.Set) []int {
 	counts := make([]int, len(e.Procs))
+	if e.it != nil && q.It == e.it {
+		e.simIDs(q.IDs, counts)
+		return counts
+	}
+	e.ensureHashIndex()
 	for _, h := range q.Hashes {
 		for _, pi := range e.index[h] {
 			counts[pi]++
 		}
 	}
 	return counts
+}
+
+// simIDs accumulates posting counts for sorted query IDs. When the query
+// is much smaller than the executable's vocabulary a per-ID binary
+// search wins; otherwise a linear merge over the two sorted sequences.
+func (e *Exe) simIDs(qids []uint32, counts []int) {
+	if len(qids) == 0 || len(e.ids) == 0 {
+		return
+	}
+	bump := func(row int) {
+		for k := e.start[row]; k < e.start[row+1]; k++ {
+			counts[e.procs[k]]++
+		}
+	}
+	if len(qids)*8 < len(e.ids) {
+		lo := 0
+		for _, id := range qids {
+			j := lo + sort.Search(len(e.ids)-lo, func(k int) bool { return e.ids[lo+k] >= id })
+			if j < len(e.ids) && e.ids[j] == id {
+				bump(j)
+			}
+			lo = j
+		}
+		return
+	}
+	i, j := 0, 0
+	for i < len(qids) && j < len(e.ids) {
+		switch {
+		case qids[i] == e.ids[j]:
+			bump(j)
+			i++
+			j++
+		case qids[i] < e.ids[j]:
+			i++
+		default:
+			j++
+		}
+	}
 }
 
 // BestMatch returns the procedure with maximal Sim to q, skipping indices

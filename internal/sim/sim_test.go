@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -131,7 +133,7 @@ func TestBuildPopulatesCallGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := Build("t", rec)
+	e := Build("t", rec, nil)
 	di := e.ProcByName("deep")
 	if di < 0 {
 		t.Fatal("deep missing")
@@ -160,5 +162,109 @@ func TestProcByName(t *testing.T) {
 	e := FromProcs("T", []*Proc{mk("x", 1)})
 	if e.ProcByName("x") != 0 || e.ProcByName("y") != -1 {
 		t.Error("ProcByName lookup broken")
+	}
+}
+
+// testInterner is a minimal session interner for the interned-path
+// tests (the real one lives in corpusindex, which sim cannot import).
+type testInterner struct {
+	mu  sync.Mutex
+	ids map[uint64]uint32
+}
+
+func newTestInterner() *testInterner { return &testInterner{ids: map[uint64]uint32{}} }
+
+func (it *testInterner) Intern(h uint64) uint32 {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	id, ok := it.ids[h]
+	if !ok {
+		id = uint32(len(it.ids))
+		it.ids[h] = id
+	}
+	return id
+}
+
+// Property: the interned posting-list SimAll equals the hash-map SimAll
+// for random sets, both for same-session queries (fast path) and for
+// cross-session queries (hash fallback).
+func TestInternedSimAllMatchesLegacy(t *testing.T) {
+	f := func(qraw, araw, braw []uint8) bool {
+		toHashes := func(raw []uint8) []uint64 {
+			seen := map[uint64]bool{}
+			var out []uint64
+			for _, x := range raw {
+				h := uint64(x % 64)
+				if !seen[h] {
+					seen[h] = true
+					out = append(out, h)
+				}
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		qh, ah, bh := toHashes(qraw), toHashes(araw), toHashes(braw)
+		legacy := FromProcs("L", []*Proc{
+			{Name: "a", Set: strand.Set{Hashes: ah}},
+			{Name: "b", Set: strand.Set{Hashes: bh}},
+		})
+		it := newTestInterner()
+		session := FromProcsSession("S", []*Proc{
+			{Name: "a", Set: strand.Set{Hashes: ah}},
+			{Name: "b", Set: strand.Set{Hashes: bh}},
+		}, it)
+
+		qLegacy := strand.Set{Hashes: qh}
+		qSame := strand.Set{Hashes: qh}.Interned(it)
+		qOther := strand.Set{Hashes: qh}.Interned(newTestInterner())
+
+		want := legacy.SimAll(qLegacy)
+		for _, got := range [][]int{session.SimAll(qSame), session.SimAll(qOther), session.SimAll(qLegacy)} {
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The binary-search path of simIDs triggers when the query is much
+// smaller than the executable's vocabulary; pin its correctness.
+func TestInternedSimAllSmallQueryLargeExe(t *testing.T) {
+	it := newTestInterner()
+	var big []uint64
+	for h := uint64(0); h < 4096; h++ {
+		big = append(big, h)
+	}
+	e := FromProcsSession("S", []*Proc{
+		{Name: "big", Set: strand.Set{Hashes: big}},
+		{Name: "small", Set: strand.Set{Hashes: []uint64{5, 4095}}},
+	}, it)
+	q := strand.Set{Hashes: []uint64{5, 1000, 4095, 9999999}}.Interned(it)
+	counts := e.SimAll(q)
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Errorf("counts = %v, want [3 2]", counts)
+	}
+}
+
+func TestProcByNameFirstMatch(t *testing.T) {
+	e := FromProcs("T", []*Proc{
+		mk("dup", 1),
+		mk("solo", 2),
+		mk("dup", 3),
+	})
+	if i := e.ProcByName("dup"); i != 0 {
+		t.Errorf("ProcByName(dup) = %d, want the first occurrence 0", i)
+	}
+	if i := e.ProcByName("solo"); i != 1 {
+		t.Errorf("ProcByName(solo) = %d, want 1", i)
+	}
+	if i := e.ProcByName("absent"); i != -1 {
+		t.Errorf("ProcByName(absent) = %d, want -1", i)
 	}
 }

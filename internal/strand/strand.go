@@ -435,9 +435,37 @@ func MarkerOverlap(q, t []uint32) float64 {
 	return float64(n) / float64(len(q))
 }
 
+// Interner maps 64-bit canonical strand hashes to dense IDs shared
+// across every executable analyzed under one session. Implementations
+// must be safe for concurrent use and assign each hash exactly one ID
+// for the interner's lifetime.
+type Interner interface {
+	Intern(hash uint64) uint32
+}
+
 // Set is a procedure's strand-hash set, the unit Sim operates on.
 type Set struct {
 	Hashes []uint64 // sorted, unique
+	// IDs are the dense interned equivalents of Hashes (sorted, unique),
+	// present only when the set was built under an analyzer session.
+	IDs []uint32
+	// It is the session interner that assigned IDs. Two sets are
+	// ID-comparable only when they share the same It.
+	It Interner
+}
+
+// Interned returns a copy of the set with dense IDs assigned by it.
+// A nil interner returns the set unchanged.
+func (s Set) Interned(it Interner) Set {
+	if it == nil {
+		return s
+	}
+	ids := make([]uint32, len(s.Hashes))
+	for i, h := range s.Hashes {
+		ids[i] = it.Intern(h)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return Set{Hashes: s.Hashes, IDs: ids, It: it}
 }
 
 // FromBlocks extracts and merges strands of all blocks of a procedure.

@@ -388,3 +388,44 @@ func TestExtractionDeterministic(t *testing.T) {
 		}
 	}
 }
+
+type countingInterner struct {
+	ids map[uint64]uint32
+}
+
+func (it *countingInterner) Intern(h uint64) uint32 {
+	id, ok := it.ids[h]
+	if !ok {
+		id = uint32(len(it.ids))
+		it.ids[h] = id
+	}
+	return id
+}
+
+func TestSetInterned(t *testing.T) {
+	it := &countingInterner{ids: map[uint64]uint32{}}
+	// Intentionally intern a set whose hash order differs from the
+	// interner's assignment order by pre-seeding one hash.
+	it.Intern(900)
+	s := Set{Hashes: []uint64{5, 200, 900}}.Interned(it)
+	if s.It != Interner(it) {
+		t.Error("interned set must carry its session")
+	}
+	if len(s.IDs) != 3 {
+		t.Fatalf("IDs = %v, want 3 entries", s.IDs)
+	}
+	for i := 1; i < len(s.IDs); i++ {
+		if s.IDs[i-1] >= s.IDs[i] {
+			t.Errorf("IDs not sorted unique: %v", s.IDs)
+		}
+	}
+	// The same hashes interned again map to the same IDs.
+	s2 := Set{Hashes: []uint64{200, 900}}.Interned(it)
+	if s2.IDs[0] != s.IDs[0] && s2.IDs[0] != s.IDs[1] && s2.IDs[0] != s.IDs[2] {
+		t.Errorf("re-interned hash got a fresh ID: %v vs %v", s2.IDs, s.IDs)
+	}
+	// Nil interner is the identity.
+	if n := (Set{Hashes: []uint64{1}}).Interned(nil); n.It != nil || n.IDs != nil {
+		t.Error("Interned(nil) must be a no-op")
+	}
+}
