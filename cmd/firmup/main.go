@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"firmup"
 )
@@ -23,7 +24,9 @@ func main() {
 	minRatio := flag.Float64("min-ratio", 0, "override minimum shared-strand ratio")
 	workers := flag.Int("workers", 0, "bound parallel image analysis (default GOMAXPROCS)")
 	exhaustive := flag.Bool("exhaustive", false, "disable the corpus-index prefilter (examine every executable)")
-	verbose := flag.Bool("v", false, "report per-file skip reasons and session statistics")
+	useSnap := flag.Bool("snapshot", true, "serve images from <image>.fwsnap sidecar snapshots when present")
+	noSnap := flag.Bool("no-snapshot", false, "ignore sidecar snapshots and always analyze from scratch")
+	verbose := flag.Bool("v", false, "report per-file skip reasons, timings and session statistics")
 	flag.Parse()
 
 	if *queryPath == "" || *proc == "" || flag.NArg() == 0 {
@@ -49,10 +52,26 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		img, err := analyzer.OpenImage(data)
+		// Prefer the sidecar snapshot: analysis done once (e.g. by
+		// fwcrawl -snapshot) is reloaded instead of recomputed, falling
+		// back to the full pipeline when the sidecar is unreadable.
+		var snap []byte
+		if *useSnap && !*noSnap {
+			snap, _ = os.ReadFile(path + ".fwsnap")
+		}
+		start := time.Now()
+		img, err := analyzer.OpenImageWithSnapshot(data, snap)
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "firmup: %s: %v\n", path, err)
 			continue
+		}
+		if *verbose {
+			mode := "analyzed"
+			if snap != nil && !snapshotFailed(img) {
+				mode = "loaded from snapshot"
+			}
+			fmt.Fprintf(os.Stderr, "firmup: %s: %s in %v\n", path, mode, elapsed.Round(time.Microsecond))
 		}
 		if len(img.Skipped) > 0 {
 			skipped += len(img.Skipped)
@@ -84,6 +103,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%d occurrence(s) of %s found\n", total, *proc)
+}
+
+// snapshotFailed reports whether the image's diagnostics record a
+// sidecar snapshot that could not be loaded (forcing re-analysis).
+func snapshotFailed(img *firmup.Image) bool {
+	for _, s := range img.Skipped {
+		if s.Path == firmup.SnapshotSkipPath {
+			return true
+		}
+	}
+	return false
 }
 
 func fatal(err error) {

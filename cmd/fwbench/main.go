@@ -5,14 +5,16 @@
 //
 //	fwbench -exp all            # every experiment at the default scale
 //	fwbench -exp table2 -scale eval
-//	fwbench -exp fig6|fig8|fig9|fig5|table1|demo|ablation
+//	fwbench -exp fig6|fig8|fig9|fig5|table1|demo|ablation|snapshot
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"firmup"
 	"firmup/internal/corpus"
 	"firmup/internal/eval"
 	_ "firmup/internal/isa/arm"
@@ -22,12 +24,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, all")
+	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, all")
 	scale := flag.String("scale", "default", "corpus scale: default or eval")
 	flag.Parse()
 
 	valid := map[string]bool{"all": true, "table2": true, "fig6": true, "fig8": true,
-		"fig9": true, "ablation": true, "fig5": true, "table1": true, "demo": true}
+		"fig9": true, "ablation": true, "fig5": true, "table1": true, "demo": true,
+		"snapshot": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "fwbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -103,6 +106,49 @@ func main() {
 		if err == nil {
 			fmt.Println(out)
 		}
+	}
+	if want("snapshot") {
+		snapshotTiming(env)
+	}
+}
+
+// snapshotTiming measures the analyze-once-query-many win: full image
+// analysis vs re-attaching a serialized snapshot, per corpus image.
+func snapshotTiming(env *eval.Env) {
+	fmt.Println("=== snapshot: analyze once, query many ===")
+	var analyzeTotal, loadTotal time.Duration
+	totalBytes := 0
+	for _, bi := range env.Corpus.Images {
+		data := bi.Image.Pack(true)
+		a := firmup.NewAnalyzer(nil)
+		t0 := time.Now()
+		img, err := a.OpenImage(data)
+		if err != nil {
+			fatal(err)
+		}
+		analyzed := time.Since(t0)
+		blob, err := a.SaveImage(img)
+		if err != nil {
+			fatal(err)
+		}
+		t0 = time.Now()
+		loaded, err := firmup.NewAnalyzer(nil).LoadImage(blob)
+		if err != nil {
+			fatal(err)
+		}
+		load := time.Since(t0)
+		analyzeTotal += analyzed
+		loadTotal += load
+		totalBytes += len(blob)
+		fmt.Printf("  %-28s %2d exes  analyze %9v  load %9v  (%5.0fx)  %7d bytes\n",
+			fmt.Sprintf("%s/%s/%s", bi.Vendor, bi.Device, bi.FwVersion), len(loaded.Exes),
+			analyzed.Round(time.Microsecond), load.Round(time.Microsecond),
+			float64(analyzed)/float64(load), len(blob))
+	}
+	if loadTotal > 0 {
+		fmt.Printf("total: analyze %v, load %v (%.0fx faster), %d snapshot bytes\n\n",
+			analyzeTotal.Round(time.Millisecond), loadTotal.Round(time.Millisecond),
+			float64(analyzeTotal)/float64(loadTotal), totalBytes)
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fwcrawl -out corpus/ [-scale eval] [-compress]
+//	fwcrawl -out corpus/ [-scale eval] [-compress] [-snapshot]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"firmup"
 	"firmup/internal/corpus"
 	_ "firmup/internal/isa/arm"
 	_ "firmup/internal/isa/mips"
@@ -26,6 +27,7 @@ func main() {
 	out := flag.String("out", "corpus", "output directory")
 	scale := flag.String("scale", "default", "corpus scale: default or eval")
 	compress := flag.Bool("compress", true, "zlib-compress images")
+	snap := flag.Bool("snapshot", false, "analyze each image and write a <name>.fwsnap sidecar snapshot")
 	flag.Parse()
 
 	sc := corpus.DefaultScale()
@@ -46,6 +48,22 @@ func main() {
 		data := bi.Image.Pack(*compress)
 		if err := os.WriteFile(filepath.Join(*out, name), data, 0o644); err != nil {
 			fatal(err)
+		}
+		if *snap {
+			// Each sidecar gets its own analyzer session so the embedded
+			// vocabulary is self-contained; loaders re-intern it anyway.
+			a := firmup.NewAnalyzer(nil)
+			img, err := a.OpenImage(data)
+			if err != nil {
+				fatal(fmt.Errorf("snapshot %s: %w", name, err))
+			}
+			blob, err := a.SaveImage(img)
+			if err != nil {
+				fatal(fmt.Errorf("snapshot %s: %w", name, err))
+			}
+			if err := os.WriteFile(filepath.Join(*out, name+".fwsnap"), blob, 0o644); err != nil {
+				fatal(err)
+			}
 		}
 		latest := ""
 		if bi.Latest {
@@ -77,6 +95,9 @@ func main() {
 	st := c.Stat()
 	fmt.Printf("crawled %d images (%d executables, %d procedures) into %s\n",
 		st.Images, st.Exes, st.Procedures, *out)
+	if *snap {
+		fmt.Printf("wrote %d sidecar analysis snapshots (.fwsnap)\n", st.Images)
+	}
 	fmt.Printf("wrote %d query executables into %s\n", len(corpus.CVEs)*4, qdir)
 }
 

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"firmup"
 	"firmup/internal/cfg"
@@ -23,6 +24,7 @@ import (
 	_ "firmup/internal/isa/ppc"
 	_ "firmup/internal/isa/x86"
 	"firmup/internal/obj"
+	"firmup/internal/snapshot"
 	"firmup/internal/strand"
 )
 
@@ -31,11 +33,13 @@ func main() {
 	exePath := flag.String("exe", "", "executable to inspect")
 	proc := flag.String("proc", "", "procedure to disassemble")
 	strands := flag.Bool("strands", false, "print canonical strands instead of disassembly")
+	useSnap := flag.Bool("snapshot", true, "inspect the <image>.fwsnap sidecar snapshot when present")
+	noSnap := flag.Bool("no-snapshot", false, "ignore sidecar snapshots")
 	flag.Parse()
 
 	switch {
 	case *imgPath != "":
-		dumpImage(*imgPath)
+		dumpImage(*imgPath, *useSnap && !*noSnap)
 	case *exePath != "":
 		dumpExe(*exePath, *proc, *strands)
 	default:
@@ -44,7 +48,35 @@ func main() {
 	}
 }
 
-func dumpImage(path string) {
+// dumpSnapshot prints the sidecar's section table and times a load
+// against the fresh analysis the caller just ran.
+func dumpSnapshot(path string, analyzeTime time.Duration) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return // no sidecar: nothing to report
+	}
+	fmt.Printf("snapshot %s: %d bytes\n", path, len(blob))
+	secs, err := snapshot.Sections(blob)
+	if err != nil {
+		fmt.Printf("  unreadable: %v\n", err)
+		return
+	}
+	for _, s := range secs {
+		fmt.Printf("  section %-8s offset %6d  %6d bytes  crc32c %08x\n", s.Name, s.Offset, s.Length, s.CRC)
+	}
+	start := time.Now()
+	img, err := firmup.NewAnalyzer(nil).LoadImage(blob)
+	if err != nil {
+		fmt.Printf("  load failed: %v\n", err)
+		return
+	}
+	loadTime := time.Since(start)
+	speedup := float64(analyzeTime) / float64(loadTime)
+	fmt.Printf("  loaded %d executable(s) in %v vs %v fresh analysis (%.0fx)\n",
+		len(img.Exes), loadTime.Round(time.Microsecond), analyzeTime.Round(time.Microsecond), speedup)
+}
+
+func dumpImage(path string, useSnap bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -70,7 +102,9 @@ func dumpImage(path string) {
 	// Analyzed view: run a one-image analyzer session and summarize what
 	// a search would actually operate on.
 	analyzer := firmup.NewAnalyzer(nil)
+	start := time.Now()
 	img, err := analyzer.OpenImage(data)
+	analyzeTime := time.Since(start)
 	if err != nil {
 		fmt.Printf("analysis: %v\n", err)
 		return
@@ -87,6 +121,9 @@ func dumpImage(path string) {
 	}
 	for _, s := range img.Skipped {
 		fmt.Printf("  %-30s skipped: %v\n", s.Path, s.Err)
+	}
+	if useSnap {
+		dumpSnapshot(path+".fwsnap", analyzeTime)
 	}
 }
 

@@ -60,10 +60,32 @@ func (it *Interner) Size() int {
 	return len(it.ids)
 }
 
-// posting locates one procedure that contains a strand.
-type posting struct {
-	exe  int32
-	proc int32
+// Hashes returns the interned vocabulary ordered by dense ID:
+// Hashes()[id] is the 64-bit strand hash id stands for. It is the
+// serialized form of the interner a snapshot persists.
+func (it *Interner) Hashes() []uint64 {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	out := make([]uint64, len(it.ids))
+	for h, id := range it.ids {
+		out[id] = h
+	}
+	return out
+}
+
+// Posting locates one procedure that contains a strand: Exe is the
+// executable's insertion-order ID in its index, Proc the procedure's
+// position within the executable.
+type Posting struct {
+	Exe  int32
+	Proc int32
+}
+
+// Row is one inverted-index row: a dense strand ID and the postings of
+// every procedure containing that strand.
+type Row struct {
+	ID    uint32
+	Posts []Posting
 }
 
 // Index is the corpus-level inverted index: dense strand ID →
@@ -73,7 +95,7 @@ type Index struct {
 	mu   sync.RWMutex
 	it   *Interner
 	exes []*sim.Exe
-	post [][]posting // indexed by dense strand ID
+	post [][]Posting // indexed by dense strand ID
 }
 
 // NewIndex returns an empty index over the session's interner.
@@ -100,11 +122,11 @@ func (x *Index) Add(e *sim.Exe) int {
 		}
 		for _, id := range p.Set.IDs {
 			if int(id) >= len(x.post) {
-				grown := make([][]posting, id+1)
+				grown := make([][]Posting, id+1)
 				copy(grown, x.post)
 				x.post = grown
 			}
-			x.post[id] = append(x.post[id], posting{exe: int32(ei), proc: int32(pi)})
+			x.post[id] = append(x.post[id], Posting{Exe: int32(ei), Proc: int32(pi)})
 		}
 	}
 	return ei
@@ -165,7 +187,7 @@ func (x *Index) Candidates(q strand.Set, minScore int, ratioFloor float64) ([]Ca
 			continue
 		}
 		for _, p := range x.post[id] {
-			counts[int64(p.exe)<<32|int64(p.proc)]++
+			counts[int64(p.Exe)<<32|int64(p.Proc)]++
 		}
 	}
 	maxSim := map[int32]int{}
@@ -203,6 +225,37 @@ func (x *Index) Candidates(q strand.Set, minScore int, ratioFloor float64) ([]Ca
 		return out[i].Exe < out[j].Exe
 	})
 	return out, true
+}
+
+// Rows returns the index's non-empty posting rows ordered by strictly
+// increasing dense strand ID — the serialized form a snapshot persists.
+// The posting slices are shared with the index, not copied.
+func (x *Index) Rows() []Row {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := make([]Row, 0, len(x.post))
+	for id, ps := range x.post {
+		if len(ps) > 0 {
+			out = append(out, Row{ID: uint32(id), Posts: ps})
+		}
+	}
+	return out
+}
+
+// RestoreIndex reconstructs an index from rows previously produced by
+// Rows, over exes in their original insertion order. The caller
+// guarantees the rows' dense-ID space is it's ID space (a snapshot
+// loader uses this only when the saved vocabulary re-interned to
+// identical IDs; otherwise it rebuilds with Add).
+func RestoreIndex(it *Interner, exes []*sim.Exe, rows []Row) *Index {
+	x := &Index{it: it, exes: append([]*sim.Exe(nil), exes...)}
+	if n := len(rows); n > 0 {
+		x.post = make([][]Posting, rows[n-1].ID+1)
+	}
+	for _, r := range rows {
+		x.post[r.ID] = r.Posts
+	}
+	return x
 }
 
 // interned reports whether e carries dense IDs from it (checked on the

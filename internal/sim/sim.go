@@ -121,11 +121,15 @@ func FromProcs(path string, procs []*Proc) *Exe {
 
 // FromProcsSession assembles an executable from procedures under an
 // analyzer session, interning every strand set when it is non-nil.
+// Sets already interned under that same session (e.g. re-attached from
+// a snapshot) are kept as-is instead of being re-interned.
 func FromProcsSession(path string, procs []*Proc, it strand.Interner) *Exe {
 	e := &Exe{Path: path, Procs: procs}
 	if it != nil {
 		for _, p := range e.Procs {
-			p.Set = p.Set.Interned(it)
+			if p.Set.It != it {
+				p.Set = p.Set.Interned(it)
+			}
 		}
 	}
 	e.buildIndex(it)

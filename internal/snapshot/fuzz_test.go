@@ -1,0 +1,46 @@
+package snapshot
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSnapshotDecode hammers the decoder with arbitrary bytes, seeded
+// with valid snapshots of representative models. The contract under
+// fuzzing: Decode either returns a structurally valid image or an error
+// wrapping ErrCorrupt — it never panics, and declared counts never
+// drive allocations beyond the input's own size (the decoder caps every
+// pre-allocation by the bytes remaining).
+func FuzzSnapshotDecode(f *testing.F) {
+	seeds := []*Image{
+		testModel(),
+		{},
+		randomModel(rand.New(rand.NewSource(1))),
+		randomModel(rand.New(rand.NewSource(2))),
+		randomModel(rand.New(rand.NewSource(3))),
+	}
+	for _, m := range seeds {
+		data, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decoder error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// Accepted input must be a valid model: re-encoding applies the
+		// full validation pass and must succeed.
+		if _, err := Encode(img); err != nil {
+			t.Fatalf("decoded image fails re-encoding: %v", err)
+		}
+	})
+}

@@ -1,0 +1,495 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testModel is a small but fully featured image: two executables,
+// skipped diagnostics, markers, calls and an inverted index.
+func testModel() *Image {
+	return &Image{
+		Vendor:   "netgear",
+		Device:   "R6250",
+		Version:  "1.0.4",
+		Skipped:  []Skip{{Path: "bin/busybox", Err: "unsupported arch 0xC8"}},
+		Interner: []uint64{0xdeadbeef, 0x1122334455667788, 0xcafebabe, 42, 7},
+		Exes: []Exe{
+			{
+				Path: "bin/wget", Arch: 1, Stripped: true,
+				Procs: []Proc{
+					{
+						Name: "sub_400100", Addr: 0x400100, Exported: false,
+						IDs: []uint32{0, 2, 4}, Markers: []uint32{0x1f, 0x2e},
+						BlockCount: 7, EdgeCount: 9, InstCount: 55, Calls: []int32{1},
+					},
+					{
+						Name: "sub_400200", Addr: 0x400200, Exported: true,
+						IDs: []uint32{1, 3}, BlockCount: 2, EdgeCount: 1, InstCount: 12,
+					},
+				},
+			},
+			{
+				Path: "sbin/httpd", Arch: 2, Stripped: false,
+				Procs: []Proc{
+					{Name: "main", Addr: 0x10000, IDs: []uint32{2}, BlockCount: 1, InstCount: 3},
+				},
+			},
+		},
+		Index: []IndexRow{
+			{ID: 0, Posts: []Posting{{Exe: 0, Proc: 0}}},
+			{ID: 1, Posts: []Posting{{Exe: 0, Proc: 1}}},
+			{ID: 2, Posts: []Posting{{Exe: 0, Proc: 0}, {Exe: 1, Proc: 0}}},
+			{ID: 3, Posts: []Posting{{Exe: 0, Proc: 1}}},
+			{ID: 4, Posts: []Posting{{Exe: 0, Proc: 0}}},
+		},
+	}
+}
+
+func mustEncode(t *testing.T, m *Image) []byte {
+	t.Helper()
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := testModel()
+	got, err := Decode(mustEncode(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip diverged:\ngot:  %+v\nwant: %+v", got, m)
+	}
+}
+
+func TestRoundTripNoIndex(t *testing.T) {
+	m := testModel()
+	m.Index = nil
+	got, err := Decode(mustEncode(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != nil {
+		t.Errorf("nil index round-tripped to %+v", got.Index)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip diverged:\ngot:  %+v\nwant: %+v", got, m)
+	}
+}
+
+func TestRoundTripMinimal(t *testing.T) {
+	m := &Image{}
+	got, err := Decode(mustEncode(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip diverged:\ngot:  %+v\nwant: %+v", got, m)
+	}
+}
+
+// TestEncodeRejectsInvalid: an invalid model must fail at save time,
+// not produce an undecodable snapshot.
+func TestEncodeRejectsInvalid(t *testing.T) {
+	for name, mutate := range map[string]func(*Image){
+		"unsorted-ids":      func(m *Image) { m.Exes[0].Procs[0].IDs = []uint32{2, 0} },
+		"id-out-of-vocab":   func(m *Image) { m.Exes[0].Procs[0].IDs = []uint32{99} },
+		"call-out-of-range": func(m *Image) { m.Exes[0].Procs[0].Calls = []int32{7} },
+		"negative-count":    func(m *Image) { m.Exes[0].Procs[0].BlockCount = -1 },
+		"index-unsorted":    func(m *Image) { m.Index[1].ID = 0 },
+		"posting-bad-exe":   func(m *Image) { m.Index[0].Posts[0].Exe = 9 },
+	} {
+		m := testModel()
+		mutate(m)
+		if _, err := Encode(m); err == nil {
+			t.Errorf("%s: Encode accepted an invalid model", name)
+		}
+	}
+}
+
+// rewriteCRCs recomputes every section checksum in place, so tests can
+// tamper with payload bytes and exercise the decoder's structural
+// checks rather than tripping the CRC first.
+func rewriteCRCs(t *testing.T, data []byte) {
+	t.Helper()
+	entries, err := parseTable(data)
+	if err != nil {
+		t.Fatalf("rewriteCRCs on unparseable snapshot: %v", err)
+	}
+	for i, e := range entries {
+		crc := crc32.Checksum(data[e.off:e.off+e.length], castagnoli)
+		binary.LittleEndian.PutUint32(data[headerSize+i*tableEntrySize+20:], crc)
+	}
+}
+
+// sectionEntry finds the table entry for a tag.
+func sectionEntry(t *testing.T, data []byte, tag uint32) (idx int, e tableEntry) {
+	t.Helper()
+	entries, err := parseTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, en := range entries {
+		if en.tag == tag {
+			return i, en
+		}
+	}
+	t.Fatalf("no section %s", sectionName(tag))
+	return 0, tableEntry{}
+}
+
+// TestDecodeFaultInjection drives the decoder through the corruption
+// matrix: truncation at every section boundary, bit flips in header,
+// table and payloads, wrong magic, future versions, and declared
+// lengths that exceed the file. Every case must fail with ErrCorrupt —
+// never a panic — and name the offending section where one is known.
+func TestDecodeFaultInjection(t *testing.T) {
+	base := mustEncode(t, testModel())
+
+	type tc struct {
+		name        string
+		mutate      func(t *testing.T, d []byte) []byte
+		wantSection string // "" = any
+	}
+	cases := []tc{
+		{"empty", func(t *testing.T, d []byte) []byte { return nil }, "header"},
+		{"truncated-header", func(t *testing.T, d []byte) []byte { return d[:headerSize-3] }, "header"},
+		{"wrong-magic", func(t *testing.T, d []byte) []byte { d[0] = 'X'; return d }, "header"},
+		{"magic-bit-flip", func(t *testing.T, d []byte) []byte { d[3] ^= 0x20; return d }, "header"},
+		{"future-version", func(t *testing.T, d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[len(magic):], FormatVersion+1)
+			return d
+		}, "header"},
+		{"version-bit-flip", func(t *testing.T, d []byte) []byte { d[len(magic)] ^= 0x80; return d }, "header"},
+		{"zero-sections", func(t *testing.T, d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[len(magic)+4:], 0)
+			return d
+		}, "header"},
+		{"absurd-section-count", func(t *testing.T, d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[len(magic)+4:], 1<<30)
+			return d
+		}, "header"},
+		{"truncated-table", func(t *testing.T, d []byte) []byte { return d[:headerSize+tableEntrySize/2] }, "table"},
+		{"unknown-section-tag", func(t *testing.T, d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[headerSize:], 99)
+			return d
+		}, "table"},
+		{"duplicate-section", func(t *testing.T, d []byte) []byte {
+			// Retag the index section as a second meta section.
+			i, _ := sectionEntry(t, d, secIndex)
+			binary.LittleEndian.PutUint32(d[headerSize+i*tableEntrySize:], secMeta)
+			return d
+		}, "table"},
+		{"missing-required-section", func(t *testing.T, d []byte) []byte {
+			// Shrink the table so the exes section disappears.
+			binary.LittleEndian.PutUint32(d[len(magic)+4:], 2)
+			return d
+		}, "table"},
+		{"length-exceeds-file", func(t *testing.T, d []byte) []byte {
+			i, _ := sectionEntry(t, d, secInterner)
+			binary.LittleEndian.PutUint64(d[headerSize+i*tableEntrySize+12:], uint64(len(d))*4)
+			return d
+		}, "interner"},
+		{"offset-exceeds-file", func(t *testing.T, d []byte) []byte {
+			i, _ := sectionEntry(t, d, secExes)
+			binary.LittleEndian.PutUint64(d[headerSize+i*tableEntrySize+4:], uint64(len(d))+1)
+			return d
+		}, "exes"},
+		{"overflowing-offset", func(t *testing.T, d []byte) []byte {
+			// offset+length would wrap uint64: must be rejected, not wrapped.
+			i, _ := sectionEntry(t, d, secExes)
+			binary.LittleEndian.PutUint64(d[headerSize+i*tableEntrySize+4:], ^uint64(0)-8)
+			return d
+		}, "exes"},
+	}
+	// Truncation at (and just inside) every section boundary.
+	{
+		entries, err := parseTable(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			e := e
+			name := sectionName(e.tag)
+			cases = append(cases,
+				tc{"truncate-before-" + name, func(t *testing.T, d []byte) []byte { return d[:e.off] }, ""},
+				tc{"truncate-inside-" + name, func(t *testing.T, d []byte) []byte { return d[:e.off+e.length-1] }, ""},
+			)
+		}
+	}
+	// Single-bit flips inside every section payload: the checksum must
+	// catch what the structural checks cannot.
+	{
+		entries, err := parseTable(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			e := e
+			name := sectionName(e.tag)
+			cases = append(cases, tc{"bit-flip-in-" + name, func(t *testing.T, d []byte) []byte {
+				d[e.off+e.length/2] ^= 1
+				return d
+			}, name})
+		}
+	}
+	// Declared-count lies inside payloads, with checksums repaired so
+	// the structural bounds checks themselves are exercised.
+	cases = append(cases,
+		tc{"interner-count-lie", func(t *testing.T, d []byte) []byte {
+			_, e := sectionEntry(t, d, secInterner)
+			// Overwrite the leading count uvarint with a huge 10-byte varint.
+			lie := binary.AppendUvarint(nil, 1<<40)
+			grown := append(append(append([]byte(nil), d[:e.off]...), lie...), d[e.off+uint64(varintLen(t, d[e.off:])):]...)
+			fixupLengths(t, grown, secInterner, uint64(len(lie))-uint64(varintLen(t, d[e.off:])))
+			rewriteCRCs(t, grown)
+			return grown
+		}, "interner"},
+		tc{"exes-count-lie", func(t *testing.T, d []byte) []byte {
+			_, e := sectionEntry(t, d, secExes)
+			lie := binary.AppendUvarint(nil, 1<<40)
+			grown := append(append(append([]byte(nil), d[:e.off]...), lie...), d[e.off+uint64(varintLen(t, d[e.off:])):]...)
+			fixupLengths(t, grown, secExes, uint64(len(lie))-uint64(varintLen(t, d[e.off:])))
+			rewriteCRCs(t, grown)
+			return grown
+		}, "exes"},
+		tc{"strand-id-out-of-vocabulary", func(t *testing.T, d []byte) []byte {
+			// Shrink the interner to one hash: exes now reference IDs
+			// beyond the vocabulary and the link check must catch it.
+			_, e := sectionEntry(t, d, secInterner)
+			one := binary.AppendUvarint(nil, 1)
+			one = binary.LittleEndian.AppendUint64(one, 0xabcdef)
+			shrunk := append(append(append([]byte(nil), d[:e.off]...), one...), d[e.off+e.length:]...)
+			fixupLengths(t, shrunk, secInterner, uint64(len(one))-e.length)
+			rewriteCRCs(t, shrunk)
+			return shrunk
+		}, "exes"},
+		tc{"trailing-payload-bytes", func(t *testing.T, d []byte) []byte {
+			// Grow the meta section's declared length into the next
+			// payload: decode must reject the leftover bytes.
+			i, e := sectionEntry(t, d, secMeta)
+			binary.LittleEndian.PutUint64(d[headerSize+i*tableEntrySize+12:], e.length+1)
+			rewriteCRCs(t, d)
+			return d
+		}, "meta"},
+	)
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := c.mutate(t, append([]byte(nil), base...))
+			img, err := Decode(data)
+			if err == nil {
+				t.Fatalf("decoder accepted corrupt input (img=%+v)", img)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) || ce.Section == "" {
+				t.Fatalf("error %v does not name a section", err)
+			}
+			if c.wantSection != "" && ce.Section != c.wantSection {
+				t.Errorf("offending section = %q, want %q (err: %v)", ce.Section, c.wantSection, err)
+			}
+		})
+	}
+}
+
+// varintLen returns the byte length of the leading uvarint.
+func varintLen(t *testing.T, b []byte) int {
+	t.Helper()
+	_, n := binary.Uvarint(b)
+	if n <= 0 {
+		t.Fatal("no leading uvarint")
+	}
+	return n
+}
+
+// fixupLengths adjusts the section table after a payload grew or shrank
+// by delta bytes (two's complement): the tampered section's length and
+// every later section's offset. It patches raw table rows — the
+// intermediate state is out of bounds by construction, so it must not
+// go through parseTable.
+func fixupLengths(t *testing.T, data []byte, tag uint32, delta uint64) {
+	t.Helper()
+	n := int(binary.LittleEndian.Uint32(data[len(magic)+4:]))
+	tamperedOff := ^uint64(0)
+	for j := 0; j < n; j++ {
+		row := data[headerSize+j*tableEntrySize:]
+		if binary.LittleEndian.Uint32(row) == tag {
+			tamperedOff = binary.LittleEndian.Uint64(row[4:])
+			binary.LittleEndian.PutUint64(row[12:], binary.LittleEndian.Uint64(row[12:])+delta)
+		}
+	}
+	if tamperedOff == ^uint64(0) {
+		t.Fatalf("no section %s in table", sectionName(tag))
+	}
+	for j := 0; j < n; j++ {
+		row := data[headerSize+j*tableEntrySize:]
+		off := binary.LittleEndian.Uint64(row[4:])
+		if off > tamperedOff {
+			binary.LittleEndian.PutUint64(row[4:], off+delta)
+		}
+	}
+}
+
+// TestSections exposes the table for inspection tools.
+func TestSections(t *testing.T) {
+	data := mustEncode(t, testModel())
+	secs, err := Sections(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range secs {
+		names = append(names, s.Name)
+	}
+	if got := strings.Join(names, ","); got != "meta,interner,exes,index" {
+		t.Errorf("sections = %s", got)
+	}
+	if _, err := Sections([]byte("junk")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Sections on junk: %v", err)
+	}
+}
+
+// TestQuickCodecRoundTrip: for arbitrary generated models, the codec is
+// the identity.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randomModel(rand.New(rand.NewSource(seed)))
+		data, err := Encode(m)
+		if err != nil {
+			t.Logf("seed %d: encode: %v", seed, err)
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Logf("seed %d: decode: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Logf("seed %d: round trip diverged\ngot:  %+v\nwant: %+v", seed, got, m)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomModel generates a structurally valid model in canonical form
+// (nil for empty slices, sorted ID runs) for codec round-trips.
+func randomModel(rng *rand.Rand) *Image {
+	m := &Image{
+		Vendor:  randWord(rng),
+		Device:  randWord(rng),
+		Version: randWord(rng),
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		m.Skipped = append(m.Skipped, Skip{Path: randWord(rng), Err: randWord(rng)})
+	}
+	vocab := rng.Intn(200)
+	seenHash := map[uint64]bool{}
+	for len(m.Interner) < vocab {
+		h := rng.Uint64()
+		if !seenHash[h] {
+			seenHash[h] = true
+			m.Interner = append(m.Interner, h)
+		}
+	}
+	nexes := rng.Intn(5)
+	for ei := 0; ei < nexes; ei++ {
+		e := Exe{Path: randWord(rng), Arch: uint8(rng.Intn(5)), Stripped: rng.Intn(2) == 0}
+		nprocs := rng.Intn(6)
+		for pi := 0; pi < nprocs; pi++ {
+			p := Proc{
+				Name:       randWord(rng),
+				Addr:       rng.Uint32(),
+				Exported:   rng.Intn(2) == 0,
+				IDs:        randIDSet(rng, len(m.Interner), 30),
+				BlockCount: rng.Intn(50),
+				EdgeCount:  rng.Intn(80),
+				InstCount:  rng.Intn(500),
+			}
+			for k := rng.Intn(4); k > 0; k-- {
+				p.Markers = append(p.Markers, rng.Uint32())
+			}
+			for k := rng.Intn(3); k > 0; k-- {
+				p.Calls = append(p.Calls, int32(rng.Intn(nprocs)))
+			}
+			e.Procs = append(e.Procs, p)
+		}
+		m.Exes = append(m.Exes, e)
+	}
+	if rng.Intn(4) > 0 && len(m.Interner) > 0 {
+		rows := randIDSet(rng, len(m.Interner), 40)
+		m.Index = make([]IndexRow, 0, len(rows))
+		for _, id := range rows {
+			row := IndexRow{ID: id}
+			for k := 1 + rng.Intn(3); k > 0; k-- {
+				if len(m.Exes) == 0 {
+					break
+				}
+				ei := rng.Intn(len(m.Exes))
+				if len(m.Exes[ei].Procs) == 0 {
+					continue
+				}
+				row.Posts = append(row.Posts, Posting{Exe: int32(ei), Proc: int32(rng.Intn(len(m.Exes[ei].Procs)))})
+			}
+			if len(row.Posts) > 0 {
+				m.Index = append(m.Index, row)
+			}
+		}
+		if len(m.Index) == 0 {
+			m.Index = nil
+		}
+	}
+	return m
+}
+
+// randIDSet returns up to max strictly increasing IDs below vocab, nil
+// when empty.
+func randIDSet(rng *rand.Rand, vocab, max int) []uint32 {
+	if vocab == 0 {
+		return nil
+	}
+	n := rng.Intn(max + 1)
+	seen := map[uint32]bool{}
+	for i := 0; i < n; i++ {
+		seen[uint32(rng.Intn(vocab))] = true
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func randWord(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz_/."
+	n := rng.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}

@@ -1,0 +1,319 @@
+package firmup
+
+// Property tests for the persistence layer over arbitrary generated
+// corpora: Load(Save(img)) must re-attach to any session — fresh or
+// already populated — such that SearchImage returns byte-identical
+// Findings and StepsHistogram to the session that analyzed the corpus,
+// with the corpus-index prefilter still sound. This extends the PR 1
+// index-equivalence property (TestSearchImageIndexEquivalence) through
+// the snapshot codec.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"firmup/internal/corpusindex"
+	"firmup/internal/sim"
+	"firmup/internal/snapshot"
+	"firmup/internal/strand"
+)
+
+// synthProc is one generated procedure: a name, a strand-hash multiset
+// and confirmation markers.
+type synthProc struct {
+	name    string
+	hashes  []uint64
+	markers []uint32
+}
+
+// synthCorpus is one generated scenario: a query procedure and the
+// image's executables (each a list of procedures).
+type synthCorpus struct {
+	query   synthProc
+	exes    [][]synthProc
+	skipped []SkipReason
+}
+
+// genCorpus draws a scenario: a vocabulary pool, a query of 12–40
+// strands, and 3–7 executables whose procedures sample the pool —
+// including, with high probability, near-clones of the query so the
+// search has real findings to preserve.
+func genCorpus(rng *rand.Rand) synthCorpus {
+	pool := make([]uint64, 80+rng.Intn(120))
+	for i := range pool {
+		// High bit set: keeps the corpus vocabulary disjoint from the
+		// junk hashes cross-session tests pre-intern.
+		pool[i] = rng.Uint64() | 1<<63
+	}
+	pick := func(n int) []uint64 {
+		out := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, pool[rng.Intn(len(pool))])
+		}
+		return out
+	}
+	q := synthProc{name: "vuln", hashes: pick(12 + rng.Intn(28))}
+	for i := rng.Intn(3); i > 0; i-- {
+		q.markers = append(q.markers, rng.Uint32())
+	}
+	c := synthCorpus{query: q}
+	nexes := 3 + rng.Intn(5)
+	for ei := 0; ei < nexes; ei++ {
+		var procs []synthProc
+		nprocs := 2 + rng.Intn(5)
+		for pi := 0; pi < nprocs; pi++ {
+			p := synthProc{name: fmt.Sprintf("p%d_%d", ei, pi), hashes: pick(rng.Intn(30))}
+			if rng.Intn(3) == 0 {
+				// A true occurrence: the query's strands (and markers),
+				// plus some noise.
+				p.hashes = append(append([]uint64(nil), q.hashes...), pick(rng.Intn(10))...)
+				p.markers = append([]uint32(nil), q.markers...)
+			}
+			procs = append(procs, p)
+		}
+		c.exes = append(c.exes, procs)
+	}
+	if rng.Intn(2) == 0 {
+		c.skipped = append(c.skipped, SkipReason{Path: "bin/broken", Err: fmt.Errorf("synthetic skip")})
+	}
+	return c
+}
+
+// buildSet sorts and dedupes hashes into a session-less strand set.
+func buildSet(hashes []uint64) strand.Set {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, h := range hashes {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return strand.Set{Hashes: out}
+}
+
+func buildProcs(specs []synthProc) []*sim.Proc {
+	procs := make([]*sim.Proc, len(specs))
+	for i, sp := range specs {
+		procs[i] = &sim.Proc{
+			Name:       sp.name,
+			Addr:       uint32(0x1000 * (i + 1)),
+			Set:        buildSet(sp.hashes),
+			Markers:    append([]uint32(nil), sp.markers...),
+			BlockCount: 1 + len(sp.hashes)/4,
+			InstCount:  1 + len(sp.hashes),
+		}
+	}
+	return procs
+}
+
+// buildSynthImage assembles the corpus as an analyzed Image under the
+// session, mirroring what OpenImage produces (indexed, in order).
+func buildSynthImage(a *Analyzer, c synthCorpus) *Image {
+	img := &Image{Vendor: "synth", Device: "dev", Version: "1.0", Skipped: c.skipped}
+	img.index = corpusindex.NewIndex(a.interner)
+	for ei, procs := range c.exes {
+		e := sim.FromProcsSession(fmt.Sprintf("bin/exe_%d", ei), buildProcs(procs), a.interner)
+		img.Exes = append(img.Exes, &Executable{Path: e.Path, exe: e})
+		img.index.Add(e)
+	}
+	return img
+}
+
+// buildSynthQuery builds the query executable under the session.
+func buildSynthQuery(a *Analyzer, c synthCorpus) *Executable {
+	e := sim.FromProcsSession("query", buildProcs([]synthProc{c.query}), a.interner)
+	return &Executable{Path: "query", exe: e}
+}
+
+// searchBoth runs the query through the indexed and the exhaustive
+// path.
+func searchBoth(t *testing.T, q *Executable, img *Image) (indexed, exhaustive *SearchResult) {
+	t.Helper()
+	var err error
+	indexed, err = SearchImageDetailed(q, "vuln", img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive, err = SearchImageDetailed(q, "vuln", img, &Options{Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return indexed, exhaustive
+}
+
+// TestQuickSnapshotRoundTripSearchEquivalence is the persistence-layer
+// property: for arbitrary corpora, a snapshot-loaded session — fresh or
+// pre-populated with a different ID space — answers SearchImage with
+// byte-identical Findings and StepsHistogram to the analyzing session,
+// and its prefilter stays sound (indexed == exhaustive).
+func TestQuickSnapshotRoundTripSearchEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := genCorpus(rng)
+
+		// Reference: the session that "analyzed" the corpus.
+		a := NewAnalyzer(nil)
+		imgA := buildSynthImage(a, c)
+		qA := buildSynthQuery(a, c)
+		refIdx, refExh := searchBoth(t, qA, imgA)
+
+		blob, err := a.SaveImage(imgA)
+		if err != nil {
+			t.Logf("seed %d: save: %v", seed, err)
+			return false
+		}
+
+		check := func(label string, b *Analyzer) bool {
+			imgB, err := b.LoadImage(blob)
+			if err != nil {
+				t.Logf("seed %d: %s: load: %v", seed, label, err)
+				return false
+			}
+			qB := buildSynthQuery(b, c)
+			gotIdx, gotExh := searchBoth(t, qB, imgB)
+			for _, cmp := range []struct {
+				name      string
+				got, want *SearchResult
+			}{
+				{"indexed vs reference", gotIdx, refIdx},
+				{"exhaustive vs reference", gotExh, refExh},
+				{"indexed vs exhaustive (soundness)", gotIdx, gotExh},
+			} {
+				if !reflect.DeepEqual(cmp.got.Findings, cmp.want.Findings) {
+					t.Logf("seed %d: %s: %s findings diverge:\ngot:  %+v\nwant: %+v",
+						seed, label, cmp.name, cmp.got.Findings, cmp.want.Findings)
+					return false
+				}
+				if !reflect.DeepEqual(cmp.got.StepsHistogram, cmp.want.StepsHistogram) {
+					t.Logf("seed %d: %s: %s histograms diverge: %v vs %v",
+						seed, label, cmp.name, cmp.got.StepsHistogram, cmp.want.StepsHistogram)
+					return false
+				}
+			}
+			if gotIdx.Examined > gotExh.Examined {
+				t.Logf("seed %d: %s: index examined %d > exhaustive %d",
+					seed, label, gotIdx.Examined, gotExh.Examined)
+				return false
+			}
+			if len(imgB.Skipped) != len(imgA.Skipped) {
+				t.Logf("seed %d: %s: skip diagnostics lost: %d vs %d",
+					seed, label, len(imgB.Skipped), len(imgA.Skipped))
+				return false
+			}
+			return true
+		}
+
+		// Fresh session: the saved ID space re-interns to itself.
+		if !check("fresh session", NewAnalyzer(nil)) {
+			return false
+		}
+		// Populated session: junk vocabulary first, so every saved ID
+		// must be remapped.
+		polluted := NewAnalyzer(nil)
+		for i := 0; i < 200; i++ {
+			polluted.interner.Intern(uint64(i + 1)) // high bit clear: disjoint from the corpus pool
+		}
+		return check("polluted session", polluted)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotCrossSessionReintern pins the satellite requirement down:
+// save under session A, load under session B that has already interned
+// other corpora; the dense IDs must be remapped — not collided — and
+// the MaxSim prefilter must still never drop an accepted finding.
+func TestSnapshotCrossSessionReintern(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var c synthCorpus
+	for {
+		c = genCorpus(rng)
+		hasClone := false
+		for _, procs := range c.exes {
+			for _, p := range procs {
+				if len(p.hashes) > len(c.query.hashes) {
+					hasClone = true
+				}
+			}
+		}
+		if hasClone {
+			break
+		}
+	}
+	a := NewAnalyzer(nil)
+	imgA := buildSynthImage(a, c)
+	qA := buildSynthQuery(a, c)
+	blob, err := a.SaveImage(imgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIdx, _ := searchBoth(t, qA, imgA)
+	if len(refIdx.Findings) == 0 {
+		t.Fatal("scenario produced no findings; the soundness check would be vacuous")
+	}
+
+	const junk = 300
+	b := NewAnalyzer(nil)
+	for i := 0; i < junk; i++ {
+		b.interner.Intern(uint64(i + 1)) // disjoint from the corpus vocabulary (high bit clear)
+	}
+	imgB, err := b.LoadImage(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := snapshot.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ei, e := range imgB.Exes {
+		for pi, p := range e.exe.Procs {
+			if p.Set.It != strand.Interner(b.interner) {
+				t.Fatalf("exe %d proc %d not attached to the loading session", ei, pi)
+			}
+			saved := m.Exes[ei].Procs[pi].IDs
+			if len(saved) != len(p.Set.IDs) {
+				t.Fatalf("exe %d proc %d: ID count changed: %d vs %d", ei, pi, len(saved), len(p.Set.IDs))
+			}
+			// Remapped: every loaded ID lands beyond B's pre-existing
+			// vocabulary — none may collide with the junk IDs.
+			for _, id := range p.Set.IDs {
+				if id < junk {
+					t.Fatalf("exe %d proc %d: loaded ID %d collides with session B's existing vocabulary", ei, pi, id)
+				}
+			}
+			// Consistent: the IDs are exactly B's interning of the
+			// hashes, so the per-exe CSR index and the corpus index
+			// agree with the sets.
+			want := make([]uint32, len(p.Set.Hashes))
+			for k, h := range p.Set.Hashes {
+				want[k] = b.interner.Intern(h)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if !reflect.DeepEqual(want, p.Set.IDs) {
+				t.Fatalf("exe %d proc %d: IDs are not the loading session's interning of the hashes", ei, pi)
+			}
+		}
+	}
+
+	qB := buildSynthQuery(b, c)
+	gotIdx, gotExh := searchBoth(t, qB, imgB)
+	if !reflect.DeepEqual(gotIdx.Findings, gotExh.Findings) {
+		t.Errorf("prefilter dropped findings after re-intern:\nindexed:    %+v\nexhaustive: %+v",
+			gotIdx.Findings, gotExh.Findings)
+	}
+	if !reflect.DeepEqual(gotIdx.Findings, refIdx.Findings) {
+		t.Errorf("cross-session findings diverge from the analyzing session:\ngot:  %+v\nwant: %+v",
+			gotIdx.Findings, refIdx.Findings)
+	}
+	if !reflect.DeepEqual(gotIdx.StepsHistogram, refIdx.StepsHistogram) {
+		t.Errorf("cross-session histograms diverge: %v vs %v", gotIdx.StepsHistogram, refIdx.StepsHistogram)
+	}
+}

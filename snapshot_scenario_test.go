@@ -1,0 +1,139 @@
+package firmup_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"firmup"
+)
+
+// searchDetailed runs the canonical wget query against the image.
+func searchDetailed(t *testing.T, q *firmup.Executable, img *firmup.Image, opt *firmup.Options) *firmup.SearchResult {
+	t.Helper()
+	res, err := firmup.SearchImageDetailed(q, "ftp_retrieve_glob", img, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// A snapshot of the real scenario must round-trip: a session that loads
+// it instead of analyzing the image answers the wget CVE query with
+// byte-identical findings and histogram, through both the indexed and
+// the exhaustive path.
+func TestSnapshotScenarioRoundTrip(t *testing.T) {
+	a, img, q := openScenario(t, nil)
+	fresh := searchDetailed(t, q, img, nil)
+	if len(fresh.Findings) == 0 {
+		t.Fatal("scenario produced no findings to compare")
+	}
+
+	blob, err := a.SaveImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, queryBytes, _ := buildScenario(t)
+	b := firmup.NewAnalyzer(nil)
+	loadedImg, err := b.LoadImage(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loadedImg.Exes) != len(img.Exes) {
+		t.Fatalf("loaded %d executables, want %d", len(loadedImg.Exes), len(img.Exes))
+	}
+	for i, e := range loadedImg.Exes {
+		if e.Path != img.Exes[i].Path {
+			t.Fatalf("executable %d path %q, want %q", i, e.Path, img.Exes[i].Path)
+		}
+	}
+	bq, err := b.LoadQueryExecutable(queryBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := searchDetailed(t, bq, loadedImg, nil)
+	if !reflect.DeepEqual(loaded.Findings, fresh.Findings) {
+		t.Errorf("snapshot-loaded findings diverge:\nloaded: %+v\nfresh:  %+v", loaded.Findings, fresh.Findings)
+	}
+	if !reflect.DeepEqual(loaded.StepsHistogram, fresh.StepsHistogram) {
+		t.Errorf("snapshot-loaded histograms diverge: %v vs %v", loaded.StepsHistogram, fresh.StepsHistogram)
+	}
+	loadedExh := searchDetailed(t, bq, loadedImg, &firmup.Options{Exhaustive: true})
+	if !reflect.DeepEqual(loaded.Findings, loadedExh.Findings) {
+		t.Errorf("loaded index unsound:\nindexed:    %+v\nexhaustive: %+v", loaded.Findings, loadedExh.Findings)
+	}
+	if len(loadedImg.Exes) > 1 && loaded.Examined >= len(loadedImg.Exes) {
+		t.Errorf("loaded index examined %d of %d executables, want strictly fewer",
+			loaded.Examined, len(loadedImg.Exes))
+	}
+}
+
+// An unreadable snapshot must not take the image down with it:
+// OpenImageWithSnapshot falls back to full analysis, surfaces the
+// snapshot failure as a SkipReason, and the search still works.
+func TestOpenImageWithSnapshotFallback(t *testing.T) {
+	imgBytes, queryBytes, _ := buildScenario(t)
+	a := firmup.NewAnalyzer(nil)
+	good, err := a.OpenImage(imgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := a.SaveImage(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x10 // payload bit flip: CRC must catch it
+
+	b := firmup.NewAnalyzer(nil)
+	img, err := b.OpenImageWithSnapshot(imgBytes, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Skipped) == 0 || img.Skipped[0].Path != firmup.SnapshotSkipPath {
+		t.Fatalf("snapshot failure not surfaced in Skipped: %+v", img.Skipped)
+	}
+	if !errors.Is(img.Skipped[0].Err, firmup.ErrSnapshotCorrupt) {
+		t.Errorf("skip reason %v does not wrap ErrSnapshotCorrupt", img.Skipped[0].Err)
+	}
+	q, err := b.LoadQueryExecutable(queryBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := searchDetailed(t, q, img, nil)
+	if len(res.Findings) == 0 {
+		t.Error("fallback analysis produced no findings")
+	}
+}
+
+// A clean snapshot short-circuits analysis entirely: no skip diagnostics
+// and identical results.
+func TestOpenImageWithSnapshotPreferred(t *testing.T) {
+	imgBytes, queryBytes, _ := buildScenario(t)
+	a := firmup.NewAnalyzer(nil)
+	good, err := a.OpenImage(imgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := a.SaveImage(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := firmup.NewAnalyzer(nil)
+	img, err := b.OpenImageWithSnapshot(imgBytes, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range img.Skipped {
+		if s.Path == firmup.SnapshotSkipPath {
+			t.Fatalf("clean snapshot reported as failed: %v", s.Err)
+		}
+	}
+	q, err := b.LoadQueryExecutable(queryBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := searchDetailed(t, q, img, nil); len(res.Findings) == 0 {
+		t.Error("snapshot-served image produced no findings")
+	}
+}
