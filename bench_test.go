@@ -275,6 +275,58 @@ func BenchmarkPipelineGame(b *testing.B) {
 	}
 }
 
+// BenchmarkMatchGame compares the memoized engine against the reference
+// on the full game workload of one query executable (every procedure
+// with a meaningful strand set against one target), with allocs/op —
+// the per-game similarity cache and pooled arenas are exactly what this
+// tracks.
+func BenchmarkMatchGame(b *testing.B) {
+	_, q, _, t := benchUnit(b)
+	var qis []int
+	for qi, qp := range q.Procs {
+		if qp.Set.Size() >= 3 {
+			qis = append(qis, qi)
+		}
+	}
+	for _, eng := range []struct {
+		name string
+		run  func(q *sim.Exe, qi int, t *sim.Exe, opt *core.Options) core.Result
+	}{
+		{"memoized", core.Match},
+		{"reference", core.MatchReference},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, qi := range qis {
+					eng.run(q, qi, t, nil)
+				}
+			}
+			b.ReportMetric(float64(len(qis)), "games/op")
+		})
+	}
+}
+
+// BenchmarkSearchMemoized measures the game-heavy search path end to end
+// with allocs/op: one query procedure against every same-arch target,
+// through the pooled matcher arenas the search workers share.
+func BenchmarkSearchMemoized(b *testing.B) {
+	env, q, qi, _ := benchUnit(b)
+	var targets []*sim.Exe
+	for _, u := range env.Units {
+		if u.Arch == uir.ArchMIPS32 {
+			targets = append(targets, u.Exe)
+		}
+	}
+	opt := eval.DefaultSearch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Search(q, qi, targets, opt)
+	}
+	b.ReportMetric(float64(len(targets)), "targets/op")
+}
+
 // BenchmarkPipelinePairwise measures one index-accelerated best-match
 // query (the inner operation of the game).
 func BenchmarkPipelinePairwise(b *testing.B) {

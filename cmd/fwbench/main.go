@@ -6,31 +6,38 @@
 //	fwbench -exp all            # every experiment at the default scale
 //	fwbench -exp table2 -scale eval
 //	fwbench -exp fig6|fig8|fig9|fig5|table1|demo|ablation|snapshot
+//	fwbench -exp game -json     # memoized vs reference engine, BENCH_game.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 	"time"
 
 	"firmup"
+	"firmup/internal/core"
 	"firmup/internal/corpus"
 	"firmup/internal/eval"
 	_ "firmup/internal/isa/arm"
 	_ "firmup/internal/isa/mips"
 	_ "firmup/internal/isa/ppc"
 	_ "firmup/internal/isa/x86"
+	"firmup/internal/sim"
+	"firmup/internal/uir"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, all")
+	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, game, all")
 	scale := flag.String("scale", "default", "corpus scale: default or eval")
+	jsonOut := flag.Bool("json", false, "write machine-readable results of the game experiment to BENCH_game.json")
 	flag.Parse()
 
 	valid := map[string]bool{"all": true, "table2": true, "fig6": true, "fig8": true,
 		"fig9": true, "ablation": true, "fig5": true, "table1": true, "demo": true,
-		"snapshot": true}
+		"snapshot": true, "game": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "fwbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -109,6 +116,122 @@ func main() {
 	}
 	if want("snapshot") {
 		snapshotTiming(env)
+	}
+	if want("game") {
+		gameBench(env, *scale, *jsonOut)
+	}
+}
+
+// gameBenchEntry is one benchmark row of the game experiment's
+// machine-readable output.
+type gameBenchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// gameBenchReport is the schema of BENCH_game.json.
+type gameBenchReport struct {
+	Generated  string           `json:"generated"`
+	Scale      string           `json:"scale"`
+	GamesPerOp int              `json:"games_per_op"`
+	Targets    int              `json:"targets"`
+	Benchmarks []gameBenchEntry `json:"benchmarks"`
+	// SpeedupNs is reference ns/op over memoized ns/op for the game
+	// workload (>1 means the memoized engine is faster).
+	SpeedupNs float64 `json:"speedup_ns_vs_reference"`
+	// AllocRatio is reference allocs/op over memoized allocs/op (>1
+	// means the memoized engine allocates less).
+	AllocRatio float64 `json:"alloc_ratio_vs_reference"`
+}
+
+// gameBench measures the memoized game engine against the unmemoized
+// reference on the corpus's game-heavy search workload: every meaningful
+// query procedure against one cross-tool-chain target, plus a full
+// one-procedure search across every same-arch target.
+func gameBench(env *eval.Env, scale string, jsonOut bool) {
+	fmt.Println("=== game: memoized engine vs reference ===")
+	q, err := env.Query("wget", "1.15", uir.ArchMIPS32)
+	if err != nil {
+		fatal(err)
+	}
+	var target *sim.Exe
+	var targets []*sim.Exe
+	for _, u := range env.Units {
+		if u.Arch != uir.ArchMIPS32 {
+			continue
+		}
+		targets = append(targets, u.Exe)
+		if u.Pkg == "wget" && target == nil {
+			target = u.Exe
+		}
+	}
+	if target == nil {
+		fatal(fmt.Errorf("no MIPS wget unit in the corpus"))
+	}
+	var qis []int
+	for qi, qp := range q.Procs {
+		if qp.Set.Size() >= 3 {
+			qis = append(qis, qi)
+		}
+	}
+
+	games := func(run func(q *sim.Exe, qi int, t *sim.Exe, opt *core.Options) core.Result) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, qi := range qis {
+					run(q, qi, target, nil)
+				}
+			}
+		})
+	}
+	ref := games(core.MatchReference)
+	memo := games(core.Match)
+	qi := q.ProcByName("ftp_retrieve_glob")
+	search := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		opt := eval.DefaultSearch()
+		for i := 0; i < b.N; i++ {
+			core.Search(q, qi, targets, opt)
+		}
+	})
+
+	rep := gameBenchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      scale,
+		GamesPerOp: len(qis),
+		Targets:    len(targets),
+		Benchmarks: []gameBenchEntry{
+			{Name: "MatchGame/reference", NsPerOp: float64(ref.NsPerOp()), AllocsPerOp: ref.AllocsPerOp(), BytesPerOp: ref.AllocedBytesPerOp()},
+			{Name: "MatchGame/memoized", NsPerOp: float64(memo.NsPerOp()), AllocsPerOp: memo.AllocsPerOp(), BytesPerOp: memo.AllocedBytesPerOp()},
+			{Name: "SearchMemoized", NsPerOp: float64(search.NsPerOp()), AllocsPerOp: search.AllocsPerOp(), BytesPerOp: search.AllocedBytesPerOp()},
+		},
+	}
+	if memo.NsPerOp() > 0 {
+		rep.SpeedupNs = float64(ref.NsPerOp()) / float64(memo.NsPerOp())
+	}
+	if memo.AllocsPerOp() > 0 {
+		rep.AllocRatio = float64(ref.AllocsPerOp()) / float64(memo.AllocsPerOp())
+	}
+	for _, e := range rep.Benchmarks {
+		fmt.Printf("  %-22s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	fmt.Printf("  %d games/op over %d query procedures; search spans %d targets\n",
+		rep.GamesPerOp, rep.GamesPerOp, rep.Targets)
+	fmt.Printf("  memoized vs reference: %.2fx ns/op, %.2fx fewer allocs/op\n\n",
+		rep.SpeedupNs, rep.AllocRatio)
+	if jsonOut {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_game.json", append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote BENCH_game.json")
 	}
 }
 

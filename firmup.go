@@ -390,15 +390,7 @@ func SearchImageDetailed(query *Executable, procedure string, img *Image, opt *O
 		minScore, minRatio := s.MinScore, s.MinRatio
 		idx := img.index
 		s.Prefilter = func(q *sim.Exe, qpi int, _ []*sim.Exe) ([]int, bool) {
-			cands, ok := idx.Candidates(q.Procs[qpi].Set, minScore, minRatio)
-			if !ok {
-				return nil, false
-			}
-			out := make([]int, len(cands))
-			for i, c := range cands {
-				out[i] = c.Exe
-			}
-			return out, true
+			return idx.CandidateIndices(q.Procs[qpi].Set, minScore, minRatio, nil)
 		}
 	}
 	res := core.Search(query.exe, qi, targets, s)

@@ -83,6 +83,15 @@ type Result struct {
 	Trace        []TraceStep
 }
 
+// addTrace appends one game-course entry.
+func (r *Result) addTrace(actor, text string, pairs int) {
+	r.Trace = append(r.Trace, TraceStep{
+		Actor:   actor,
+		Text:    text,
+		Matches: fmt.Sprintf("%d pairs", pairs),
+	})
+}
+
 // Options bound the game per the paper's heuristics.
 type Options struct {
 	// MaxSteps caps game iterations (the paper observes up to 32 steps;
@@ -112,22 +121,45 @@ func (o *Options) trace() bool { return o != nil && o.RecordTrace }
 
 // Match runs the similarity game to find a consistent match for procedure
 // qi of Q inside T.
+//
+// The engine memoizes: every similarity vector the game queries is
+// accumulated once and kept as a sorted top-k candidate list, and all
+// scratch state is drawn from pooled arenas shared across games (see
+// matcher). The results — findings, scores, steps, matched pairs and
+// traces — are identical to MatchReference's, byte for byte; the
+// equivalence tests enforce it.
 func Match(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
-	res := Result{Target: -1}
-	matchedQ := map[int]int{} // Q index -> T index
-	matchedT := map[int]int{}
-	inStack := map[item]bool{}
-	var stack []item
+	m := newMatcher(q, t, opt.maxMatches())
+	st := newGameState()
+	res := runGame(q, qi, t, opt, m, st)
+	st.release()
+	m.release()
+	return res
+}
 
-	push := func(it item) bool {
-		if inStack[it] {
-			return false
-		}
-		inStack[it] = true
-		stack = append(stack, it)
-		return true
-	}
-	push(item{sideQ, qi})
+// MatchReference is the unmemoized reference engine: the same game
+// skeleton, but every best-match query re-runs a full similarity
+// accumulation with fresh buffers. It exists for the memoization
+// equivalence tests and the fwbench speedup baseline; search paths
+// should use Match.
+func MatchReference(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
+	return runGame(q, qi, t, opt, refPicker{q: q, t: t}, &gameState{
+		matchedQ: map[int]int{},
+		matchedT: map[int]int{},
+		inStack:  map[item]bool{},
+	})
+}
+
+// runGame is the game skeleton, written once against the picker so the
+// memoized and reference engines differ in nothing but the similarity
+// queries. The body avoids per-game closures and defers trace formatting
+// behind opt.trace() so an untraced game allocates only what escapes
+// into its Result.
+func runGame(q *sim.Exe, qi int, t *sim.Exe, opt *Options, pk picker, st *gameState) Result {
+	res := Result{Target: -1}
+	matchedQ := st.matchedQ // Q index -> T index
+	matchedT := st.matchedT
+	trace := opt.trace()
 
 	name := func(s side, i int) string {
 		if s == sideQ {
@@ -135,17 +167,8 @@ func Match(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
 		}
 		return t.Procs[i].Name
 	}
-	tracef := func(actor, format string, args ...any) {
-		if !opt.trace() {
-			return
-		}
-		res.Trace = append(res.Trace, TraceStep{
-			Actor:   actor,
-			Text:    fmt.Sprintf(format, args...),
-			Matches: fmt.Sprintf("%d pairs", len(matchedQ)),
-		})
-	}
 
+	st.push(item{sideQ, qi})
 	for {
 		if res.Steps >= opt.maxSteps() {
 			res.Reason = EndStepLimit
@@ -156,8 +179,8 @@ func Match(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
 			return res
 		}
 		// Drop already-matched entries off the top of the stack.
-		for len(stack) > 0 {
-			top := stack[len(stack)-1]
+		for len(st.stack) > 0 {
+			top := st.stack[len(st.stack)-1]
 			matched := false
 			if top.side == sideQ {
 				_, matched = matchedQ[top.idx]
@@ -167,10 +190,9 @@ func Match(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
 			if !matched {
 				break
 			}
-			stack = stack[:len(stack)-1]
-			delete(inStack, top)
+			st.pop()
 		}
-		if len(stack) == 0 {
+		if len(st.stack) == 0 {
 			// The query pair must have been committed (it is only popped
 			// when matched); report it.
 			if ti, ok := matchedQ[qi]; ok {
@@ -183,35 +205,37 @@ func Match(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
 			return res
 		}
 		res.Steps++
-		m := stack[len(stack)-1]
+		m := st.stack[len(st.stack)-1]
 
 		// Forward: the player's locally-best pick on the other side.
 		var forward, fwdScore int
 		if m.side == sideQ {
-			forward, fwdScore = t.BestMatch(q.Procs[m.idx].Set, func(i int) bool { _, ok := matchedT[i]; return ok })
+			forward, fwdScore = pk.bestInT(m.idx, matchedT)
 		} else {
-			forward, fwdScore = q.BestMatch(t.Procs[m.idx].Set, func(i int) bool { _, ok := matchedQ[i]; return ok })
+			forward, fwdScore = pk.bestInQ(m.idx, matchedQ)
 		}
 		if forward < 0 {
 			// Nothing shares a strand with m. If m is the query, the
 			// search fails; otherwise drop m and continue.
-			stack = stack[:len(stack)-1]
-			delete(inStack, m)
+			st.pop()
 			if m.side == sideQ && m.idx == qi {
 				res.Reason = EndNoCandidate
 				return res
 			}
 			continue
 		}
-		tracef("player", "matches %s with %s (Sim=%d)", name(m.side, m.idx), name(1-m.side, forward), fwdScore)
+		if trace {
+			res.addTrace("player", fmt.Sprintf("matches %s with %s (Sim=%d)",
+				name(m.side, m.idx), name(1-m.side, forward), fwdScore), len(matchedQ))
+		}
 
 		// Back: the rival's counter — the best match for forward on m's
 		// side.
 		var back, backScore int
 		if m.side == sideQ {
-			back, backScore = q.BestMatch(t.Procs[forward].Set, func(i int) bool { _, ok := matchedQ[i]; return ok })
+			back, backScore = pk.bestInQ(forward, matchedQ)
 		} else {
-			back, backScore = t.BestMatch(q.Procs[forward].Set, func(i int) bool { _, ok := matchedT[i]; return ok })
+			back, backScore = pk.bestInT(forward, matchedT)
 		}
 
 		if back == m.idx {
@@ -225,9 +249,11 @@ func Match(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
 			matchedQ[qidx] = tidx
 			matchedT[tidx] = qidx
 			res.MatchedPairs = append(res.MatchedPairs, [2]int{qidx, tidx})
-			stack = stack[:len(stack)-1]
-			delete(inStack, m)
-			tracef("player", "pair (%s, %s) committed", q.Procs[qidx].Name, t.Procs[tidx].Name)
+			st.pop()
+			if trace {
+				res.addTrace("player", fmt.Sprintf("pair (%s, %s) committed",
+					q.Procs[qidx].Name, t.Procs[tidx].Name), len(matchedQ))
+			}
 			if qidx == qi {
 				res.Target = tidx
 				res.Score = t.Sim(q.Procs[qi].Set, tidx)
@@ -236,12 +262,14 @@ func Match(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
 			}
 			continue
 		}
-		tracef("rival", "counters: %s prefers %s (Sim=%d > %d)",
-			name(1-m.side, forward), name(m.side, back), backScore, fwdScore)
+		if trace {
+			res.addTrace("rival", fmt.Sprintf("counters: %s prefers %s (Sim=%d > %d)",
+				name(1-m.side, forward), name(m.side, back), backScore, fwdScore), len(matchedQ))
+		}
 
 		// Inconsistent: the contested procedures must be matched first.
-		pushedF := push(item{1 - m.side, forward})
-		pushedB := back >= 0 && push(item{m.side, back})
+		pushedF := st.push(item{1 - m.side, forward})
+		pushedB := back >= 0 && st.push(item{m.side, back})
 		if !pushedF && !pushedB {
 			// Fixed state: no new work can be created, the game cannot
 			// make progress (the paper's non-termination condition).

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"sync"
+
+	"firmup/internal/sim"
+	"firmup/internal/strand"
+)
+
+// picker answers the game's two directed best-match queries. The
+// memoized matcher and the reference engine implement it; runGame is
+// written once against it, so the equivalence tests compare exactly the
+// memoization, not two divergent game skeletons. The exclusion set is
+// the game's live matched map for the scanned side — passing the map
+// itself (rather than a closure over it) keeps the game loop free of
+// per-game closure allocations.
+type picker interface {
+	// bestInT finds the best procedure of T for Q's procedure qi among
+	// those not in excluded, under BestMatch's tie-break.
+	bestInT(qi int, excluded map[int]int) (int, int)
+	// bestInQ is the reverse direction.
+	bestInQ(ti int, excluded map[int]int) (int, int)
+}
+
+// refPicker is the unmemoized reference: every query re-runs a full
+// SimAll accumulation with a fresh buffer, as the engine did before the
+// matcher existed. It backs MatchReference.
+type refPicker struct{ q, t *sim.Exe }
+
+func (p refPicker) bestInT(qi int, excluded map[int]int) (int, int) {
+	return p.t.BestMatch(p.q.Procs[qi].Set, func(i int) bool { _, ok := excluded[i]; return ok })
+}
+
+func (p refPicker) bestInQ(ti int, excluded map[int]int) (int, int) {
+	return p.q.BestMatch(p.t.Procs[ti].Set, func(i int) bool { _, ok := excluded[i]; return ok })
+}
+
+// cand is one memoized candidate: a procedure index and its Sim score.
+type cand struct {
+	proc  int32
+	score int32
+}
+
+// span locates one procedure's candidate list inside the matcher's slab.
+// n < 0 marks a vector not yet computed; full marks a list that holds
+// every positive-Sim candidate (no truncation at k).
+type span struct {
+	off, n int32
+	full   bool
+}
+
+// matcher is the memoization layer between the back-and-forth game and
+// sim.Exe. Each game step runs up to two best-match queries, and the same
+// procedure is frequently re-queried after the exclusion set grew — yet
+// its full similarity vector never changes: BestMatch applies the
+// exclusion filter at scan time, so the accumulation is
+// exclusion-independent. The matcher therefore computes each procedure's
+// vector once, keeps only its k best candidates as a sorted list (score
+// descending, index ascending — exactly BestMatch's order), and answers
+// every revisit by scanning that list for the first non-excluded entry:
+// O(matched) instead of O(procs).
+//
+// k is the game's MaxMatches bound. The game refuses to run a step once
+// MaxMatches pairs are committed, so at most MaxMatches-1 procedures per
+// side are ever excluded when a query runs; a k-entry prefix of the full
+// ranking therefore always contains the best non-excluded candidate.
+// Lists shorter than k are complete (every positive-Sim candidate is
+// present) and marked full. The truncated-and-exhausted case cannot arise
+// under that invariant, but a re-accumulation fallback keeps the matcher
+// correct for any caller regardless.
+//
+// Matchers, their count buffers and their candidate slabs are drawn from
+// a package-level sync.Pool, so the games of one core.Search (and of
+// every concurrent search in the process) recycle the same arenas and the
+// hot path allocates nothing after warm-up.
+type matcher struct {
+	q, t *sim.Exe
+	k    int
+
+	qt   []span // q procedure index → candidate list in t
+	tq   []span // t procedure index → candidate list in q
+	slab []cand // backing store for all candidate lists of this game
+
+	counts []int  // accumulation buffer, cap ≥ max(|q.Procs|, |t.Procs|)
+	heap   []cand // bounded-selection scratch, cap ≥ k
+}
+
+var matcherPool = sync.Pool{New: func() any { return new(matcher) }}
+
+// newMatcher draws a matcher from the arena pool and readies it for one
+// game with a MaxMatches bound of k.
+func newMatcher(q, t *sim.Exe, k int) *matcher {
+	m := matcherPool.Get().(*matcher)
+	m.q, m.t, m.k = q, t, k
+	m.qt = resetSpans(m.qt, len(q.Procs))
+	m.tq = resetSpans(m.tq, len(t.Procs))
+	m.slab = m.slab[:0]
+	if n := max(len(q.Procs), len(t.Procs)); cap(m.counts) < n {
+		m.counts = make([]int, n)
+	}
+	return m
+}
+
+// release returns the matcher (and its arenas) to the pool.
+func (m *matcher) release() {
+	m.q, m.t = nil, nil
+	matcherPool.Put(m)
+}
+
+// resetSpans grows sp to n entries and marks every entry uncomputed.
+func resetSpans(sp []span, n int) []span {
+	if cap(sp) < n {
+		sp = make([]span, n)
+	} else {
+		sp = sp[:n]
+	}
+	for i := range sp {
+		sp[i] = span{n: -1}
+	}
+	return sp
+}
+
+func (m *matcher) bestInT(qi int, excluded map[int]int) (int, int) {
+	return m.best(m.t, m.q.Procs[qi].Set, &m.qt[qi], excluded)
+}
+
+func (m *matcher) bestInQ(ti int, excluded map[int]int) (int, int) {
+	return m.best(m.q, m.t.Procs[ti].Set, &m.tq[ti], excluded)
+}
+
+// best answers one directed query from the memoized candidate list,
+// computing it on first touch. The list is sorted by (score descending,
+// index ascending), so the first non-excluded entry is exactly what a
+// full BestMatch scan would return.
+func (m *matcher) best(e *sim.Exe, set strand.Set, sp *span, excluded map[int]int) (int, int) {
+	if sp.n < 0 {
+		m.memoize(e, set, sp)
+	}
+	for _, c := range m.slab[sp.off : sp.off+int32(sp.n)] {
+		if _, ok := excluded[int(c.proc)]; ok {
+			continue
+		}
+		return int(c.proc), int(c.score)
+	}
+	if sp.full {
+		// The complete candidate set is excluded (or empty): a full scan
+		// would find nothing either.
+		return -1, 0
+	}
+	// Truncated list exhausted by exclusions. Unreachable while
+	// k ≥ MaxMatches (see the matcher doc), but re-accumulating keeps the
+	// matcher correct under any configuration.
+	counts := e.SimAllInto(set, m.counts)
+	m.counts = counts
+	return e.BestMatchFrom(counts, func(i int) bool { _, ok := excluded[i]; return ok })
+}
+
+// memoize accumulates the full similarity vector for set over e and
+// stores its k best candidates in the slab.
+func (m *matcher) memoize(e *sim.Exe, set strand.Set, sp *span) {
+	counts := e.SimAllInto(set, m.counts)
+	m.counts = counts
+	h := m.heap[:0]
+	positive := 0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		positive++
+		nc := cand{proc: int32(i), score: int32(c)}
+		if len(h) < m.k {
+			h = append(h, nc)
+			candSiftUp(h)
+		} else if candWorse(h[0], nc) {
+			h[0] = nc
+			candSiftDown(h, 0, len(h))
+		}
+	}
+	// Heapsort into (score descending, index ascending) order: each step
+	// moves the worst remaining candidate to the shrinking tail.
+	for n := len(h) - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		candSiftDown(h, 0, n)
+	}
+	sp.off = int32(len(m.slab))
+	sp.n = int32(len(h))
+	sp.full = positive == len(h)
+	m.slab = append(m.slab, h...)
+	m.heap = h[:0]
+}
+
+// candWorse reports whether a ranks strictly below b in candidate order
+// (score descending, index ascending on ties). The selection heap is a
+// min-heap under this order: its root is the worst kept candidate.
+func candWorse(a, b cand) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.proc > b.proc
+}
+
+func candSiftUp(h []cand) {
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !candWorse(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func candSiftDown(h []cand, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && candWorse(h[r], h[l]) {
+			j = r
+		}
+		if !candWorse(h[j], h[i]) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// gameState is the per-game bookkeeping (partial matching, work stack),
+// pooled so the search hot path does not rebuild four containers per
+// game.
+type gameState struct {
+	matchedQ, matchedT map[int]int
+	inStack            map[item]bool
+	stack              []item
+}
+
+var statePool = sync.Pool{New: func() any {
+	return &gameState{
+		matchedQ: map[int]int{},
+		matchedT: map[int]int{},
+		inStack:  map[item]bool{},
+	}
+}}
+
+func newGameState() *gameState {
+	s := statePool.Get().(*gameState)
+	clear(s.matchedQ)
+	clear(s.matchedT)
+	clear(s.inStack)
+	s.stack = s.stack[:0]
+	return s
+}
+
+func (s *gameState) release() { statePool.Put(s) }
+
+// push adds a work item unless it is already pending.
+func (s *gameState) push(it item) bool {
+	if s.inStack[it] {
+		return false
+	}
+	s.inStack[it] = true
+	s.stack = append(s.stack, it)
+	return true
+}
+
+// pop removes the top work item.
+func (s *gameState) pop() {
+	top := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	delete(s.inStack, top)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"firmup/internal/corpusindex"
+	"firmup/internal/sim"
+)
+
+// randProcs generates n procedures with random strand sets drawn from a
+// universe of the given size (the generator the termination tests use).
+func randProcs(rng *rand.Rand, name string, n, universe, maxStrands int) []*sim.Proc {
+	var out []*sim.Proc
+	for i := 0; i < n; i++ {
+		seen := map[uint64]bool{}
+		var hs []uint64
+		for k := 0; k < 1+rng.Intn(maxStrands); k++ {
+			h := uint64(1 + rng.Intn(universe))
+			if !seen[h] {
+				seen[h] = true
+				hs = append(hs, h)
+			}
+		}
+		out = append(out, mkProc(name+string(rune('a'+i%26)), hs...))
+	}
+	return out
+}
+
+// assertGameEquiv runs both engines on the same game and requires the
+// full Result — target, score, steps, reason, matched pairs and trace —
+// to be deep-equal.
+func assertGameEquiv(t *testing.T, trial int, q *sim.Exe, qi int, tt *sim.Exe, opt *Options) {
+	t.Helper()
+	memo := Match(q, qi, tt, opt)
+	ref := MatchReference(q, qi, tt, opt)
+	if !reflect.DeepEqual(memo, ref) {
+		t.Fatalf("trial %d: memoized game diverges from reference:\nmemo: %+v\nref:  %+v",
+			trial, memo, ref)
+	}
+}
+
+// TestMemoizationEquivalenceRandomized: the memoized engine must be
+// byte-identical to the reference on randomized corpora, with the
+// session-less hash-map index.
+func TestMemoizationEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	opt := &Options{RecordTrace: true}
+	for trial := 0; trial < 300; trial++ {
+		nq := 2 + rng.Intn(14)
+		nt := 2 + rng.Intn(14)
+		universe := 1 + rng.Intn(24)
+		q := sim.FromProcs("Q", randProcs(rng, "q", nq, universe, 8))
+		tt := sim.FromProcs("T", randProcs(rng, "t", nt, universe, 8))
+		assertGameEquiv(t, trial, q, qi(rng, nq), tt, opt)
+	}
+}
+
+// TestMemoizationEquivalenceSession is the same property under an
+// analyzer session: both executables interned, so SimAll takes the
+// CSR posting-list path instead of the hash map.
+func TestMemoizationEquivalenceSession(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	opt := &Options{RecordTrace: true}
+	for trial := 0; trial < 300; trial++ {
+		it := corpusindex.NewInterner()
+		nq := 2 + rng.Intn(14)
+		nt := 2 + rng.Intn(14)
+		universe := 1 + rng.Intn(24)
+		q := sim.FromProcsSession("Q", randProcs(rng, "q", nq, universe, 8), it)
+		tt := sim.FromProcsSession("T", randProcs(rng, "t", nt, universe, 8), it)
+		assertGameEquiv(t, trial, q, qi(rng, nq), tt, opt)
+	}
+}
+
+// TestMemoizationEquivalenceTightLimits stresses the top-k truncation:
+// tiny MaxMatches/MaxSteps bounds with dense overlap force revisits and
+// exclusion-heavy scans near the k boundary.
+func TestMemoizationEquivalenceTightLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		opt := &Options{
+			MaxSteps:    1 + rng.Intn(8),
+			MaxMatches:  1 + rng.Intn(4),
+			RecordTrace: true,
+		}
+		n := 4 + rng.Intn(10)
+		universe := 1 + rng.Intn(6) // dense overlap: nearly everything collides
+		q := sim.FromProcs("Q", randProcs(rng, "q", n, universe, 5))
+		tt := sim.FromProcs("T", randProcs(rng, "t", n, universe, 5))
+		assertGameEquiv(t, trial, q, qi(rng, n), tt, opt)
+	}
+}
+
+func qi(rng *rand.Rand, n int) int { return rng.Intn(n) }
+
+// TestMatcherFallbackReaccumulates exercises the truncated-list escape
+// hatch directly: with k smaller than the exclusion set the sorted list
+// can be exhausted, and the matcher must re-accumulate and still agree
+// with a full BestMatch scan.
+func TestMatcherFallbackReaccumulates(t *testing.T) {
+	q := sim.FromProcs("Q", []*sim.Proc{mkProc("q1", 1, 2, 3, 4)})
+	tt := sim.FromProcs("T", []*sim.Proc{
+		mkProc("t1", 1, 2, 3, 4), // Sim 4
+		mkProc("t2", 1, 2, 3),    // Sim 3
+		mkProc("t3", 1, 2),       // Sim 2
+		mkProc("t4", 1),          // Sim 1
+	})
+	m := newMatcher(q, tt, 2) // memoize only the top 2 of 4 candidates
+	defer m.release()
+	excluded := map[int]int{0: 0, 1: 0} // kill the whole memoized list
+	gotP, gotS := m.bestInT(0, excluded)
+	wantP, wantS := tt.BestMatch(q.Procs[0].Set, func(i int) bool { _, ok := excluded[i]; return ok })
+	if gotP != wantP || gotS != wantS {
+		t.Fatalf("fallback pick = (%d, %d), want BestMatch's (%d, %d)", gotP, gotS, wantP, wantS)
+	}
+	if sp := m.qt[0]; sp.n != 2 || sp.full {
+		t.Fatalf("memoized list should be truncated at k=2: %+v", sp)
+	}
+	// And with no exclusions the memoized list answers without fallback.
+	if p, s := m.bestInT(0, nil); p != 0 || s != 4 {
+		t.Fatalf("memoized pick = (%d, %d), want (0, 4)", p, s)
+	}
+}
+
+// TestMatcherReuseAcrossGames: a pooled matcher recycled between games
+// with different executables must not leak memoized state.
+func TestMatcherReuseAcrossGames(t *testing.T) {
+	qa := sim.FromProcs("QA", []*sim.Proc{mkProc("q1", 1, 2, 3)})
+	ta := sim.FromProcs("TA", []*sim.Proc{mkProc("t1", 1, 2, 3), mkProc("t2", 9, 10)})
+	qb := sim.FromProcs("QB", []*sim.Proc{mkProc("q1", 9, 10)})
+	tb := sim.FromProcs("TB", []*sim.Proc{mkProc("t1", 1, 2, 3), mkProc("t2", 9, 10)})
+	for i := 0; i < 50; i++ {
+		ra := Match(qa, 0, ta, nil)
+		if ra.Target != 0 || ra.Score != 3 {
+			t.Fatalf("iter %d: game A target=%d score=%d", i, ra.Target, ra.Score)
+		}
+		rb := Match(qb, 0, tb, nil)
+		if rb.Target != 1 || rb.Score != 2 {
+			t.Fatalf("iter %d: game B target=%d score=%d", i, rb.Target, rb.Score)
+		}
+	}
+}
+
+// The interned fast path must agree with the reference under a shared
+// session even when only one side's sets are re-attached from elsewhere
+// (hash fallback inside a session).
+func TestMemoizationEquivalenceMixedInterning(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	opt := &Options{RecordTrace: true}
+	for trial := 0; trial < 150; trial++ {
+		it := corpusindex.NewInterner()
+		n := 3 + rng.Intn(8)
+		universe := 2 + rng.Intn(12)
+		// Target interned under the session, query not: SimAll must take
+		// the hash-map fallback inside the memoizer too.
+		q := sim.FromProcs("Q", randProcs(rng, "q", n, universe, 6))
+		tt := sim.FromProcsSession("T", randProcs(rng, "t", n, universe, 6), it)
+		assertGameEquiv(t, trial, q, qi(rng, n), tt, opt)
+	}
+}

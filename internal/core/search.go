@@ -110,6 +110,13 @@ type SearchResult struct {
 // target executable in parallel, applying the acceptance threshold.
 // Without a prefilter (or when it reports no information) every target
 // is a candidate.
+//
+// Every game runs through the memoizing matcher: the similarity vectors
+// a game queries are accumulated once each, and all count buffers,
+// candidate slabs and game state are recycled through pooled arenas
+// shared by the search's workers (and any concurrent searches), so a
+// steady-state search allocates per game only what escapes into its
+// Result.
 func Search(q *sim.Exe, qi int, targets []*sim.Exe, opt *SearchOptions) SearchResult {
 	candidates := candidateIndices(q, qi, targets, opt)
 	type job struct {

@@ -13,7 +13,7 @@
 package corpusindex
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
 	"firmup/internal/sim"
@@ -96,11 +96,18 @@ type Index struct {
 	it   *Interner
 	exes []*sim.Exe
 	post [][]Posting // indexed by dense strand ID
+	// procOff are prefix sums of per-executable procedure counts:
+	// procedure p of executable e occupies dense slot procOff[e]+p in a
+	// query scratch. procOff[len(exes)] is the corpus procedure total.
+	procOff []int32
+	// scratch pools query accumulators (see queryScratch): Candidates is
+	// on the search hot path and must not allocate per query.
+	scratch sync.Pool
 }
 
 // NewIndex returns an empty index over the session's interner.
 func NewIndex(it *Interner) *Index {
-	return &Index{it: it}
+	return &Index{it: it, procOff: []int32{0}}
 }
 
 // Interner returns the session interner the index is keyed by.
@@ -116,15 +123,17 @@ func (x *Index) Add(e *sim.Exe) int {
 	defer x.mu.Unlock()
 	ei := len(x.exes)
 	x.exes = append(x.exes, e)
+	x.procOff = append(x.procOff, x.procOff[ei]+int32(len(e.Procs)))
 	for pi, p := range e.Procs {
 		if p.Set.It != strand.Interner(x.it) {
 			continue
 		}
 		for _, id := range p.Set.IDs {
 			if int(id) >= len(x.post) {
-				grown := make([][]Posting, id+1)
-				copy(grown, x.post)
-				x.post = grown
+				// Grow through append so capacity doubles amortizedly;
+				// growing to exactly id+1 each time is quadratic over a
+				// session's vocabulary.
+				x.post = append(x.post, make([][]Posting, int(id)+1-len(x.post))...)
 			}
 			x.post[id] = append(x.post[id], Posting{Exe: int32(ei), Proc: int32(pi)})
 		}
@@ -174,57 +183,133 @@ type Candidate struct {
 // this index's session, in which case the caller must fall back to
 // exhaustive examination.
 func (x *Index) Candidates(q strand.Set, minScore int, ratioFloor float64) ([]Candidate, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	s, ok := x.accumulate(q, minScore, ratioFloor)
+	if !ok {
+		return nil, false
+	}
+	out := append([]Candidate(nil), s.cands...)
+	x.putScratch(s)
+	return out, true
+}
+
+// CandidateIndices is Candidates reduced to the executable IDs, appended
+// to buf (which may be nil) — the allocation-free form the search
+// prefilter consumes. The order is Candidates' ranking.
+func (x *Index) CandidateIndices(q strand.Set, minScore int, ratioFloor float64, buf []int) ([]int, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	s, ok := x.accumulate(q, minScore, ratioFloor)
+	if !ok {
+		return nil, false
+	}
+	for _, c := range s.cands {
+		buf = append(buf, c.Exe)
+	}
+	x.putScratch(s)
+	return buf, true
+}
+
+// queryScratch is one query's pooled accumulator state. The dense counts
+// slab replaces the (exe,proc)-keyed hash map the prefilter used to
+// rebuild per query; only the entries a query actually touched are
+// zeroed on release, so reuse is O(postings touched), not O(corpus).
+type queryScratch struct {
+	counts  []int32     // per (exe, proc) dense slot, all-zero between queries
+	maxSim  []int32     // per exe, all-zero between queries
+	touched []int32     // dense slots bumped by this query
+	exes    []int32     // exe IDs with maxSim > 0 this query
+	cands   []Candidate // the ranked result, reused across queries
+}
+
+// getScratch draws a scratch sized for the current corpus layout. The
+// zero-between-queries invariant holds because putScratch clears every
+// touched entry and fresh allocations are zeroed by the runtime.
+func (x *Index) getScratch() *queryScratch {
+	s, _ := x.scratch.Get().(*queryScratch)
+	if s == nil {
+		s = &queryScratch{}
+	}
+	if total := int(x.procOff[len(x.exes)]); len(s.counts) < total {
+		s.counts = make([]int32, total)
+	}
+	if len(s.maxSim) < len(x.exes) {
+		s.maxSim = make([]int32, len(x.exes))
+	}
+	return s
+}
+
+func (x *Index) putScratch(s *queryScratch) {
+	for _, di := range s.touched {
+		s.counts[di] = 0
+	}
+	for _, ei := range s.exes {
+		s.maxSim[ei] = 0
+	}
+	s.touched = s.touched[:0]
+	s.exes = s.exes[:0]
+	s.cands = s.cands[:0]
+	x.scratch.Put(s)
+}
+
+// accumulate runs one ranking query into pooled scratch; the caller owns
+// the returned scratch until putScratch. Callers hold at least a read
+// lock.
+func (x *Index) accumulate(q strand.Set, minScore int, ratioFloor float64) (*queryScratch, bool) {
 	if q.It != strand.Interner(x.it) {
 		return nil, false
 	}
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	// Count shared strands per (exe, proc); the per-exe maximum over
-	// procedures is the bound the floors apply to.
-	counts := map[int64]int{}
+	s := x.getScratch()
+	// Count shared strands per (exe, proc) dense slot; the per-exe
+	// maximum over procedures is the bound the floors apply to.
 	for _, id := range q.IDs {
 		if int(id) >= len(x.post) {
 			continue
 		}
 		for _, p := range x.post[id] {
-			counts[int64(p.Exe)<<32|int64(p.Proc)]++
-		}
-	}
-	maxSim := map[int32]int{}
-	for key, c := range counts {
-		ei := int32(key >> 32)
-		if c > maxSim[ei] {
-			maxSim[ei] = c
+			di := x.procOff[p.Exe] + p.Proc
+			c := s.counts[di] + 1
+			s.counts[di] = c
+			if c == 1 {
+				s.touched = append(s.touched, di)
+			}
+			if c > s.maxSim[p.Exe] {
+				if s.maxSim[p.Exe] == 0 {
+					s.exes = append(s.exes, p.Exe)
+				}
+				s.maxSim[p.Exe] = c
+			}
 		}
 	}
 	qsize := len(q.IDs)
 	if minScore < 1 {
 		minScore = 1
 	}
-	out := make([]Candidate, 0, len(maxSim))
-	for ei, c := range maxSim {
+	for _, ei := range s.exes {
+		c := int(s.maxSim[ei])
 		if c < minScore {
 			continue
 		}
 		if ratioFloor > 0 && qsize > 0 && float64(c)/float64(qsize) < ratioFloor {
 			continue
 		}
-		out = append(out, Candidate{Exe: int(ei), MaxSim: c})
+		s.cands = append(s.cands, Candidate{Exe: int(ei), MaxSim: c})
 	}
 	// Every executable that never interned (no postings) must still be
 	// examined: the index has no information about it.
 	for ei, e := range x.exes {
 		if !interned(x.it, e) {
-			out = append(out, Candidate{Exe: ei, MaxSim: 0})
+			s.cands = append(s.cands, Candidate{Exe: ei, MaxSim: 0})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].MaxSim != out[j].MaxSim {
-			return out[i].MaxSim > out[j].MaxSim
+	slices.SortFunc(s.cands, func(a, b Candidate) int {
+		if a.MaxSim != b.MaxSim {
+			return b.MaxSim - a.MaxSim
 		}
-		return out[i].Exe < out[j].Exe
+		return a.Exe - b.Exe
 	})
-	return out, true
+	return s, true
 }
 
 // Rows returns the index's non-empty posting rows ordered by strictly
@@ -249,6 +334,10 @@ func (x *Index) Rows() []Row {
 // identical IDs; otherwise it rebuilds with Add).
 func RestoreIndex(it *Interner, exes []*sim.Exe, rows []Row) *Index {
 	x := &Index{it: it, exes: append([]*sim.Exe(nil), exes...)}
+	x.procOff = make([]int32, len(x.exes)+1)
+	for i, e := range x.exes {
+		x.procOff[i+1] = x.procOff[i] + int32(len(e.Procs))
+	}
 	if n := len(rows); n > 0 {
 		x.post = make([][]Posting, rows[n-1].ID+1)
 	}

@@ -1,6 +1,7 @@
 package corpusindex
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -168,5 +169,134 @@ func TestUninternedExeAlwaysCandidate(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("foreign exe %d missing from candidates %+v", fi, cands)
+	}
+}
+
+// CandidateIndices must be exactly Candidates reduced to exe IDs, in
+// ranking order, appended to the caller's buffer.
+func TestCandidateIndicesMatchesCandidates(t *testing.T) {
+	it, x, _ := buildCorpus(t)
+	q := set(1, 2, 3, 9).Interned(it)
+	cands, ok := x.Candidates(q, 1, 0)
+	if !ok {
+		t.Fatal("expected filterable")
+	}
+	ids, ok := x.CandidateIndices(q, 1, 0, []int{-7})
+	if !ok {
+		t.Fatal("expected filterable")
+	}
+	if len(ids) != len(cands)+1 || ids[0] != -7 {
+		t.Fatalf("buffer append semantics broken: %v", ids)
+	}
+	for i, c := range cands {
+		if ids[i+1] != c.Exe {
+			t.Errorf("ids[%d] = %d, want %d", i+1, ids[i+1], c.Exe)
+		}
+	}
+	other := NewInterner()
+	if _, ok := x.CandidateIndices(set(1, 2).Interned(other), 1, 0, nil); ok {
+		t.Error("cross-session query must report ok=false")
+	}
+}
+
+// Repeated queries through the pooled scratch must be self-consistent:
+// identical inputs give identical rankings, interleaved with different
+// queries and index growth.
+func TestCandidatesScratchReuse(t *testing.T) {
+	it, x, _ := buildCorpus(t)
+	qa := set(1, 2, 3, 9).Interned(it)
+	qb := set(4, 5, 6).Interned(it)
+	first, ok := x.Candidates(qa, 1, 0)
+	if !ok {
+		t.Fatal("expected filterable")
+	}
+	for i := 0; i < 20; i++ {
+		if _, ok := x.Candidates(qb, 1, 0); !ok {
+			t.Fatal("expected filterable")
+		}
+		again, ok := x.Candidates(qa, 1, 0)
+		if !ok {
+			t.Fatal("expected filterable")
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("iter %d: ranking drifted across scratch reuse:\nfirst: %+v\nagain: %+v", i, first, again)
+		}
+	}
+	// Growing the index must invalidate nothing: the new exe appears,
+	// previous ones keep their scores.
+	ni := x.Add(sim.FromProcsSession("d", []*sim.Proc{
+		{Name: "d0", Set: set(1, 2, 3, 9).Interned(it)},
+	}, it))
+	grown, ok := x.Candidates(qa, 1, 0)
+	if !ok {
+		t.Fatal("expected filterable")
+	}
+	if len(grown) != len(first)+1 {
+		t.Fatalf("grown ranking = %+v", grown)
+	}
+	if grown[0].Exe != ni || grown[0].MaxSim != 4 {
+		t.Fatalf("new exe should rank first with MaxSim 4: %+v", grown)
+	}
+}
+
+// The scratch pool must hold up under concurrent queries (the search
+// workers of parallel sessions share one index).
+func TestCandidatesConcurrent(t *testing.T) {
+	it, x, _ := buildCorpus(t)
+	qa := set(1, 2, 3, 9).Interned(it)
+	want, ok := x.Candidates(qa, 1, 0)
+	if !ok {
+		t.Fatal("expected filterable")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, ok := x.Candidates(qa, 1, 0)
+				if !ok || !reflect.DeepEqual(got, want) {
+					errs <- "concurrent ranking diverged"
+					return
+				}
+				if _, ok := x.CandidateIndices(qa, 1, 0, nil); !ok {
+					errs <- "CandidateIndices failed"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// Add must stay correct while the posting table grows far beyond its
+// previous bound one strand ID at a time (the capacity-doubling path).
+func TestAddPostingGrowth(t *testing.T) {
+	it := NewInterner()
+	x := NewIndex(it)
+	const exes = 40
+	for e := 0; e < exes; e++ {
+		// Each exe introduces fresh hashes, pushing the max dense ID up.
+		hs := make([]uint64, 0, 8)
+		for k := 0; k < 8; k++ {
+			hs = append(hs, uint64(1000*e+k))
+		}
+		x.Add(sim.FromProcsSession("e", []*sim.Proc{{Name: "p", Set: set(hs...)}}, it))
+	}
+	if got := x.Postings(); got != exes*8 {
+		t.Fatalf("Postings = %d, want %d", got, exes*8)
+	}
+	// Every exe must be retrievable by its own signature with a full max.
+	for e := 0; e < exes; e++ {
+		q := set(uint64(1000*e), uint64(1000*e+1), uint64(1000*e+2)).Interned(it)
+		cands, ok := x.Candidates(q, 3, 0)
+		if !ok || len(cands) != 1 || cands[0].Exe != e || cands[0].MaxSim != 3 {
+			t.Fatalf("exe %d: candidates = %+v ok=%v", e, cands, ok)
+		}
 	}
 }

@@ -220,7 +220,21 @@ func (e *Exe) Sim(q strand.Set, i int) int {
 // sets interned under the executable's own session take the posting-list
 // path; everything else falls back to the hash-map index.
 func (e *Exe) SimAll(q strand.Set) []int {
-	counts := make([]int, len(e.Procs))
+	return e.SimAllInto(q, nil)
+}
+
+// SimAllInto is SimAll accumulating into a caller-provided buffer: counts
+// is resliced to len(e.Procs) and zeroed when its capacity suffices, and
+// reallocated otherwise; the used buffer is returned. It is what lets the
+// game engine's matcher run similarity queries without a per-call
+// allocation.
+func (e *Exe) SimAllInto(q strand.Set, counts []int) []int {
+	if cap(counts) < len(e.Procs) {
+		counts = make([]int, len(e.Procs))
+	} else {
+		counts = counts[:len(e.Procs)]
+		clear(counts)
+	}
 	if e.it != nil && q.It == e.it {
 		e.simIDs(q.IDs, counts)
 		return counts
@@ -276,7 +290,15 @@ func (e *Exe) simIDs(qids []uint32, counts []int) {
 // for which excluded returns true. Ties break toward the lower index
 // (deterministic). Returns (-1, 0) when no candidate shares any strand.
 func (e *Exe) BestMatch(q strand.Set, excluded func(int) bool) (int, int) {
-	counts := e.SimAll(q)
+	return e.BestMatchFrom(e.SimAll(q), excluded)
+}
+
+// BestMatchFrom is the scan half of BestMatch over a similarity vector
+// already accumulated by SimAllInto — the exclusion filter is applied at
+// scan time, so one accumulation serves any number of exclusion sets.
+// The tie-break is BestMatch's: strictly-greater scores win, so equal
+// scores keep the lower index.
+func (e *Exe) BestMatchFrom(counts []int, excluded func(int) bool) (int, int) {
 	best, bestScore := -1, 0
 	for i, c := range counts {
 		if c == 0 || (excluded != nil && excluded(i)) {
@@ -289,26 +311,76 @@ func (e *Exe) BestMatch(q strand.Set, excluded func(int) bool) (int, int) {
 	return best, bestScore
 }
 
-// TopK returns the k most similar procedures in descending score order
-// (procedures sharing no strands are omitted).
+// TopK returns the k most similar procedures in descending score order,
+// ties toward the lower index (procedures sharing no strands are
+// omitted). Selection is a bounded min-heap over the positive scores, so
+// large executables never sort their full procedure list for a small k.
 func (e *Exe) TopK(q strand.Set, k int) []Scored {
+	if k <= 0 {
+		return nil
+	}
 	counts := e.SimAll(q)
-	var out []Scored
+	var h []Scored
 	for i, c := range counts {
-		if c > 0 {
-			out = append(out, Scored{Proc: i, Score: float64(c)})
+		if c == 0 {
+			continue
+		}
+		s := Scored{Proc: i, Score: float64(c)}
+		if len(h) < k {
+			h = append(h, s)
+			scoredSiftUp(h)
+		} else if scoredWorse(h[0], s) {
+			h[0] = s
+			scoredSiftDown(h, 0, len(h))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Proc < out[j].Proc
-	})
-	if len(out) > k {
-		out = out[:k]
+	// Heapsort: each step moves the worst remaining entry to the shrinking
+	// tail, leaving h in descending-score (ascending-index on ties) order.
+	for n := len(h) - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		scoredSiftDown(h, 0, n)
 	}
-	return out
+	return h
+}
+
+// scoredWorse reports whether a ranks strictly below b in TopK order
+// (score descending, procedure index ascending on ties). The heap is a
+// min-heap under this order: its root is the worst kept candidate.
+func scoredWorse(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Proc > b.Proc
+}
+
+func scoredSiftUp(h []Scored) {
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !scoredWorse(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func scoredSiftDown(h []Scored, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && scoredWorse(h[r], h[l]) {
+			j = r
+		}
+		if !scoredWorse(h[j], h[i]) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // Scored pairs a procedure index with a score.

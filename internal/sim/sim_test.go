@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"sort"
 	"sync"
 	"testing"
@@ -266,5 +267,139 @@ func TestProcByNameFirstMatch(t *testing.T) {
 	}
 	if i := e.ProcByName("absent"); i != -1 {
 		t.Errorf("ProcByName(absent) = %d, want -1", i)
+	}
+}
+
+// SimAllInto must equal SimAll whatever buffer it is handed: nil, dirty
+// and oversized, or too small.
+func TestSimAllIntoBufferReuse(t *testing.T) {
+	e := FromProcs("T", []*Proc{
+		mk("a", 1, 2, 3),
+		mk("b", 3, 4),
+		mk("c", 9),
+	})
+	q := strand.Set{Hashes: []uint64{2, 3, 4, 9}}
+	want := e.SimAll(q)
+
+	dirty := []int{7, 7, 7, 7, 7, 7}
+	got := e.SimAllInto(q, dirty)
+	if len(got) != len(e.Procs) {
+		t.Fatalf("len = %d, want %d", len(got), len(e.Procs))
+	}
+	if &got[0] != &dirty[0] {
+		t.Error("oversized buffer was not reused")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dirty-buffer counts[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	small := make([]int, 1)
+	got = e.SimAllInto(q, small)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("grown-buffer counts[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if got = e.SimAllInto(q, nil); len(got) != len(want) {
+		t.Errorf("nil-buffer len = %d", len(got))
+	}
+}
+
+// BestMatchFrom over a SimAllInto vector must equal BestMatch for any
+// exclusion set.
+func TestBestMatchFromEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		procs := make([]*Proc, n)
+		for i := range procs {
+			var hs []uint64
+			seen := map[uint64]bool{}
+			for k := 0; k < 1+rng.Intn(6); k++ {
+				h := uint64(1 + rng.Intn(12))
+				if !seen[h] {
+					seen[h] = true
+					hs = append(hs, h)
+				}
+			}
+			procs[i] = mk("p", hs...)
+		}
+		e := FromProcs("T", procs)
+		var qh []uint64
+		for h := uint64(1); h <= 12; h++ {
+			if rng.Intn(2) == 0 {
+				qh = append(qh, h)
+			}
+		}
+		q := strand.Set{Hashes: qh}
+		ex := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				ex[i] = true
+			}
+		}
+		excluded := func(i int) bool { return ex[i] }
+		wb, ws := e.BestMatch(q, excluded)
+		counts := e.SimAllInto(q, make([]int, 0, n))
+		gb, gs := e.BestMatchFrom(counts, excluded)
+		if gb != wb || gs != ws {
+			t.Fatalf("trial %d: BestMatchFrom = (%d, %d), BestMatch = (%d, %d)", trial, gb, gs, wb, ws)
+		}
+	}
+}
+
+// The bounded-heap TopK must return exactly the full-sort reference:
+// same set, same order, for every k.
+func TestTopKMatchesFullSortReference(t *testing.T) {
+	reference := func(e *Exe, q strand.Set, k int) []Scored {
+		counts := e.SimAll(q)
+		var out []Scored
+		for i, c := range counts {
+			if c > 0 {
+				out = append(out, Scored{Proc: i, Score: float64(c)})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Score != out[j].Score {
+				return out[i].Score > out[j].Score
+			}
+			return out[i].Proc < out[j].Proc
+		})
+		if len(out) > k {
+			out = out[:k]
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		procs := make([]*Proc, n)
+		for i := range procs {
+			var hs []uint64
+			seen := map[uint64]bool{}
+			for k := 0; k < 1+rng.Intn(8); k++ {
+				h := uint64(1 + rng.Intn(10))
+				if !seen[h] {
+					seen[h] = true
+					hs = append(hs, h)
+				}
+			}
+			procs[i] = mk("p", hs...)
+		}
+		e := FromProcs("T", procs)
+		q := strand.Set{Hashes: []uint64{1, 2, 3, 4, 5}}
+		for _, k := range []int{0, 1, 2, 3, n / 2, n, n + 5} {
+			got := e.TopK(q, k)
+			want := reference(e, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: len %d vs %d", trial, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d: TopK[%d] = %+v, want %+v", trial, k, i, got[i], want[i])
+				}
+			}
+		}
 	}
 }

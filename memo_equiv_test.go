@@ -1,0 +1,102 @@
+package firmup_test
+
+import (
+	"reflect"
+	"testing"
+
+	"firmup/internal/core"
+	"firmup/internal/corpus"
+	"firmup/internal/eval"
+	"firmup/internal/sim"
+	"firmup/internal/uir"
+)
+
+// The memoized game engine must be indistinguishable from the reference
+// on the realistic corpus: for every query procedure and every target
+// executable, the full game result — target, score, steps, matched
+// pairs, end reason and trace — deep-equal under both the interned
+// session index and the hash-map fallback.
+func TestMemoizedEngineEquivalenceOnCorpus(t *testing.T) {
+	env, err := eval.Prepare(corpus.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := env.Query("wget", "1.15", uir.ArchMIPS32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []*sim.Exe
+	for _, u := range env.Units {
+		if u.Arch == uir.ArchMIPS32 {
+			targets = append(targets, u.Exe)
+		}
+	}
+	if len(targets) < 2 {
+		t.Fatalf("only %d MIPS targets", len(targets))
+	}
+	opt := &core.Options{RecordTrace: true}
+	games, diverged := 0, 0
+	for qi, qp := range q.Procs {
+		if qp.Set.Size() < 3 {
+			continue
+		}
+		for ti, tgt := range targets {
+			games++
+			memo := core.Match(q, qi, tgt, opt)
+			ref := core.MatchReference(q, qi, tgt, opt)
+			if !reflect.DeepEqual(memo, ref) {
+				diverged++
+				t.Errorf("query %q vs target %d: memoized engine diverges\nmemo: %+v\nref:  %+v",
+					qp.Name, ti, memo, ref)
+				if diverged > 3 {
+					t.Fatal("too many divergences; aborting")
+				}
+			}
+		}
+	}
+	if games == 0 {
+		t.Fatal("no games played; scenario is vacuous")
+	}
+	t.Logf("%d games byte-identical across engines", games)
+}
+
+// Search through the memoized engine must agree with a search whose
+// games are each replayed on the reference engine: same findings, same
+// steps histogram. This pins the engine swap at the Search layer, where
+// the matcher arenas are shared across workers.
+func TestMemoizedSearchMatchesReferenceReplay(t *testing.T) {
+	env, err := eval.Prepare(corpus.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := env.Query("wget", "1.15", uir.ArchMIPS32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qi := q.ProcByName("ftp_retrieve_glob")
+	if qi < 0 {
+		t.Fatal("query lacks ftp_retrieve_glob")
+	}
+	var targets []*sim.Exe
+	for _, u := range env.Units {
+		if u.Arch == uir.ArchMIPS32 {
+			targets = append(targets, u.Exe)
+		}
+	}
+	res := core.Search(q, qi, targets, eval.DefaultSearch())
+	if len(res.Findings) == 0 {
+		t.Fatal("search found nothing; scenario is vacuous")
+	}
+	// Replay each target's game on the reference engine and cross-check
+	// the per-target step counts behind the accepted findings.
+	stepsByPath := map[string]int{}
+	for _, tgt := range targets {
+		r := core.MatchReference(q, qi, tgt, &core.Options{})
+		stepsByPath[tgt.Path] = r.Steps
+	}
+	for _, f := range res.Findings {
+		if want := stepsByPath[f.ExePath]; f.Steps != want {
+			t.Errorf("finding %s: steps = %d, reference replay = %d", f.ExePath, f.Steps, want)
+		}
+	}
+}
