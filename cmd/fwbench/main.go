@@ -7,6 +7,7 @@
 //	fwbench -exp table2 -scale eval
 //	fwbench -exp fig6|fig8|fig9|fig5|table1|demo|ablation|snapshot
 //	fwbench -exp game -json     # memoized vs reference engine, BENCH_game.json
+//	fwbench -exp analyze -json  # cached vs uncached analysis, BENCH_analyze.json
 package main
 
 import (
@@ -30,14 +31,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, game, all")
+	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, game, analyze, all")
 	scale := flag.String("scale", "default", "corpus scale: default or eval")
-	jsonOut := flag.Bool("json", false, "write machine-readable results of the game experiment to BENCH_game.json")
+	jsonOut := flag.Bool("json", false, "write machine-readable results of the game/analyze experiments to BENCH_game.json / BENCH_analyze.json")
 	flag.Parse()
 
 	valid := map[string]bool{"all": true, "table2": true, "fig6": true, "fig8": true,
 		"fig9": true, "ablation": true, "fig5": true, "table1": true, "demo": true,
-		"snapshot": true, "game": true}
+		"snapshot": true, "game": true, "analyze": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "fwbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -119,6 +120,115 @@ func main() {
 	}
 	if want("game") {
 		gameBench(env, *scale, *jsonOut)
+	}
+	if want("analyze") {
+		analyzeBench(env, *scale, *jsonOut)
+	}
+}
+
+// analyzeBenchEntry is one benchmark row of the analyze experiment's
+// machine-readable output.
+type analyzeBenchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// analyzeBenchReport is the schema of BENCH_analyze.json.
+type analyzeBenchReport struct {
+	Generated string `json:"generated"`
+	Scale     string `json:"scale"`
+	// Images is the number of distinct corpus images; the benchmarked
+	// stream opens each twice per session (a warm-session replay).
+	Images    int `json:"images"`
+	StreamLen int `json:"stream_len"`
+	// Cache traffic of one cached session over the stream.
+	Blocks     int64               `json:"cache_blocks"`
+	Hits       int64               `json:"cache_hits"`
+	Unique     int                 `json:"cache_unique"`
+	HitRate    float64             `json:"cache_hit_rate"`
+	Benchmarks []analyzeBenchEntry `json:"benchmarks"`
+	// SpeedupNs is uncached ns/op over cached ns/op for the stream
+	// (>1 means the cached front end is faster).
+	SpeedupNs float64 `json:"speedup_ns_vs_uncached"`
+	// AllocRatio is uncached allocs/op over cached allocs/op (>1 means
+	// the cached front end allocates less).
+	AllocRatio float64 `json:"alloc_ratio_vs_uncached"`
+}
+
+// analyzeBench measures the parallel analysis front end with the block
+// canonicalization cache against the uncached path. The workload is a
+// warm-session stream: one analyzer session opens every corpus image
+// twice, modeling both the self-similarity of real firmware corpora
+// (the same statically-linked library code recurs across images) and a
+// long-lived analysis service re-opening firmware revisions.
+func analyzeBench(env *eval.Env, scale string, jsonOut bool) {
+	fmt.Println("=== analyze: block canonicalization cache ===")
+	var stream [][]byte
+	for _, bi := range env.Corpus.Images {
+		stream = append(stream, bi.Image.Pack(true))
+	}
+	images := len(stream)
+	stream = append(stream, stream...)
+	run := func(disableCache bool) *firmup.Analyzer {
+		a := firmup.NewAnalyzer(&firmup.AnalyzerOptions{DisableBlockCache: disableCache})
+		for _, data := range stream {
+			if _, err := a.OpenImage(data); err != nil {
+				fatal(err)
+			}
+		}
+		return a
+	}
+	bench := func(disableCache bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run(disableCache)
+			}
+		})
+	}
+	cold := bench(true)
+	cached := bench(false)
+	stats := run(false).CacheStats()
+
+	rep := analyzeBenchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Scale:     scale,
+		Images:    images,
+		StreamLen: len(stream),
+		Blocks:    stats.Blocks,
+		Hits:      stats.Hits,
+		Unique:    stats.Unique,
+		HitRate:   stats.HitRate(),
+		Benchmarks: []analyzeBenchEntry{
+			{Name: "AnalyzeStream/uncached", NsPerOp: float64(cold.NsPerOp()), AllocsPerOp: cold.AllocsPerOp(), BytesPerOp: cold.AllocedBytesPerOp()},
+			{Name: "AnalyzeStream/cached", NsPerOp: float64(cached.NsPerOp()), AllocsPerOp: cached.AllocsPerOp(), BytesPerOp: cached.AllocedBytesPerOp()},
+		},
+	}
+	if cached.NsPerOp() > 0 {
+		rep.SpeedupNs = float64(cold.NsPerOp()) / float64(cached.NsPerOp())
+	}
+	if cached.AllocsPerOp() > 0 {
+		rep.AllocRatio = float64(cold.AllocsPerOp()) / float64(cached.AllocsPerOp())
+	}
+	for _, e := range rep.Benchmarks {
+		fmt.Printf("  %-22s %12.0f ns/op %12d B/op %10d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	fmt.Printf("  stream: %d opens of %d images per op; cache: %d/%d block hits (%.1f%%), %d unique\n",
+		rep.StreamLen, rep.Images, rep.Hits, rep.Blocks, 100*rep.HitRate, rep.Unique)
+	fmt.Printf("  cached vs uncached: %.2fx ns/op, %.2fx fewer allocs/op\n\n",
+		rep.SpeedupNs, rep.AllocRatio)
+	if jsonOut {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_analyze.json", append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote BENCH_analyze.json")
 	}
 }
 

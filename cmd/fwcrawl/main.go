@@ -42,6 +42,7 @@ func main() {
 		fatal(err)
 	}
 	var manifest strings.Builder
+	var snapStats firmup.CacheStats
 	for _, bi := range c.Images {
 		name := fmt.Sprintf("%s_%s_%s.fwim", bi.Vendor, bi.Device, bi.FwVersion)
 		name = strings.ReplaceAll(name, "/", "-")
@@ -64,6 +65,10 @@ func main() {
 			if err := os.WriteFile(filepath.Join(*out, name+".fwsnap"), blob, 0o644); err != nil {
 				fatal(err)
 			}
+			cs := a.CacheStats()
+			snapStats.Blocks += cs.Blocks
+			snapStats.Hits += cs.Hits
+			snapStats.Unique += cs.Unique
 		}
 		latest := ""
 		if bi.Latest {
@@ -97,6 +102,8 @@ func main() {
 		st.Images, st.Exes, st.Procedures, *out)
 	if *snap {
 		fmt.Printf("wrote %d sidecar analysis snapshots (.fwsnap)\n", st.Images)
+		fmt.Printf("block cache across sessions: %d/%d hits (%.1f%%), %d unique blocks\n",
+			snapStats.Hits, snapStats.Blocks, 100*snapStats.HitRate(), snapStats.Unique)
 	}
 	fmt.Printf("wrote %d query executables into %s\n", len(corpus.CVEs)*4, qdir)
 }

@@ -111,6 +111,10 @@ func dumpImage(path string, useSnap bool) {
 	}
 	fmt.Printf("analysis: %d searchable executable(s), %d unique strands interned, %d index postings\n",
 		len(img.Exes), analyzer.UniqueStrands(), img.IndexedStrands())
+	if cs := analyzer.CacheStats(); cs.Blocks > 0 {
+		fmt.Printf("analysis: block cache %d/%d hits (%.1f%%), %d unique blocks, %s analyze time\n",
+			cs.Hits, cs.Blocks, 100*cs.HitRate(), cs.Unique, analyzeTime.Round(time.Microsecond))
+	}
 	for _, e := range img.Exes {
 		procs := e.Procedures()
 		strands := 0
@@ -173,7 +177,7 @@ func dumpExe(path, procName string, showStrands bool) {
 		return
 	}
 	for _, in := range p.Insts {
-		fmt.Printf("%08x  %s\n", in.Addr, in.Mnemonic)
+		fmt.Printf("%08x  %s\n", in.Addr, isa.Disasm(be, in))
 	}
 }
 

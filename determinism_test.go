@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"firmup"
 	"firmup/internal/core"
 	"firmup/internal/corpus"
 	"firmup/internal/eval"
@@ -55,5 +56,83 @@ func TestSearchDeterminismAcrossWorkers(t *testing.T) {
 	}
 	if len(one.Findings) == 0 {
 		t.Error("determinism check matched nothing; scenario is vacuous")
+	}
+}
+
+// analyzedState captures everything observable about an analyzed image
+// plus a search through it, for deep comparison across analyzer
+// configurations.
+type analyzedState struct {
+	Paths    [][2]string // path, per-exe marker of skipped vs analyzed
+	Procs    [][]firmup.ProcedureInfo
+	Strands  [][][]uint64
+	Markers  [][][]uint32
+	Findings []firmup.Finding
+}
+
+func analyzeScenario(t *testing.T, imgBytes, queryBytes []byte, aopt *firmup.AnalyzerOptions) (analyzedState, firmup.CacheStats) {
+	t.Helper()
+	a := firmup.NewAnalyzer(aopt)
+	img, err := a.OpenImage(imgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := a.LoadQueryExecutable(queryBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st analyzedState
+	for _, e := range img.Exes {
+		st.Paths = append(st.Paths, [2]string{e.Path, "analyzed"})
+		procs := e.Procedures()
+		st.Procs = append(st.Procs, procs)
+		strands := make([][]uint64, len(procs))
+		markers := make([][]uint32, len(procs))
+		for i := range procs {
+			strands[i] = e.ProcedureStrands(i)
+			markers[i] = e.ProcedureMarkers(i)
+		}
+		st.Strands = append(st.Strands, strands)
+		st.Markers = append(st.Markers, markers)
+	}
+	for _, s := range img.Skipped {
+		st.Paths = append(st.Paths, [2]string{s.Path, "skipped"})
+	}
+	st.Findings, err = firmup.SearchImage(q, "ftp_retrieve_glob", img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, a.CacheStats()
+}
+
+// The analysis front end must produce byte-identical output whether it
+// runs serially without the block cache or fully parallel with it: same
+// procedures, same strand hash sets, same markers, same findings.
+func TestAnalyzeDeterminismAcrossWorkersAndCache(t *testing.T) {
+	imgBytes, queryBytes, _ := buildScenario(t)
+	base, baseStats := analyzeScenario(t, imgBytes, queryBytes,
+		&firmup.AnalyzerOptions{Workers: 1, DisableBlockCache: true})
+	if baseStats != (firmup.CacheStats{}) {
+		t.Errorf("disabled cache reported traffic: %+v", baseStats)
+	}
+	for _, opt := range []*firmup.AnalyzerOptions{
+		{Workers: 1},                           // cache on, serial
+		{Workers: 8},                           // cache on, parallel
+		{Workers: 8, DisableBlockCache: true},  // cache off, parallel
+		{Workers: 3, DisableBlockCache: false}, // odd split of the shared budget
+	} {
+		got, stats := analyzeScenario(t, imgBytes, queryBytes, opt)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("analysis under %+v diverged from serial uncached baseline", *opt)
+		}
+		if !opt.DisableBlockCache && stats.Blocks == 0 {
+			t.Errorf("enabled cache under %+v saw no traffic", *opt)
+		}
+	}
+	if len(base.Findings) == 0 {
+		t.Error("determinism check matched nothing; scenario is vacuous")
+	}
+	if len(base.Procs) == 0 {
+		t.Error("image produced no analyzed executables")
 	}
 }

@@ -90,13 +90,15 @@ func main() {
 	fmt.Printf("\nFirst basic block of %s, build B (vendor tool chain, MIPS):\n", procName)
 	printHead(pB, 7)
 
+	beMIPS, _ := isa.ByArch(uir.ArchMIPS32)
+
 	shared := map[string]bool{}
 	for _, in := range pA.Insts[:min(20, len(pA.Insts))] {
-		shared[in.Mnemonic] = true
+		shared[isa.Disasm(beMIPS, in)] = true
 	}
 	overlap := 0
 	for _, in := range pB.Insts[:min(20, len(pB.Insts))] {
-		if shared[in.Mnemonic] {
+		if shared[isa.Disasm(beMIPS, in)] {
 			overlap++
 		}
 	}
@@ -118,11 +120,12 @@ func main() {
 }
 
 func printHead(p *cfg.Proc, n int) {
+	be, _ := isa.ByArch(uir.ArchMIPS32)
 	for i, in := range p.Insts {
 		if i >= n {
 			return
 		}
-		fmt.Printf("  %08x  %s\n", in.Addr, in.Mnemonic)
+		fmt.Printf("  %08x  %s\n", in.Addr, isa.Disasm(be, in))
 	}
 }
 

@@ -48,18 +48,27 @@ import (
 	_ "firmup/internal/isa/x86"  // register the x86 backend
 	"firmup/internal/obj"
 	"firmup/internal/sim"
+	"firmup/internal/strand"
 )
 
 // AnalyzerOptions tune an analyzer session. The zero value selects the
 // defaults.
 type AnalyzerOptions struct {
-	// Workers bounds the parallel analysis of an image's executables in
-	// OpenImage (default GOMAXPROCS).
+	// Workers is the session's total analysis worker budget (default
+	// GOMAXPROCS). It is shared — not multiplied — across the two nested
+	// pools: OpenImage runs min(Workers, #executables) executables
+	// concurrently, and each in-flight executable build gets the
+	// remaining budget as procedure-level workers, so at most ~Workers
+	// goroutines analyze at any moment.
 	Workers int
 	// DisableIndex turns off the corpus-level search index: opened
 	// images carry no index and every search examines every target.
 	// Findings are identical either way.
 	DisableIndex bool
+	// DisableBlockCache turns off the session's block canonicalization
+	// cache: every lifted block is re-extracted from scratch. Analyzed
+	// output is identical either way; only the work done differs.
+	DisableBlockCache bool
 }
 
 func (o *AnalyzerOptions) workers() int {
@@ -67,6 +76,26 @@ func (o *AnalyzerOptions) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return o.Workers
+}
+
+// splitWorkers divides the session's worker budget between the two
+// nested pools for n pending executables: the image-level pool takes
+// min(budget, n) slots and each in-flight build gets budget/exeWorkers
+// procedure-level workers, so the product stays ≈ budget instead of
+// budget².
+func splitWorkers(budget, n int) (exeWorkers, procWorkers int) {
+	exeWorkers = budget
+	if exeWorkers > n {
+		exeWorkers = n
+	}
+	if exeWorkers < 1 {
+		exeWorkers = 1
+	}
+	procWorkers = budget / exeWorkers
+	if procWorkers < 1 {
+		procWorkers = 1
+	}
+	return exeWorkers, procWorkers
 }
 
 func (o *AnalyzerOptions) indexed() bool { return o == nil || !o.DisableIndex }
@@ -79,6 +108,9 @@ func (o *AnalyzerOptions) indexed() bool { return o == nil || !o.DisableIndex }
 type Analyzer struct {
 	opt      AnalyzerOptions
 	interner *corpusindex.Interner
+	// cache memoizes per-block canonicalization across every executable
+	// the session analyzes; nil when DisableBlockCache is set.
+	cache *strand.BlockCache
 }
 
 // NewAnalyzer creates a session. NewAnalyzer(nil) selects the defaults.
@@ -87,6 +119,9 @@ func NewAnalyzer(opt *AnalyzerOptions) *Analyzer {
 	if opt != nil {
 		a.opt = *opt
 	}
+	if !a.opt.DisableBlockCache {
+		a.cache = strand.NewBlockCache(a.interner)
+	}
 	return a
 }
 
@@ -94,6 +129,20 @@ func NewAnalyzer(opt *AnalyzerOptions) *Analyzer {
 // distinct canonical strand hashes interned across every executable
 // analyzed so far.
 func (a *Analyzer) UniqueStrands() int { return a.interner.Size() }
+
+// CacheStats is the session block cache's traffic summary.
+type CacheStats = strand.CacheStats
+
+// CacheStats reports the session's block canonicalization cache
+// counters: blocks looked up, lookups answered from the cache, and
+// distinct canonicalized blocks stored. The zero value is returned when
+// the cache is disabled.
+func (a *Analyzer) CacheStats() CacheStats {
+	if a.cache == nil {
+		return CacheStats{}
+	}
+	return a.cache.Stats()
+}
 
 // defaultSession backs the package-level one-liner API; sharing one
 // session keeps package-level queries and images ID-comparable.
@@ -141,6 +190,20 @@ type ProcedureInfo struct {
 	Blocks   int
 }
 
+// ProcedureStrands returns procedure i's sorted canonical strand
+// hashes (a copy). Hashes — unlike session-local dense IDs — are
+// stable across sessions, worker counts and cache configuration, which
+// makes them the right handle for equivalence checks.
+func (e *Executable) ProcedureStrands(i int) []uint64 {
+	return append([]uint64(nil), e.exe.Procs[i].Set.Hashes...)
+}
+
+// ProcedureMarkers returns procedure i's sorted distinctive constants
+// (a copy; see strand.ConstMarkers).
+func (e *Executable) ProcedureMarkers(i int) []uint32 {
+	return append([]uint32(nil), e.exe.Procs[i].Markers...)
+}
+
 // SkipReason records one in-image executable that parsed as an FWELF but
 // failed analysis and was left out of Image.Exes.
 type SkipReason struct {
@@ -180,15 +243,18 @@ func (a *Analyzer) AnalyzeExecutable(path string, data []byte) (*Executable, err
 	if err != nil {
 		return nil, err
 	}
-	return a.analyzeFile(path, f)
+	// A standalone analysis is the only build in flight: give it the
+	// whole worker budget at the procedure level.
+	return a.analyzeFile(path, f, a.opt.workers())
 }
 
-func (a *Analyzer) analyzeFile(path string, f *obj.File) (*Executable, error) {
+func (a *Analyzer) analyzeFile(path string, f *obj.File, procWorkers int) (*Executable, error) {
 	rec, err := cfg.Recover(f)
 	if err != nil {
 		return nil, fmt.Errorf("firmup: %s: %w", path, err)
 	}
-	return &Executable{Path: path, exe: sim.Build(path, rec, a.interner), rec: rec}, nil
+	bc := &sim.BuildConfig{Cache: a.cache, Workers: procWorkers}
+	return &Executable{Path: path, exe: sim.BuildWith(path, rec, a.interner, bc), rec: rec}, nil
 }
 
 // LoadQueryExecutable analyzes the analyst's query binary (typically
@@ -242,14 +308,13 @@ type pendingExe struct {
 }
 
 // analyzeAll runs the session's bounded worker pool over the pending
-// executables, preserving input order in both Exes and Skipped.
+// executables, preserving input order in both Exes and Skipped. The
+// worker budget is split between this pool and the per-executable
+// procedure pools (see splitWorkers).
 func (a *Analyzer) analyzeAll(pending []pendingExe, out *Image) {
 	exes := make([]*Executable, len(pending))
 	errs := make([]error, len(pending))
-	workers := a.opt.workers()
-	if workers > len(pending) {
-		workers = len(pending)
-	}
+	workers, procWorkers := splitWorkers(a.opt.workers(), len(pending))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -257,7 +322,7 @@ func (a *Analyzer) analyzeAll(pending []pendingExe, out *Image) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				exes[i], errs[i] = a.analyzeFile(pending[i].path, pending[i].file)
+				exes[i], errs[i] = a.analyzeFile(pending[i].path, pending[i].file, procWorkers)
 			}
 		}()
 	}

@@ -53,6 +53,36 @@ func (r *Recovered) Proc(name string) *Proc {
 	return nil
 }
 
+// sweep is the dense result of the linear-sweep pass: instructions in
+// address order plus an offset-indexed table mapping each text offset to
+// its instruction, or -1 where no instruction starts. Dense arrays keep
+// the coverage iteration (which re-walks the whole sweep every round)
+// off map lookups.
+type sweep struct {
+	base uint32
+	n    uint32     // text-section length in bytes
+	idx  []int32    // offset -> index into seq, -1 if none
+	seq  []isa.Inst // instructions in address order
+}
+
+// index returns the seq index of the instruction at addr, or -1.
+func (s *sweep) index(addr uint32) int32 {
+	off := addr - s.base
+	if off >= s.n { // unsigned wrap also rejects addr < base
+		return -1
+	}
+	return s.idx[off]
+}
+
+// at returns the instruction at addr, if one was decoded there.
+func (s *sweep) at(addr uint32) (isa.Inst, bool) {
+	i := s.index(addr)
+	if i < 0 {
+		return isa.Inst{}, false
+	}
+	return s.seq[i], true
+}
+
 // Recover analyzes the executable.
 func Recover(f *obj.File) (*Recovered, error) {
 	be, err := isa.ByArch(f.Arch)
@@ -65,8 +95,10 @@ func Recover(f *obj.File) (*Recovered, error) {
 	}
 
 	// Pass 1: linear-sweep disassembly.
-	insts := map[uint32]isa.Inst{}
-	var order []uint32
+	sw := &sweep{base: text.Addr, n: uint32(len(text.Data)), idx: make([]int32, len(text.Data))}
+	for i := range sw.idx {
+		sw.idx[i] = -1
+	}
 	for off := 0; off < len(text.Data); {
 		addr := text.Addr + uint32(off)
 		inst, err := be.Decode(text.Data, off, addr)
@@ -75,16 +107,15 @@ func Recover(f *obj.File) (*Recovered, error) {
 			off += int(be.MinInstSize())
 			continue
 		}
-		insts[addr] = inst
-		order = append(order, addr)
+		sw.idx[off] = int32(len(sw.seq))
+		sw.seq = append(sw.seq, inst)
 		off += int(inst.Size)
 	}
 
 	// Pass 2: procedure entries from call targets, the entry point, and
 	// any symbols that survived stripping.
 	entrySet := map[uint32]bool{f.Entry: true}
-	for _, a := range order {
-		in := insts[a]
+	for _, in := range sw.seq {
 		if in.Kind == isa.KindCall && in.Target >= text.Addr && in.Target < text.Addr+uint32(len(text.Data)) {
 			entrySet[in.Target] = true
 		}
@@ -96,11 +127,23 @@ func Recover(f *obj.File) (*Recovered, error) {
 	}
 
 	// Pass 3 (iterated): partition into extents, walk reachability, and
-	// claim unaccounted-for areas as new procedure entries.
+	// claim unaccounted-for areas as new procedure entries. Each round
+	// re-walks from scratch — an entry inserted mid-extent splits it and
+	// can legitimately uncover earlier addresses, so incremental coverage
+	// would be unsound. The sorted entry slice is maintained by insertion
+	// instead of re-sorted.
+	entries := make([]uint32, 0, len(entrySet))
+	for e := range entrySet {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+	covered := make([]bool, len(sw.seq))
 	for rounds := 0; rounds < 1024; rounds++ {
-		entries := sortedKeys(entrySet)
-		covered := markCovered(entries, insts, order, text, be)
-		gap, ok := firstGap(order, covered)
+		for i := range covered {
+			covered[i] = false
+		}
+		markCovered(entries, sw, covered)
+		gap, ok := firstGap(sw, covered)
 		if !ok {
 			break
 		}
@@ -108,9 +151,12 @@ func Recover(f *obj.File) (*Recovered, error) {
 			break // no progress; avoid looping on undecodable junk
 		}
 		entrySet[gap] = true
+		i := sort.Search(len(entries), func(i int) bool { return entries[i] >= gap })
+		entries = append(entries, 0)
+		copy(entries[i+1:], entries[i:])
+		entries[i] = gap
 	}
 
-	entries := sortedKeys(entrySet)
 	rec := &Recovered{File: f, Arch: f.Arch}
 	textEnd := text.Addr + uint32(len(text.Data))
 	for i, e := range entries {
@@ -118,7 +164,7 @@ func Recover(f *obj.File) (*Recovered, error) {
 		if i+1 < len(entries) {
 			end = entries[i+1]
 		}
-		p, err := buildProc(be, f, e, end, insts)
+		p, err := buildProc(be, f, e, end, sw)
 		if err != nil {
 			continue // unrecoverable region; coverage accounting reflects it
 		}
@@ -137,41 +183,32 @@ func Recover(f *obj.File) (*Recovered, error) {
 	return rec, nil
 }
 
-func sortedKeys(m map[uint32]bool) []uint32 {
-	out := make([]uint32, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
 // markCovered walks intra-procedural control flow from every entry and
-// marks reachable instruction addresses.
-func markCovered(entries []uint32, insts map[uint32]isa.Inst, order []uint32, text *obj.Section, be isa.Backend) map[uint32]bool {
-	covered := map[uint32]bool{}
-	textEnd := text.Addr + uint32(len(text.Data))
+// marks reachable instructions in covered (indexed like sw.seq).
+func markCovered(entries []uint32, sw *sweep, covered []bool) {
+	textEnd := sw.base + sw.n
+	var stack []uint32
 	for i, e := range entries {
 		end := textEnd
 		if i+1 < len(entries) {
 			end = entries[i+1]
 		}
-		var stack []uint32
-		stack = append(stack, e)
+		stack = append(stack[:0], e)
 		for len(stack) > 0 {
 			a := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for a >= e && a < end && !covered[a] {
-				in, ok := insts[a]
-				if !ok {
+			for a >= e && a < end {
+				ii := sw.index(a)
+				if ii < 0 || covered[ii] {
 					break
 				}
-				covered[a] = true
+				in := sw.seq[ii]
+				covered[ii] = true
 				next := a + in.Size
 				if in.HasDelay {
-					if d, ok := insts[next]; ok {
-						covered[next] = true
-						next += d.Size
+					if di := sw.index(next); di >= 0 {
+						covered[di] = true
+						next += sw.seq[di].Size
 					}
 				}
 				switch in.Kind {
@@ -194,22 +231,21 @@ func markCovered(entries []uint32, insts map[uint32]isa.Inst, order []uint32, te
 			}
 		}
 	}
-	return covered
 }
 
 // firstGap returns the lowest decoded instruction address not covered by
 // any procedure walk.
-func firstGap(order []uint32, covered map[uint32]bool) (uint32, bool) {
-	for _, a := range order {
-		if !covered[a] {
-			return a, true
+func firstGap(sw *sweep, covered []bool) (uint32, bool) {
+	for i, c := range covered {
+		if !c {
+			return sw.seq[i].Addr, true
 		}
 	}
 	return 0, false
 }
 
 // buildProc splits [entry, end) into basic blocks and lifts them.
-func buildProc(be isa.Backend, f *obj.File, entry, end uint32, insts map[uint32]isa.Inst) (*Proc, error) {
+func buildProc(be isa.Backend, f *obj.File, entry, end uint32, sw *sweep) (*Proc, error) {
 	p := &Proc{Entry: entry, End: end}
 	if sym, ok := f.FuncSym(entry); ok && sym.Addr == entry {
 		p.Name = sym.Name
@@ -220,32 +256,28 @@ func buildProc(be isa.Backend, f *obj.File, entry, end uint32, insts map[uint32]
 
 	// Collect the procedure's instructions, following address order and
 	// skipping unreachable padding conservatively (straight scan).
-	var addrs []uint32
 	for a := entry; a < end; {
-		in, ok := insts[a]
+		in, ok := sw.at(a)
 		if !ok {
 			break
 		}
-		addrs = append(addrs, a)
+		p.Insts = append(p.Insts, in)
 		a += in.Size
 	}
-	if len(addrs) == 0 {
+	if len(p.Insts) == 0 {
 		return nil, fmt.Errorf("cfg: empty procedure at %#x", entry)
-	}
-	for _, a := range addrs {
-		p.Insts = append(p.Insts, insts[a])
 	}
 
 	// Leaders: entry, branch targets, instruction after a transfer
 	// (accounting for delay slots, which stay inside the branch's block).
 	leaders := map[uint32]bool{entry: true}
 	inDelay := map[uint32]bool{}
-	for _, a := range addrs {
-		in := insts[a]
+	for _, in := range p.Insts {
+		a := in.Addr
 		next := a + in.Size
 		if in.HasDelay {
 			inDelay[next] = true
-			if d, ok := insts[next]; ok {
+			if d, ok := sw.at(next); ok {
 				next += d.Size
 			}
 		}
@@ -271,7 +303,7 @@ func buildProc(be isa.Backend, f *obj.File, entry, end uint32, insts map[uint32]
 	// Build and lift blocks.
 	var starts []uint32
 	for a := range leaders {
-		if _, ok := insts[a]; ok {
+		if _, ok := sw.at(a); ok {
 			starts = append(starts, a)
 		}
 	}
@@ -281,7 +313,7 @@ func buildProc(be isa.Backend, f *obj.File, entry, end uint32, insts map[uint32]
 		if i+1 < len(starts) {
 			blockEnd = starts[i+1]
 		}
-		blk, err := liftBlock(be, insts, s, blockEnd)
+		blk, err := liftBlock(be, sw, s, blockEnd)
 		if err != nil {
 			return nil, err
 		}
@@ -295,17 +327,17 @@ func buildProc(be isa.Backend, f *obj.File, entry, end uint32, insts map[uint32]
 
 // liftBlock lifts instructions in [start, end), reordering delay slots so
 // the transfer's Exit statement comes last.
-func liftBlock(be isa.Backend, insts map[uint32]isa.Inst, start, end uint32) (*uir.Block, error) {
+func liftBlock(be isa.Backend, sw *sweep, start, end uint32) (*uir.Block, error) {
 	lb := &isa.LiftBuilder{}
 	a := start
 	for a < end {
-		in, ok := insts[a]
+		in, ok := sw.at(a)
 		if !ok {
 			break
 		}
 		next := a + in.Size
 		if in.HasDelay {
-			if d, ok := insts[next]; ok {
+			if d, ok := sw.at(next); ok {
 				if err := be.Lift(d, lb); err != nil {
 					return nil, err
 				}

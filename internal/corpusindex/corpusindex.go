@@ -52,6 +52,42 @@ func (it *Interner) Intern(h uint64) uint32 {
 	return id
 }
 
+// InternAll appends the dense IDs of hashes to out in input order and
+// returns it, taking the lock once per batch instead of once per hash.
+// It implements strand.BulkInterner, the fast path Set.Interned and the
+// block-cache extractor use: on a cache miss a whole block's strand
+// hashes intern under one read-lock round (plus one write round when
+// the block introduces new vocabulary).
+func (it *Interner) InternAll(hashes []uint64, out []uint32) []uint32 {
+	base := len(out)
+	missed := false
+	it.mu.RLock()
+	for _, h := range hashes {
+		id, ok := it.ids[h]
+		if !ok {
+			missed = true
+			break
+		}
+		out = append(out, id)
+	}
+	it.mu.RUnlock()
+	if !missed {
+		return out
+	}
+	out = out[:base]
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	for _, h := range hashes {
+		id, ok := it.ids[h]
+		if !ok {
+			id = uint32(len(it.ids))
+			it.ids[h] = id
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
 // Size reports the number of distinct strand hashes interned so far —
 // the session's strand vocabulary.
 func (it *Interner) Size() int {

@@ -17,13 +17,54 @@ var mdNames = map[uint32]string{
 	mdMul: "mul", mdSdiv: "sdiv", mdUdiv: "udiv", mdSrem: "srem", mdUrem: "urem",
 }
 
-// Decode implements isa.Backend.
+// Decode implements isa.Backend. It classifies without rendering
+// assembly text; Disasm materializes the text on demand.
 func (b *Backend) Decode(text []byte, off int, addr uint32) (isa.Inst, error) {
 	if off+4 > len(text) {
 		return isa.Inst{}, fmt.Errorf("arm: truncated instruction at %#x", addr)
 	}
 	w := uint32(text[off]) | uint32(text[off+1])<<8 | uint32(text[off+2])<<16 | uint32(text[off+3])<<24
 	inst := isa.Inst{Addr: addr, Size: 4, Raw: uint64(w)}
+	cond := w >> 28
+	class := w >> 24 & 0xF
+	switch class {
+	case clDPReg, clDPImm:
+		op := w >> 20 & 0xF
+		if _, ok := dpNames[op]; !ok {
+			return inst, fmt.Errorf("arm: unknown dp opcode %d at %#x", op, addr)
+		}
+	case clMovw, clMovt, clMemW, clMemB:
+	case clBranch, clBL:
+		words := int32(w<<8) >> 8 // sign-extend imm24
+		inst.Target = uint32(int32(addr+8) + words*4)
+		if class == clBL {
+			inst.Kind = isa.KindCall
+		} else if cond == condAL {
+			inst.Kind = isa.KindJump
+		} else {
+			inst.Kind = isa.KindCondBranch
+		}
+	case clBX:
+		if uir.Reg(w&0xF) == regLR {
+			inst.Kind = isa.KindRet
+		} else {
+			inst.Kind = isa.KindIndirect
+		}
+	case clMulDiv:
+		op := w >> 20 & 0xF
+		if _, ok := mdNames[op]; !ok {
+			return inst, fmt.Errorf("arm: unknown muldiv opcode %d at %#x", op, addr)
+		}
+	default:
+		return inst, fmt.Errorf("arm: unknown instruction class %d at %#x", class, addr)
+	}
+	return inst, nil
+}
+
+// Disasm implements isa.Disassembler, reconstructing the assembly text
+// from the raw bits off the decode hot path.
+func (b *Backend) Disasm(in isa.Inst) string {
+	w := uint32(in.Raw)
 	cond := w >> 28
 	class := w >> 24 & 0xF
 	rn := func(r uir.Reg) string { return regNames[r] }
@@ -34,58 +75,46 @@ func (b *Backend) Decode(text []byte, off int, addr uint32) (isa.Inst, error) {
 		rnn := uir.Reg(w >> 12 & 0xF)
 		name, ok := dpNames[op]
 		if !ok {
-			return inst, fmt.Errorf("arm: unknown dp opcode %d at %#x", op, addr)
+			break
 		}
 		if class == clDPReg {
 			rm := uir.Reg(w >> 8 & 0xF)
-			inst.Mnemonic = fmt.Sprintf("%s%s %s, %s, %s", name, condNames[cond], rn(rd), rn(rnn), rn(rm))
-		} else {
-			inst.Mnemonic = fmt.Sprintf("%s%s %s, %s, #%d", name, condNames[cond], rn(rd), rn(rnn), w&0xFFF)
+			return fmt.Sprintf("%s%s %s, %s, %s", name, condNames[cond], rn(rd), rn(rnn), rn(rm))
 		}
+		return fmt.Sprintf("%s%s %s, %s, #%d", name, condNames[cond], rn(rd), rn(rnn), w&0xFFF)
 	case clMovw:
-		inst.Mnemonic = fmt.Sprintf("movw %s, #0x%x", rn(uir.Reg(w>>16&0xF)), w&0xFFFF)
+		return fmt.Sprintf("movw %s, #0x%x", rn(uir.Reg(w>>16&0xF)), w&0xFFFF)
 	case clMovt:
-		inst.Mnemonic = fmt.Sprintf("movt %s, #0x%x", rn(uir.Reg(w>>16&0xF)), w&0xFFFF)
+		return fmt.Sprintf("movt %s, #0x%x", rn(uir.Reg(w>>16&0xF)), w&0xFFFF)
 	case clMemW, clMemB:
-		load := w>>23&1 == 1
-		mn := map[bool]string{true: "ldr", false: "str"}[load]
+		mn := "str"
+		if w>>23&1 == 1 {
+			mn = "ldr"
+		}
 		if class == clMemB {
 			mn += "b"
 		}
-		inst.Mnemonic = fmt.Sprintf("%s %s, [%s, #%d]", mn, rn(uir.Reg(w>>16&0xF)), rn(uir.Reg(w>>12&0xF)), w&0xFFF)
+		return fmt.Sprintf("%s %s, [%s, #%d]", mn, rn(uir.Reg(w>>16&0xF)), rn(uir.Reg(w>>12&0xF)), w&0xFFF)
 	case clBranch, clBL:
-		words := int32(w<<8) >> 8 // sign-extend imm24
-		inst.Target = uint32(int32(addr+8) + words*4)
 		if class == clBL {
-			inst.Kind = isa.KindCall
-			inst.Mnemonic = fmt.Sprintf("bl 0x%x", inst.Target)
-		} else if cond == condAL {
-			inst.Kind = isa.KindJump
-			inst.Mnemonic = fmt.Sprintf("b 0x%x", inst.Target)
-		} else {
-			inst.Kind = isa.KindCondBranch
-			inst.Mnemonic = fmt.Sprintf("b%s 0x%x", condNames[cond], inst.Target)
+			return fmt.Sprintf("bl 0x%x", in.Target)
 		}
+		if cond == condAL {
+			return fmt.Sprintf("b 0x%x", in.Target)
+		}
+		return fmt.Sprintf("b%s 0x%x", condNames[cond], in.Target)
 	case clBX:
 		rm := uir.Reg(w & 0xF)
 		if rm == regLR {
-			inst.Kind = isa.KindRet
-			inst.Mnemonic = "bx lr"
-		} else {
-			inst.Kind = isa.KindIndirect
-			inst.Mnemonic = "bx " + rn(rm)
+			return "bx lr"
 		}
+		return "bx " + rn(rm)
 	case clMulDiv:
-		op := w >> 20 & 0xF
-		name, ok := mdNames[op]
-		if !ok {
-			return inst, fmt.Errorf("arm: unknown muldiv opcode %d at %#x", op, addr)
+		if name, ok := mdNames[w>>20&0xF]; ok {
+			return fmt.Sprintf("%s %s, %s, %s", name, rn(uir.Reg(w>>16&0xF)), rn(uir.Reg(w>>12&0xF)), rn(uir.Reg(w>>8&0xF)))
 		}
-		inst.Mnemonic = fmt.Sprintf("%s %s, %s, %s", name, rn(uir.Reg(w>>16&0xF)), rn(uir.Reg(w>>12&0xF)), rn(uir.Reg(w>>8&0xF)))
-	default:
-		return inst, fmt.Errorf("arm: unknown instruction class %d at %#x", class, addr)
 	}
-	return inst, nil
+	return fmt.Sprintf(".word %#x", w)
 }
 
 // condExpr builds the boolean UIR expression for an ARM condition code

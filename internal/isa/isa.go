@@ -92,14 +92,15 @@ const (
 )
 
 // Inst is one decoded machine instruction, the unit shared by the CFG
-// recoverer, the lifter and disassembly dumps.
+// recoverer, the lifter and disassembly dumps. Decode classifies without
+// rendering assembly text — decoding sits on the analysis hot path and
+// the front end never reads the text; call Disasm to materialize it.
 type Inst struct {
-	Addr     uint32
-	Size     uint32
-	Raw      uint64 // raw bits (up to 8 bytes for x86)
-	Mnemonic string
-	Kind     InstKind
-	Target   uint32 // branch/call destination for direct transfers
+	Addr   uint32
+	Size   uint32
+	Raw    uint64 // raw bits (up to 8 bytes for x86)
+	Kind   InstKind
+	Target uint32 // branch/call destination for direct transfers
 	// HasDelay is set on MIPS branches: the following instruction
 	// executes before the transfer and belongs to this block.
 	HasDelay bool
@@ -121,6 +122,24 @@ type Backend interface {
 	// MinInstSize is the smallest legal instruction length, used by
 	// recovery sweeps.
 	MinInstSize() uint32
+}
+
+// Disassembler is implemented by backends that can render a decoded
+// instruction's assembly text from its raw bits.
+type Disassembler interface {
+	// Disasm renders the assembly text of an instruction previously
+	// returned by this backend's Decode.
+	Disasm(in Inst) string
+}
+
+// Disasm renders in's assembly text. Instruction text is not produced
+// during decoding (it would be pure overhead for analysis); dumps and
+// traces call this to materialize it on demand.
+func Disasm(be Backend, in Inst) string {
+	if d, ok := be.(Disassembler); ok {
+		return d.Disasm(in)
+	}
+	return fmt.Sprintf(".word %#x", in.Raw)
 }
 
 // Backends returns all registered backends keyed by architecture. The

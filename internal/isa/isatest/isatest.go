@@ -5,6 +5,7 @@
 package isatest
 
 import (
+	"strings"
 	"testing"
 
 	"firmup/internal/compiler"
@@ -200,8 +201,8 @@ func Disassembly(t *testing.T, be isa.Backend) {
 		if inst.Size == 0 {
 			t.Fatalf("zero-size instruction at %#x", addr)
 		}
-		if inst.Mnemonic == "" {
-			t.Errorf("no mnemonic at %#x", addr)
+		if text := isa.Disasm(be, inst); text == "" || strings.HasPrefix(text, ".word") {
+			t.Errorf("no mnemonic at %#x (got %q)", addr, text)
 		}
 		off += int(inst.Size)
 	}
@@ -236,7 +237,7 @@ func DecodeRobustness(t *testing.T, be isa.Backend, seed int64) {
 			_ = be.Lift(inst, lb) // must not panic
 			blk := &uir.Block{Addr: 0x1000, Size: inst.Size, Stmts: lb.Stmts}
 			if err := blk.Validate(); err != nil {
-				t.Fatalf("trial %d: lift of %q produced invalid block: %v", trial, inst.Mnemonic, err)
+				t.Fatalf("trial %d: lift of %q produced invalid block: %v", trial, isa.Disasm(be, inst), err)
 			}
 		}()
 	}

@@ -7,13 +7,66 @@ import (
 	"firmup/internal/uir"
 )
 
-// Decode implements isa.Backend.
+// Decode implements isa.Backend. It classifies without rendering
+// assembly text; Disasm materializes the text on demand.
 func (b *Backend) Decode(text []byte, off int, addr uint32) (isa.Inst, error) {
 	if off+4 > len(text) {
 		return isa.Inst{}, fmt.Errorf("mips: truncated instruction at %#x", addr)
 	}
 	w := uint32(text[off])<<24 | uint32(text[off+1])<<16 | uint32(text[off+2])<<8 | uint32(text[off+3])
 	inst := isa.Inst{Addr: addr, Size: 4, Raw: uint64(w)}
+	op := w >> 26
+	rs := uir.Reg(w >> 21 & 31)
+	imm := uint16(w)
+	funct := w & 0x3F
+
+	switch op {
+	case opSpecial:
+		if w == 0 {
+			return inst, nil // nop
+		}
+		switch funct {
+		case fnJr:
+			inst.HasDelay = true
+			if rs == regRA {
+				inst.Kind = isa.KindRet
+			} else {
+				inst.Kind = isa.KindIndirect
+			}
+		case fnSll, fnSrl, fnSra,
+			fnSllv, fnSrlv, fnSrav, fnAddu, fnSubu, fnAnd, fnOr, fnXor, fnNor, fnSlt, fnSltu:
+		default:
+			return inst, fmt.Errorf("mips: unknown SPECIAL funct %#x at %#x", funct, addr)
+		}
+	case opSpecial2:
+		switch funct {
+		case fn2Mul, fn2Sdiv, fn2Udiv, fn2Srem, fn2Urem:
+		default:
+			return inst, fmt.Errorf("mips: unknown SPECIAL2 funct %#x at %#x", funct, addr)
+		}
+	case opJ, opJal:
+		inst.HasDelay = true
+		inst.Target = (addr+4)&0xF0000000 | (w&0x03FFFFFF)<<2
+		if op == opJal {
+			inst.Kind = isa.KindCall
+		} else {
+			inst.Kind = isa.KindJump
+		}
+	case opBeq, opBne:
+		inst.Kind = isa.KindCondBranch
+		inst.HasDelay = true
+		inst.Target = addr + 4 + uint32(int32(int16(imm))<<2)
+	case opAddiu, opSlti, opSltiu, opAndi, opOri, opXori, opLui, opLw, opLb, opLbu, opSw, opSb:
+	default:
+		return inst, fmt.Errorf("mips: unknown opcode %#x at %#x", op, addr)
+	}
+	return inst, nil
+}
+
+// Disasm implements isa.Disassembler, reconstructing the assembly text
+// from the raw bits off the decode hot path.
+func (b *Backend) Disasm(in isa.Inst) string {
+	w := uint32(in.Raw)
 	op := w >> 26
 	rs := uir.Reg(w >> 21 & 31)
 	rt := uir.Reg(w >> 16 & 31)
@@ -25,69 +78,50 @@ func (b *Backend) Decode(text []byte, off int, addr uint32) (isa.Inst, error) {
 	switch op {
 	case opSpecial:
 		if w == 0 {
-			inst.Mnemonic = "nop"
-			return inst, nil
+			return "nop"
 		}
 		switch funct {
 		case fnJr:
-			inst.HasDelay = true
 			if rs == regRA {
-				inst.Kind = isa.KindRet
-				inst.Mnemonic = "jr $ra"
-			} else {
-				inst.Kind = isa.KindIndirect
-				inst.Mnemonic = "jr " + name(rs)
+				return "jr $ra"
 			}
+			return "jr " + name(rs)
 		case fnSll, fnSrl, fnSra:
 			mn := map[uint32]string{fnSll: "sll", fnSrl: "srl", fnSra: "sra"}[funct]
-			inst.Mnemonic = fmt.Sprintf("%s %s, %s, %d", mn, name(rd), name(rt), w>>6&31)
+			return fmt.Sprintf("%s %s, %s, %d", mn, name(rd), name(rt), w>>6&31)
 		case fnSllv, fnSrlv, fnSrav, fnAddu, fnSubu, fnAnd, fnOr, fnXor, fnNor, fnSlt, fnSltu:
 			mn := map[uint32]string{
 				fnSllv: "sllv", fnSrlv: "srlv", fnSrav: "srav", fnAddu: "addu",
 				fnSubu: "subu", fnAnd: "and", fnOr: "or", fnXor: "xor",
 				fnNor: "nor", fnSlt: "slt", fnSltu: "sltu",
 			}[funct]
-			inst.Mnemonic = fmt.Sprintf("%s %s, %s, %s", mn, name(rd), name(rs), name(rt))
-		default:
-			return inst, fmt.Errorf("mips: unknown SPECIAL funct %#x at %#x", funct, addr)
+			return fmt.Sprintf("%s %s, %s, %s", mn, name(rd), name(rs), name(rt))
 		}
 	case opSpecial2:
-		mn, ok := map[uint32]string{fn2Mul: "mul", fn2Sdiv: "sdiv", fn2Udiv: "udiv", fn2Srem: "srem", fn2Urem: "urem"}[funct]
-		if !ok {
-			return inst, fmt.Errorf("mips: unknown SPECIAL2 funct %#x at %#x", funct, addr)
+		if mn, ok := map[uint32]string{fn2Mul: "mul", fn2Sdiv: "sdiv", fn2Udiv: "udiv", fn2Srem: "srem", fn2Urem: "urem"}[funct]; ok {
+			return fmt.Sprintf("%s %s, %s, %s", mn, name(rd), name(rs), name(rt))
 		}
-		inst.Mnemonic = fmt.Sprintf("%s %s, %s, %s", mn, name(rd), name(rs), name(rt))
 	case opJ, opJal:
-		inst.HasDelay = true
-		inst.Target = (addr+4)&0xF0000000 | (w&0x03FFFFFF)<<2
 		if op == opJal {
-			inst.Kind = isa.KindCall
-			inst.Mnemonic = fmt.Sprintf("jal 0x%x", inst.Target)
-		} else {
-			inst.Kind = isa.KindJump
-			inst.Mnemonic = fmt.Sprintf("j 0x%x", inst.Target)
+			return fmt.Sprintf("jal 0x%x", in.Target)
 		}
+		return fmt.Sprintf("j 0x%x", in.Target)
 	case opBeq, opBne:
-		inst.Kind = isa.KindCondBranch
-		inst.HasDelay = true
-		inst.Target = addr + 4 + uint32(int32(int16(imm))<<2)
 		mn := "beq"
 		if op == opBne {
 			mn = "bne"
 		}
-		inst.Mnemonic = fmt.Sprintf("%s %s, %s, 0x%x", mn, name(rs), name(rt), inst.Target)
+		return fmt.Sprintf("%s %s, %s, 0x%x", mn, name(rs), name(rt), in.Target)
 	case opAddiu, opSlti, opSltiu, opAndi, opOri, opXori:
 		mn := map[uint32]string{opAddiu: "addiu", opSlti: "slti", opSltiu: "sltiu", opAndi: "andi", opOri: "ori", opXori: "xori"}[op]
-		inst.Mnemonic = fmt.Sprintf("%s %s, %s, 0x%x", mn, name(rt), name(rs), imm)
+		return fmt.Sprintf("%s %s, %s, 0x%x", mn, name(rt), name(rs), imm)
 	case opLui:
-		inst.Mnemonic = fmt.Sprintf("lui %s, 0x%x", name(rt), imm)
+		return fmt.Sprintf("lui %s, 0x%x", name(rt), imm)
 	case opLw, opLb, opLbu, opSw, opSb:
 		mn := map[uint32]string{opLw: "lw", opLb: "lb", opLbu: "lbu", opSw: "sw", opSb: "sb"}[op]
-		inst.Mnemonic = fmt.Sprintf("%s %s, %d(%s)", mn, name(rt), int16(imm), name(rs))
-	default:
-		return inst, fmt.Errorf("mips: unknown opcode %#x at %#x", op, addr)
+		return fmt.Sprintf("%s %s, %d(%s)", mn, name(rt), int16(imm), name(rs))
 	}
-	return inst, nil
+	return fmt.Sprintf(".word %#x", w)
 }
 
 // Lift implements isa.Backend. $zero reads lift to the constant 0 and

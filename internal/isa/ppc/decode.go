@@ -7,13 +7,54 @@ import (
 	"firmup/internal/uir"
 )
 
-// Decode implements isa.Backend.
+// Decode implements isa.Backend. It classifies without rendering
+// assembly text; Disasm materializes the text on demand.
 func (b *Backend) Decode(text []byte, off int, addr uint32) (isa.Inst, error) {
 	if off+4 > len(text) {
 		return isa.Inst{}, fmt.Errorf("ppc: truncated instruction at %#x", addr)
 	}
 	w := uint32(text[off])<<24 | uint32(text[off+1])<<16 | uint32(text[off+2])<<8 | uint32(text[off+3])
 	inst := isa.Inst{Addr: addr, Size: 4, Raw: uint64(w)}
+	op := w >> 26
+	switch op {
+	case opAddi, opAddis, opOri, opXori, opAndi, opLwz, opLbz, opStw, opStb:
+	case opB:
+		li := int32(w<<6) >> 6 &^ 3 // sign-extend bits 2-25, clear low bits
+		inst.Target = uint32(int32(addr) + li)
+		if w&1 == 1 {
+			inst.Kind = isa.KindCall
+		} else {
+			inst.Kind = isa.KindJump
+		}
+	case opBc:
+		bd := int32(int16(w &^ 3))
+		inst.Target = uint32(int32(addr) + bd)
+		inst.Kind = isa.KindCondBranch
+	case opOp19:
+		if w>>1&0x3FF == xoBlr {
+			inst.Kind = isa.KindRet
+			return inst, nil
+		}
+		return inst, fmt.Errorf("ppc: unknown op19 form at %#x", addr)
+	case opOp31:
+		switch xo := w >> 1 & 0x3FF; xo {
+		case xoCmpw, xoCmplw, xoMflr, xoMtlr, xoSetb, xoNeg, xoExtsb, xoExtsh,
+			xoSlwi, xoSrwi, xoSrawi,
+			xoAdd, xoSubf, xoMullw, xoDivw, xoDivwu, xoSrem, xoUrem,
+			xoAnd, xoOr, xoXor, xoSlw, xoSrw, xoSraw, xoNor:
+		default:
+			return inst, fmt.Errorf("ppc: unknown op31 xo %d at %#x", xo, addr)
+		}
+	default:
+		return inst, fmt.Errorf("ppc: unknown opcode %d at %#x", op, addr)
+	}
+	return inst, nil
+}
+
+// Disasm implements isa.Disassembler, reconstructing the assembly text
+// from the raw bits off the decode hot path.
+func (b *Backend) Disasm(in isa.Inst) string {
+	w := uint32(in.Raw)
 	op := w >> 26
 	rt := uir.Reg(w >> 21 & 31)
 	ra := uir.Reg(w >> 16 & 31)
@@ -24,82 +65,65 @@ func (b *Backend) Decode(text []byte, off int, addr uint32) (isa.Inst, error) {
 	switch op {
 	case opAddi:
 		if ra == 0 {
-			inst.Mnemonic = fmt.Sprintf("li %s, %d", n(rt), int16(imm))
-		} else {
-			inst.Mnemonic = fmt.Sprintf("addi %s, %s, %d", n(rt), n(ra), int16(imm))
+			return fmt.Sprintf("li %s, %d", n(rt), int16(imm))
 		}
+		return fmt.Sprintf("addi %s, %s, %d", n(rt), n(ra), int16(imm))
 	case opAddis:
-		inst.Mnemonic = fmt.Sprintf("lis %s, 0x%x", n(rt), imm)
+		return fmt.Sprintf("lis %s, 0x%x", n(rt), imm)
 	case opOri, opXori, opAndi:
 		mn := map[uint32]string{opOri: "ori", opXori: "xori", opAndi: "andi."}[op]
-		inst.Mnemonic = fmt.Sprintf("%s %s, %s, 0x%x", mn, n(ra), n(rt), imm)
+		return fmt.Sprintf("%s %s, %s, 0x%x", mn, n(ra), n(rt), imm)
 	case opLwz, opLbz, opStw, opStb:
 		mn := map[uint32]string{opLwz: "lwz", opLbz: "lbz", opStw: "stw", opStb: "stb"}[op]
-		inst.Mnemonic = fmt.Sprintf("%s %s, %d(%s)", mn, n(rt), int16(imm), n(ra))
+		return fmt.Sprintf("%s %s, %d(%s)", mn, n(rt), int16(imm), n(ra))
 	case opB:
-		li := int32(w<<6) >> 6 &^ 3 // sign-extend bits 2-25, clear low bits
-		inst.Target = uint32(int32(addr) + li)
 		if w&1 == 1 {
-			inst.Kind = isa.KindCall
-			inst.Mnemonic = fmt.Sprintf("bl 0x%x", inst.Target)
-		} else {
-			inst.Kind = isa.KindJump
-			inst.Mnemonic = fmt.Sprintf("b 0x%x", inst.Target)
+			return fmt.Sprintf("bl 0x%x", in.Target)
 		}
+		return fmt.Sprintf("b 0x%x", in.Target)
 	case opBc:
-		bd := int32(int16(w &^ 3))
-		inst.Target = uint32(int32(addr) + bd)
-		inst.Kind = isa.KindCondBranch
 		bo := w >> 21 & 31
 		bi := w >> 16 & 31
 		sense := "t"
 		if bo == boFalse {
 			sense = "f"
 		}
-		inst.Mnemonic = fmt.Sprintf("bc%s cr0[%d], 0x%x", sense, bi, inst.Target)
+		return fmt.Sprintf("bc%s cr0[%d], 0x%x", sense, bi, in.Target)
 	case opOp19:
 		if w>>1&0x3FF == xoBlr {
-			inst.Kind = isa.KindRet
-			inst.Mnemonic = "blr"
-			return inst, nil
+			return "blr"
 		}
-		return inst, fmt.Errorf("ppc: unknown op19 form at %#x", addr)
 	case opOp31:
-		xo := w >> 1 & 0x3FF
-		switch xo {
+		switch xo := w >> 1 & 0x3FF; xo {
 		case xoCmpw:
-			inst.Mnemonic = fmt.Sprintf("cmpw %s, %s", n(ra), n(rb))
+			return fmt.Sprintf("cmpw %s, %s", n(ra), n(rb))
 		case xoCmplw:
-			inst.Mnemonic = fmt.Sprintf("cmplw %s, %s", n(ra), n(rb))
+			return fmt.Sprintf("cmplw %s, %s", n(ra), n(rb))
 		case xoMflr:
-			inst.Mnemonic = "mflr " + n(rt)
+			return "mflr " + n(rt)
 		case xoMtlr:
-			inst.Mnemonic = "mtlr " + n(rt)
+			return "mtlr " + n(rt)
 		case xoSetb:
-			inst.Mnemonic = fmt.Sprintf("setb %s, cr0[%d]", n(rt), ra)
+			return fmt.Sprintf("setb %s, cr0[%d]", n(rt), ra)
 		case xoNeg:
-			inst.Mnemonic = fmt.Sprintf("neg %s, %s", n(rt), n(ra))
+			return fmt.Sprintf("neg %s, %s", n(rt), n(ra))
 		case xoExtsb, xoExtsh:
 			mn := map[uint32]string{xoExtsb: "extsb", xoExtsh: "extsh"}[xo]
-			inst.Mnemonic = fmt.Sprintf("%s %s, %s", mn, n(ra), n(rt))
+			return fmt.Sprintf("%s %s, %s", mn, n(ra), n(rt))
 		case xoSlwi, xoSrwi, xoSrawi:
 			mn := map[uint32]string{xoSlwi: "slwi", xoSrwi: "srwi", xoSrawi: "srawi"}[xo]
-			inst.Mnemonic = fmt.Sprintf("%s %s, %s, %d", mn, n(ra), n(rt), rb)
+			return fmt.Sprintf("%s %s, %s, %d", mn, n(ra), n(rt), rb)
 		case xoAdd, xoSubf, xoMullw, xoDivw, xoDivwu, xoSrem, xoUrem:
 			mn := map[uint32]string{xoAdd: "add", xoSubf: "subf", xoMullw: "mullw",
 				xoDivw: "divw", xoDivwu: "divwu", xoSrem: "srem", xoUrem: "urem"}[xo]
-			inst.Mnemonic = fmt.Sprintf("%s %s, %s, %s", mn, n(rt), n(ra), n(rb))
+			return fmt.Sprintf("%s %s, %s, %s", mn, n(rt), n(ra), n(rb))
 		case xoAnd, xoOr, xoXor, xoSlw, xoSrw, xoSraw, xoNor:
 			mn := map[uint32]string{xoAnd: "and", xoOr: "or", xoXor: "xor",
 				xoSlw: "slw", xoSrw: "srw", xoSraw: "sraw", xoNor: "nor"}[xo]
-			inst.Mnemonic = fmt.Sprintf("%s %s, %s, %s", mn, n(ra), n(rt), n(rb))
-		default:
-			return inst, fmt.Errorf("ppc: unknown op31 xo %d at %#x", xo, addr)
+			return fmt.Sprintf("%s %s, %s, %s", mn, n(ra), n(rt), n(rb))
 		}
-	default:
-		return inst, fmt.Errorf("ppc: unknown opcode %d at %#x", op, addr)
 	}
-	return inst, nil
+	return fmt.Sprintf(".word %#x", w)
 }
 
 // Lift implements isa.Backend.

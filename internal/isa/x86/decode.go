@@ -46,28 +46,28 @@ func parseModrm(text []byte, off int) (modrm, int, error) {
 
 var aluNames = map[byte]string{0x01: "add", 0x29: "sub", 0x21: "and", 0x09: "or", 0x31: "xor", 0x39: "cmp"}
 
-// Decode implements isa.Backend.
+// Decode implements isa.Backend. It classifies without rendering
+// assembly text; Disasm materializes the text on demand.
 func (b *Backend) Decode(text []byte, off int, addr uint32) (isa.Inst, error) {
 	if off >= len(text) {
 		return isa.Inst{}, fmt.Errorf("x86: truncated instruction at %#x", addr)
 	}
 	op := text[off]
 	inst := isa.Inst{Addr: addr}
-	n := func(r uir.Reg) string { return regNames[r] }
-	fin := func(size int, raw uint64, mnemonic string) (isa.Inst, error) {
+	fin := func(size int, raw uint64) (isa.Inst, error) {
 		inst.Size = uint32(size)
 		inst.Raw = raw
-		inst.Mnemonic = mnemonic
 		return inst, nil
 	}
 	// Raw packing: opcode byte(s) in the low bits, then modrm, then
-	// immediate — enough for Lift to re-decode without the text slice.
+	// immediate — enough for Lift and Disasm to re-decode without the
+	// text slice.
 	switch {
 	case op == 0xC3:
 		inst.Kind = isa.KindRet
-		return fin(1, uint64(op), "ret")
+		return fin(1, uint64(op))
 	case op == 0x99:
-		return fin(1, uint64(op), "cdq")
+		return fin(1, uint64(op))
 	case op == 0xE8 || op == 0xE9:
 		if off+5 > len(text) {
 			return inst, fmt.Errorf("x86: truncated rel32 at %#x", addr)
@@ -76,40 +76,25 @@ func (b *Backend) Decode(text []byte, off int, addr uint32) (isa.Inst, error) {
 		inst.Target = uint32(int32(addr+5) + rel)
 		if op == 0xE8 {
 			inst.Kind = isa.KindCall
-			return fin(5, uint64(op), fmt.Sprintf("call 0x%x", inst.Target))
+		} else {
+			inst.Kind = isa.KindJump
 		}
-		inst.Kind = isa.KindJump
-		return fin(5, uint64(op), fmt.Sprintf("jmp 0x%x", inst.Target))
+		return fin(5, uint64(op))
 	case op >= 0xB8 && op <= 0xBF:
 		if off+5 > len(text) {
 			return inst, fmt.Errorf("x86: truncated mov imm32 at %#x", addr)
 		}
 		v := readU32(text, off+1)
-		return fin(5, uint64(op)|uint64(v)<<8, fmt.Sprintf("mov %s, 0x%x", n(uir.Reg(op-0xB8)), v))
+		return fin(5, uint64(op)|uint64(v)<<8)
 	case op == 0x89 || op == 0x8B || op == 0x88 || op == 0x8D || op == 0x01 || op == 0x29 || op == 0x21 || op == 0x09 || op == 0x31 || op == 0x39:
 		m, used, err := parseModrm(text, off+1)
 		if err != nil {
 			return inst, err
 		}
-		raw := uint64(op) | uint64(text[off+1])<<8 | uint64(uint32(m.disp))<<16
-		size := 1 + used
-		switch {
-		case op == 0x89 && m.mod == 3:
-			return fin(size, raw, fmt.Sprintf("mov %s, %s", n(m.rm), n(m.reg)))
-		case op == 0x89:
-			return fin(size, raw, fmt.Sprintf("mov [%s%+d], %s", n(m.rm), m.disp, n(m.reg)))
-		case op == 0x8B:
-			return fin(size, raw, fmt.Sprintf("mov %s, [%s%+d]", n(m.reg), n(m.rm), m.disp))
-		case op == 0x88:
-			return fin(size, raw, fmt.Sprintf("mov byte [%s%+d], %s", n(m.rm), m.disp, n(m.reg)))
-		case op == 0x8D:
-			return fin(size, raw, fmt.Sprintf("lea %s, [%s%+d]", n(m.reg), n(m.rm), m.disp))
-		default:
-			if m.mod != 3 {
-				return inst, fmt.Errorf("x86: alu with memory operand at %#x", addr)
-			}
-			return fin(size, raw, fmt.Sprintf("%s %s, %s", aluNames[op], n(m.rm), n(m.reg)))
+		if op != 0x89 && op != 0x8B && op != 0x88 && op != 0x8D && m.mod != 3 {
+			return inst, fmt.Errorf("x86: alu with memory operand at %#x", addr)
 		}
+		return fin(1+used, uint64(op)|uint64(text[off+1])<<8|uint64(uint32(m.disp))<<16)
 	case op == 0x81:
 		m, _, err := parseModrm(text, off+1)
 		if err != nil || m.mod != 3 {
@@ -118,44 +103,38 @@ func (b *Backend) Decode(text []byte, off int, addr uint32) (isa.Inst, error) {
 		if off+6 > len(text) {
 			return inst, fmt.Errorf("x86: truncated imm32 at %#x", addr)
 		}
-		v := readU32(text, off+2)
-		raw := uint64(op) | uint64(text[off+1])<<8 | uint64(v)<<16
-		mn := map[uir.Reg]string{0: "add", 5: "sub", 7: "cmp"}[m.reg]
-		if mn == "" {
+		if m.reg != 0 && m.reg != 5 && m.reg != 7 {
 			return inst, fmt.Errorf("x86: unknown 0x81 /%d at %#x", m.reg, addr)
 		}
-		return fin(6, raw, fmt.Sprintf("%s %s, 0x%x", mn, n(m.rm), v))
+		v := readU32(text, off+2)
+		return fin(6, uint64(op)|uint64(text[off+1])<<8|uint64(v)<<16)
 	case op == 0xF7:
 		m, _, err := parseModrm(text, off+1)
 		if err != nil || m.mod != 3 {
 			return inst, fmt.Errorf("x86: bad 0xF7 form at %#x", addr)
 		}
-		mn := map[uir.Reg]string{2: "not", 3: "neg", 6: "div", 7: "idiv"}[m.reg]
-		if mn == "" {
+		if m.reg != 2 && m.reg != 3 && m.reg != 6 && m.reg != 7 {
 			return inst, fmt.Errorf("x86: unknown 0xF7 /%d at %#x", m.reg, addr)
 		}
-		return fin(2, uint64(op)|uint64(text[off+1])<<8, fmt.Sprintf("%s %s", mn, n(m.rm)))
+		return fin(2, uint64(op)|uint64(text[off+1])<<8)
 	case op == 0xD3:
 		m, _, err := parseModrm(text, off+1)
 		if err != nil || m.mod != 3 {
 			return inst, fmt.Errorf("x86: bad 0xD3 form at %#x", addr)
 		}
-		mn := map[uir.Reg]string{4: "shl", 5: "shr", 7: "sar"}[m.reg]
-		if mn == "" {
+		if m.reg != 4 && m.reg != 5 && m.reg != 7 {
 			return inst, fmt.Errorf("x86: unknown 0xD3 /%d at %#x", m.reg, addr)
 		}
-		return fin(2, uint64(op)|uint64(text[off+1])<<8, fmt.Sprintf("%s %s, cl", mn, n(m.rm)))
+		return fin(2, uint64(op)|uint64(text[off+1])<<8)
 	case op == 0xC1:
 		m, _, err := parseModrm(text, off+1)
 		if err != nil || m.mod != 3 || off+3 > len(text) {
 			return inst, fmt.Errorf("x86: bad 0xC1 form at %#x", addr)
 		}
-		mn := map[uir.Reg]string{4: "shl", 5: "shr", 7: "sar"}[m.reg]
-		if mn == "" {
+		if m.reg != 4 && m.reg != 5 && m.reg != 7 {
 			return inst, fmt.Errorf("x86: unknown 0xC1 /%d at %#x", m.reg, addr)
 		}
-		k := text[off+2]
-		return fin(3, uint64(op)|uint64(text[off+1])<<8|uint64(k)<<16, fmt.Sprintf("%s %s, %d", mn, n(m.rm), k))
+		return fin(3, uint64(op)|uint64(text[off+1])<<8|uint64(text[off+2])<<16)
 	case op == 0x0F:
 		if off+2 > len(text) {
 			return inst, fmt.Errorf("x86: truncated 0x0F escape at %#x", addr)
@@ -169,36 +148,109 @@ func (b *Backend) Decode(text []byte, off int, addr uint32) (isa.Inst, error) {
 			rel := int32(readU32(text, off+2))
 			inst.Target = uint32(int32(addr+6) + rel)
 			inst.Kind = isa.KindCondBranch
-			return fin(6, uint64(op)|uint64(op2)<<8, fmt.Sprintf("j%s 0x%x", ccNames[op2-0x80], inst.Target))
+			return fin(6, uint64(op)|uint64(op2)<<8)
 		case op2 >= 0x90 && op2 <= 0x9F:
 			m, _, err := parseModrm(text, off+2)
 			if err != nil || m.mod != 3 {
 				return inst, fmt.Errorf("x86: bad setcc at %#x", addr)
 			}
-			return fin(3, uint64(op)|uint64(op2)<<8|uint64(text[off+2])<<16,
-				fmt.Sprintf("set%s %s", ccNames[op2-0x90], n(m.rm)))
+			return fin(3, uint64(op)|uint64(op2)<<8|uint64(text[off+2])<<16)
 		case op2 == 0xAF:
 			m, _, err := parseModrm(text, off+2)
 			if err != nil || m.mod != 3 {
 				return inst, fmt.Errorf("x86: bad imul at %#x", addr)
 			}
-			return fin(3, uint64(op)|uint64(op2)<<8|uint64(text[off+2])<<16,
-				fmt.Sprintf("imul %s, %s", n(m.reg), n(m.rm)))
+			return fin(3, uint64(op)|uint64(op2)<<8|uint64(text[off+2])<<16)
 		case op2 == 0xB6 || op2 == 0xB7 || op2 == 0xBE || op2 == 0xBF:
 			m, used, err := parseModrm(text, off+2)
 			if err != nil {
 				return inst, err
 			}
-			mn := map[byte]string{0xB6: "movzx.b", 0xB7: "movzx.w", 0xBE: "movsx.b", 0xBF: "movsx.w"}[op2]
-			raw := uint64(op) | uint64(op2)<<8 | uint64(text[off+2])<<16 | uint64(uint32(m.disp))<<24
-			if m.mod == 3 {
-				return fin(2+used, raw, fmt.Sprintf("%s %s, %s", mn, n(m.reg), n(m.rm)))
-			}
-			return fin(2+used, raw, fmt.Sprintf("%s %s, [%s%+d]", mn, n(m.reg), n(m.rm), m.disp))
+			return fin(2+used, uint64(op)|uint64(op2)<<8|uint64(text[off+2])<<16|uint64(uint32(m.disp))<<24)
 		}
 		return inst, fmt.Errorf("x86: unknown 0x0F %02x at %#x", op2, addr)
 	}
 	return inst, fmt.Errorf("x86: unknown opcode %#02x at %#x", op, addr)
+}
+
+// Disasm implements isa.Disassembler, reconstructing the assembly text
+// from the packed raw bits off the decode hot path.
+func (b *Backend) Disasm(in isa.Inst) string {
+	raw := in.Raw
+	op := byte(raw)
+	n := func(r uir.Reg) string { return regNames[r] }
+	mr := func(shift uint) modrm {
+		mb := byte(raw >> shift)
+		return modrm{mod: mb >> 6, reg: uir.Reg(mb >> 3 & 7), rm: uir.Reg(mb & 7)}
+	}
+	switch {
+	case op == 0xC3:
+		return "ret"
+	case op == 0x99:
+		return "cdq"
+	case op == 0xE8:
+		return fmt.Sprintf("call 0x%x", in.Target)
+	case op == 0xE9:
+		return fmt.Sprintf("jmp 0x%x", in.Target)
+	case op >= 0xB8 && op <= 0xBF:
+		return fmt.Sprintf("mov %s, 0x%x", n(uir.Reg(op-0xB8)), uint32(raw>>8))
+	case op == 0x89 || op == 0x8B || op == 0x88 || op == 0x8D || op == 0x01 || op == 0x29 || op == 0x21 || op == 0x09 || op == 0x31 || op == 0x39:
+		m := mr(8)
+		disp := int32(uint32(raw >> 16))
+		switch {
+		case op == 0x89 && m.mod == 3:
+			return fmt.Sprintf("mov %s, %s", n(m.rm), n(m.reg))
+		case op == 0x89:
+			return fmt.Sprintf("mov [%s%+d], %s", n(m.rm), disp, n(m.reg))
+		case op == 0x8B:
+			return fmt.Sprintf("mov %s, [%s%+d]", n(m.reg), n(m.rm), disp)
+		case op == 0x88:
+			return fmt.Sprintf("mov byte [%s%+d], %s", n(m.rm), disp, n(m.reg))
+		case op == 0x8D:
+			return fmt.Sprintf("lea %s, [%s%+d]", n(m.reg), n(m.rm), disp)
+		default:
+			return fmt.Sprintf("%s %s, %s", aluNames[op], n(m.rm), n(m.reg))
+		}
+	case op == 0x81:
+		m := mr(8)
+		if mn := map[uir.Reg]string{0: "add", 5: "sub", 7: "cmp"}[m.reg]; mn != "" {
+			return fmt.Sprintf("%s %s, 0x%x", mn, n(m.rm), uint32(raw>>16))
+		}
+	case op == 0xF7:
+		m := mr(8)
+		if mn := map[uir.Reg]string{2: "not", 3: "neg", 6: "div", 7: "idiv"}[m.reg]; mn != "" {
+			return fmt.Sprintf("%s %s", mn, n(m.rm))
+		}
+	case op == 0xD3:
+		m := mr(8)
+		if mn := map[uir.Reg]string{4: "shl", 5: "shr", 7: "sar"}[m.reg]; mn != "" {
+			return fmt.Sprintf("%s %s, cl", mn, n(m.rm))
+		}
+	case op == 0xC1:
+		m := mr(8)
+		if mn := map[uir.Reg]string{4: "shl", 5: "shr", 7: "sar"}[m.reg]; mn != "" {
+			return fmt.Sprintf("%s %s, %d", mn, n(m.rm), byte(raw>>16))
+		}
+	case op == 0x0F:
+		op2 := byte(raw >> 8)
+		switch {
+		case op2 >= 0x80 && op2 <= 0x8F:
+			return fmt.Sprintf("j%s 0x%x", ccNames[op2-0x80], in.Target)
+		case op2 >= 0x90 && op2 <= 0x9F:
+			return fmt.Sprintf("set%s %s", ccNames[op2-0x90], n(mr(16).rm))
+		case op2 == 0xAF:
+			m := mr(16)
+			return fmt.Sprintf("imul %s, %s", n(m.reg), n(m.rm))
+		case op2 == 0xB6 || op2 == 0xB7 || op2 == 0xBE || op2 == 0xBF:
+			m := mr(16)
+			mn := map[byte]string{0xB6: "movzx.b", 0xB7: "movzx.w", 0xBE: "movsx.b", 0xBF: "movsx.w"}[op2]
+			if m.mod == 3 {
+				return fmt.Sprintf("%s %s, %s", mn, n(m.reg), n(m.rm))
+			}
+			return fmt.Sprintf("%s %s, [%s%+d]", mn, n(m.reg), n(m.rm), int32(uint32(raw>>24)))
+		}
+	}
+	return fmt.Sprintf(".word %#x", raw)
 }
 
 // ccExpr builds the boolean expression for an Intel condition code over

@@ -71,8 +71,8 @@ func TestSetccReadsFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if inst.Mnemonic != "setle ebx" {
-		t.Errorf("mnemonic = %q", inst.Mnemonic)
+	if got := be.Disasm(inst); got != "setle ebx" {
+		t.Errorf("mnemonic = %q", got)
 	}
 	lb := &isa.LiftBuilder{}
 	if err := be.Lift(inst, lb); err != nil {

@@ -13,6 +13,7 @@ package sim
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"firmup/internal/cfg"
 	"firmup/internal/isa"
@@ -64,11 +65,31 @@ type Exe struct {
 	names    map[string]int
 }
 
+// BuildConfig tunes BuildWith for analyzer sessions. The zero value
+// (and a nil pointer) selects serial, uncached analysis.
+type BuildConfig struct {
+	// Cache is the session's block canonicalization cache; nil disables
+	// caching. The cache must be bound to the same interner the build
+	// runs under, otherwise it is ignored.
+	Cache *strand.BlockCache
+	// Workers bounds procedure-level parallelism within this executable
+	// (values ≤ 1 build serially). The analyzed output is byte-identical
+	// to the serial build: procedures are assembled by index, and every
+	// per-procedure result is a pure function of the recovered input.
+	Workers int
+}
+
 // Build indexes a recovered executable. A non-nil interner attaches the
 // executable to that analyzer session: every procedure's strand set is
 // interned to dense IDs and the inverted index is built as posting
 // lists over them.
 func Build(path string, rec *cfg.Recovered, it strand.Interner) *Exe {
+	return BuildWith(path, rec, it, nil)
+}
+
+// BuildWith is Build with session tuning: a shared block
+// canonicalization cache and a bounded procedure-level worker pool.
+func BuildWith(path string, rec *cfg.Recovered, it strand.Interner, bc *BuildConfig) *Exe {
 	be, err := isa.ByArch(rec.Arch)
 	var abi *uir.ABI
 	if err == nil {
@@ -80,13 +101,26 @@ func Build(path string, rec *cfg.Recovered, it strand.Interner) *Exe {
 	for i, p := range rec.Procs {
 		entryIdx[p.Entry] = i
 	}
-	for _, p := range rec.Procs {
+	var cache *strand.BlockCache
+	workers := 1
+	if bc != nil {
+		cache = bc.Cache
+		if bc.Workers > workers {
+			workers = bc.Workers
+		}
+	}
+	if workers > len(rec.Procs) {
+		workers = len(rec.Procs)
+	}
+	buildOne := func(ex *strand.Extractor, i int) *Proc {
+		p := rec.Procs[i]
+		set, markers := ex.Proc(p.Blocks)
 		sp := &Proc{
 			Name:       p.Name,
 			Addr:       p.Entry,
 			Exported:   p.Exported,
-			Set:        strand.FromBlocks(p.Blocks, opt).Interned(it),
-			Markers:    strand.ConstMarkers(p.Blocks, opt),
+			Set:        set,
+			Markers:    markers,
 			BlockCount: len(p.Blocks),
 			InstCount:  len(p.Insts),
 		}
@@ -102,8 +136,37 @@ func Build(path string, rec *cfg.Recovered, it strand.Interner) *Exe {
 				}
 			}
 		}
-		e.Procs = append(e.Procs, sp)
+		return sp
 	}
+	procs := make([]*Proc, len(rec.Procs))
+	if workers <= 1 {
+		ex := strand.NewExtractor(opt, it, cache)
+		for i := range rec.Procs {
+			procs[i] = buildOne(ex, i)
+		}
+	} else {
+		// Each worker owns an extractor (arena + scratch); procedures
+		// are claimed via an atomic cursor and written to their slot, so
+		// assembly order is index order regardless of schedule.
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ex := strand.NewExtractor(opt, it, cache)
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(rec.Procs) {
+						return
+					}
+					procs[i] = buildOne(ex, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	e.Procs = procs
 	for i, p := range e.Procs {
 		for _, c := range p.Calls {
 			e.Procs[c].CalledBy = append(e.Procs[c].CalledBy, i)

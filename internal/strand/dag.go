@@ -46,13 +46,38 @@ type node struct {
 }
 
 // builder constructs and canonicalizes DAG nodes for one basic block.
+// Nodes are allocated from a chunked arena so a builder reused across
+// many blocks (an Extractor's per-worker scratch) allocates node memory
+// in slabs instead of one heap object per node.
 type builder struct {
 	cons  map[string]*node
 	blind map[*node]string
+	arena []node
 }
+
+// arenaChunk is the node-slab size. Chunks are never grown in place —
+// a full chunk is abandoned to the nodes pointing into it and a fresh
+// one started — so node pointers stay stable.
+const arenaChunk = 256
 
 func newBuilder() *builder {
 	return &builder{cons: map[string]*node{}, blind: map[*node]string{}}
+}
+
+// reset clears the interning tables for the next block. The current
+// arena chunk keeps filling: nodes of previous blocks are unreachable
+// once their strands are rendered, and the chunk tail is still free.
+func (bd *builder) reset() {
+	clear(bd.cons)
+	clear(bd.blind)
+}
+
+func (bd *builder) alloc() *node {
+	if len(bd.arena) == cap(bd.arena) {
+		bd.arena = make([]node, 0, arenaChunk)
+	}
+	bd.arena = bd.arena[:len(bd.arena)+1]
+	return &bd.arena[len(bd.arena)-1]
 }
 
 // intern hash-conses a node.
@@ -61,7 +86,7 @@ func (bd *builder) intern(n node) *node {
 	if p, ok := bd.cons[k]; ok {
 		return p
 	}
-	p := new(node)
+	p := bd.alloc()
 	*p = n
 	bd.cons[k] = p
 	return p

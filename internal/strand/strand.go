@@ -41,8 +41,13 @@ type Strand struct {
 // architectural register) becomes the basis of one strand: exactly the
 // use-def chain Algorithm 1 would slice, already in simplified form.
 // Dead intermediate computations disappear, mirroring DCE.
+//
+// Batch callers (analyzer sessions) should prefer an Extractor, which
+// reuses the analysis scratch across blocks and consults the session's
+// block canonicalization cache.
 func ExtractBlock(b *uir.Block, opt *Options) []Strand {
-	st := analyzeBlock(b, opt)
+	sc := newExtractScratch()
+	st := sc.analyze(b, opt)
 	return st.render(opt)
 }
 
@@ -64,11 +69,55 @@ type effect struct {
 	target *node
 }
 
-// analyzeBlock performs the forward-substitution walk.
+// memKey identifies one store-to-load forwarding slot.
+type memKey struct {
+	addr *node
+	size uint8
+}
+
+// extractScratch is the reusable per-worker state of block analysis:
+// the node builder with its arena, the forward-substitution maps, and
+// the effect list. One scratch serves any number of blocks serially;
+// reuse turns per-block map and slab allocations into clears.
+type extractScratch struct {
+	bd      *builder
+	regs    map[uir.Reg]*node
+	inputs  map[uir.Reg]*node
+	temps   map[uir.Temp]*node
+	mem     map[memKey]*node
+	effects []effect
+	st      blockState
+}
+
+func newExtractScratch() *extractScratch {
+	return &extractScratch{
+		bd:     newBuilder(),
+		regs:   map[uir.Reg]*node{},
+		inputs: map[uir.Reg]*node{},
+		temps:  map[uir.Temp]*node{},
+		mem:    map[memKey]*node{},
+	}
+}
+
+// analyzeBlock performs the forward-substitution walk with one-shot
+// scratch (the soundness property tests inspect the returned state).
 func analyzeBlock(b *uir.Block, opt *Options) *blockState {
-	bd := newBuilder()
-	regs := map[uir.Reg]*node{} // current register values
-	inputs := map[uir.Reg]*node{}
+	return newExtractScratch().analyze(b, opt)
+}
+
+// analyze performs the forward-substitution walk. The returned state
+// aliases the scratch and is valid until the next analyze call.
+func (sc *extractScratch) analyze(b *uir.Block, opt *Options) *blockState {
+	sc.bd.reset()
+	clear(sc.regs)
+	clear(sc.inputs)
+	clear(sc.temps)
+	clear(sc.mem)
+	sc.effects = sc.effects[:0]
+
+	bd := sc.bd
+	regs := sc.regs // current register values
+	inputs := sc.inputs
 	getReg := func(r uir.Reg) *node {
 		if n, ok := regs[r]; ok {
 			return n
@@ -78,19 +127,15 @@ func analyzeBlock(b *uir.Block, opt *Options) *blockState {
 		inputs[r] = n
 		return n
 	}
-	temps := map[uir.Temp]*node{}
+	temps := sc.temps
 	operand := func(o uir.Operand) *node {
 		if o.IsConst {
 			return bd.konst(o.Val)
 		}
 		return temps[o.Temp]
 	}
-	type memKey struct {
-		addr *node
-		size uint8
-	}
-	mem := map[memKey]*node{}
-	var effects []effect
+	mem := sc.mem
+	effects := sc.effects
 	callCount := 0
 
 	for _, s := range b.Stmts {
@@ -148,7 +193,9 @@ func analyzeBlock(b *uir.Block, opt *Options) *blockState {
 		}
 	}
 
-	return &blockState{bd: bd, regs: regs, inputs: inputs, effects: effects}
+	sc.effects = effects
+	sc.st = blockState{bd: bd, regs: regs, inputs: inputs, effects: effects}
+	return &sc.st
 }
 
 // render turns the analyzed state into canonical strands.
@@ -181,6 +228,7 @@ func (st *blockState) render(opt *Options) []Strand {
 		out = append(out, Strand{Hash: hash, Text: text})
 	}
 
+	rd := newRenderer(bd, opt)
 	for _, r := range sortedRegs(regs) {
 		if excluded[r] {
 			continue
@@ -192,12 +240,12 @@ func (st *blockState) render(opt *Options) []Strand {
 		if !opt.KeepTrivial && isTrivial(n) {
 			continue
 		}
-		rd := newRenderer(bd, opt)
+		rd.reset(bd, opt)
 		expr := rd.expr(n)
 		add(rd.finish(fmt.Sprintf("ret %s", expr)))
 	}
 	for _, e := range effects {
-		rd := newRenderer(bd, opt)
+		rd.reset(bd, opt)
 		switch e.kind {
 		case "store":
 			addr := rd.expr(e.a)
@@ -251,6 +299,15 @@ type renderer struct {
 
 func newRenderer(bd *builder, opt *Options) *renderer {
 	return &renderer{bd: bd, opt: opt, args: map[*node]int{}, offs: map[uint32]int{}, lnum: map[*node]string{}}
+}
+
+// reset prepares the renderer for the next strand, reusing its maps.
+func (rd *renderer) reset(bd *builder, opt *Options) {
+	rd.bd, rd.opt = bd, opt
+	clear(rd.args)
+	clear(rd.offs)
+	clear(rd.lnum)
+	rd.lets = rd.lets[:0]
 }
 
 // classify applies offset elimination to a constant.
@@ -443,6 +500,15 @@ type Interner interface {
 	Intern(hash uint64) uint32
 }
 
+// BulkInterner is an Interner that can intern a whole batch per lock
+// round. Interned and the block extractor prefer it when available.
+type BulkInterner interface {
+	Interner
+	// InternAll appends the dense IDs of hashes to out and returns it,
+	// in input order.
+	InternAll(hashes []uint64, out []uint32) []uint32
+}
+
 // Set is a procedure's strand-hash set, the unit Sim operates on.
 type Set struct {
 	Hashes []uint64 // sorted, unique
@@ -460,12 +526,21 @@ func (s Set) Interned(it Interner) Set {
 	if it == nil {
 		return s
 	}
-	ids := make([]uint32, len(s.Hashes))
-	for i, h := range s.Hashes {
-		ids[i] = it.Intern(h)
-	}
+	ids := internAll(it, s.Hashes, make([]uint32, 0, len(s.Hashes)))
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return Set{Hashes: s.Hashes, IDs: ids, It: it}
+}
+
+// internAll interns hashes in input order, using the bulk path when the
+// interner supports it.
+func internAll(it Interner, hashes []uint64, out []uint32) []uint32 {
+	if bi, ok := it.(BulkInterner); ok {
+		return bi.InternAll(hashes, out)
+	}
+	for _, h := range hashes {
+		out = append(out, it.Intern(h))
+	}
+	return out
 }
 
 // FromBlocks extracts and merges strands of all blocks of a procedure.

@@ -1,0 +1,159 @@
+package uir
+
+import "math/bits"
+
+// SectionRanges are the executable's code and data address ranges, the
+// same ranges strand canonicalization uses for offset elimination. A
+// zero range (Lo == Hi) matches nothing.
+type SectionRanges struct {
+	TextLo, TextHi uint32
+	DataLo, DataHi uint32
+}
+
+// Fingerprint is a 128-bit structural hash of a lifted basic block,
+// computed before strand extraction. It is the key of the analyzer's
+// block canonicalization cache: two blocks with equal fingerprints
+// (under the same extraction context, which the caller folds into the
+// seed) have identical statement streams up to hash collision, and
+// therefore — extraction being a pure function of the statement stream
+// and its options — identical canonical strands.
+//
+// The hash is normalized for addresses:
+//
+//   - The block's own Addr and Size are not hashed, so identical code
+//     placed at different offsets collides.
+//   - Constants inside the text or data ranges contribute their offset
+//     from the section base rather than their absolute value, so
+//     identical code whose section-relative layout matches collides
+//     across load bases.
+//   - A constant operand's ConstKind annotation is not hashed:
+//     extraction classifies constants by the section ranges, never by
+//     the lifter's annotation.
+//
+// The hash is non-cryptographic (two independently mixed 64-bit lanes);
+// at 128 bits, accidental collisions are negligible for any realistic
+// corpus, and adversarial inputs are out of scope for an in-process
+// cache.
+type Fingerprint [2]uint64
+
+// fpHash accumulates the two lanes. Lane a is FNV-1a over the 64-bit
+// word stream; lane b is a splitmix-style multiply-rotate mix. The
+// lanes use unrelated mixing so a collision in one is independent of
+// the other.
+type fpHash struct {
+	a, b uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	mixGamma    = 0x9E3779B97F4A7C15
+	mixMult     = 0xBF58476D1CE4E5B9
+)
+
+func (h *fpHash) word(w uint64) {
+	h.a = (h.a ^ w) * fnvPrime64
+	h.b = bits.RotateLeft64(h.b^(w*mixGamma), 27) * mixMult
+}
+
+// pair packs a small tag and a 32-bit payload into one word so distinct
+// field kinds never alias.
+func (h *fpHash) pair(tag uint64, v uint32) {
+	h.word(tag<<32 | uint64(v))
+}
+
+// Operand tags. Constants are tagged by their classification against
+// the section ranges, with the section-relative offset as payload.
+const (
+	fpTemp uint64 = iota + 1
+	fpConstPlain
+	fpConstText
+	fpConstData
+)
+
+func (h *fpHash) operand(o Operand, r SectionRanges) {
+	if !o.IsConst {
+		h.pair(fpTemp, uint32(o.Temp))
+		return
+	}
+	switch {
+	case r.TextHi > r.TextLo && o.Val >= r.TextLo && o.Val < r.TextHi:
+		h.pair(fpConstText, o.Val-r.TextLo)
+	case r.DataHi > r.DataLo && o.Val >= r.DataLo && o.Val < r.DataHi:
+		h.pair(fpConstData, o.Val-r.DataLo)
+	default:
+		h.pair(fpConstPlain, o.Val)
+	}
+}
+
+// Statement tags, disjoint from operand tags.
+const (
+	fpGet uint64 = iota + 16
+	fpPut
+	fpLoad
+	fpStore
+	fpBin
+	fpUn
+	fpMov
+	fpSel
+	fpCall
+	fpExit
+)
+
+// BlockFingerprint hashes the block's statement stream under the given
+// section ranges. The seed folds the extraction context (ABI, options,
+// absolute section map) into the key; blocks fingerprinted under
+// different seeds never collide. See Fingerprint for the normalization
+// and soundness contract.
+func BlockFingerprint(b *Block, r SectionRanges, seed uint64) Fingerprint {
+	h := fpHash{a: fnvOffset64 ^ seed, b: seed*mixMult + mixGamma}
+	for _, s := range b.Stmts {
+		switch v := s.(type) {
+		case Get:
+			h.pair(fpGet, uint32(v.Reg))
+			h.pair(fpTemp, uint32(v.Dst))
+		case Put:
+			h.pair(fpPut, uint32(v.Reg))
+			h.operand(v.Src, r)
+		case Load:
+			h.pair(fpLoad, uint32(v.Size))
+			h.pair(fpTemp, uint32(v.Dst))
+			h.operand(v.Addr, r)
+		case Store:
+			h.pair(fpStore, uint32(v.Size))
+			h.operand(v.Addr, r)
+			h.operand(v.Src, r)
+		case Bin:
+			h.pair(fpBin, uint32(v.Op))
+			h.pair(fpTemp, uint32(v.Dst))
+			h.operand(v.A, r)
+			h.operand(v.B, r)
+		case Un:
+			h.pair(fpUn, uint32(v.Op))
+			h.pair(fpTemp, uint32(v.Dst))
+			h.operand(v.A, r)
+		case Mov:
+			h.pair(fpMov, 0)
+			h.pair(fpTemp, uint32(v.Dst))
+			h.operand(v.Src, r)
+		case Sel:
+			h.pair(fpSel, 0)
+			h.pair(fpTemp, uint32(v.Dst))
+			h.operand(v.Cond, r)
+			h.operand(v.A, r)
+			h.operand(v.B, r)
+		case Call:
+			h.pair(fpCall, 0)
+			h.operand(v.Target, r)
+		case Exit:
+			h.pair(fpExit, uint32(v.Kind))
+			if v.Kind == ExitCond {
+				h.operand(v.Cond, r)
+			}
+			if v.Kind != ExitRet {
+				h.operand(v.Target, r)
+			}
+		}
+	}
+	return Fingerprint{h.a, h.b}
+}
