@@ -5,9 +5,13 @@
 // Usage:
 //
 //	firmup -query wget.felf -proc ftp_retrieve_glob image1.fwim [image2.fwim ...]
+//	firmup ... -report run.json          # structured per-stage run report
+//	firmup ... -trace-json traces.json   # per-finding game courses as JSON
+//	firmup ... -debug-addr localhost:0   # expvar + pprof while running
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,7 +19,17 @@ import (
 	"time"
 
 	"firmup"
+	"firmup/internal/telemetry"
 )
+
+// tracedFinding pairs one finding with the recorded course of the game
+// that produced it — the -trace-json output schema.
+type tracedFinding struct {
+	Image string            `json:"image"`
+	Exe   string            `json:"exe"`
+	Proc  string            `json:"proc"`
+	Game  *firmup.GameTrace `json:"game"`
+}
 
 func main() {
 	queryPath := flag.String("query", "", "query executable (FWELF) containing the vulnerable procedure")
@@ -27,6 +41,9 @@ func main() {
 	useSnap := flag.Bool("snapshot", true, "serve images from <image>.fwsnap sidecar snapshots when present")
 	noSnap := flag.Bool("no-snapshot", false, "ignore sidecar snapshots and always analyze from scratch")
 	verbose := flag.Bool("v", false, "report per-file skip reasons, timings and session statistics")
+	reportPath := flag.String("report", "", "write a structured JSON run report (stage timings, counters, histograms) to this file")
+	traceJSON := flag.String("trace-json", "", "re-play each finding's game with tracing and write the courses as JSON to this file")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *queryPath == "" || *proc == "" || flag.NArg() == 0 {
@@ -37,16 +54,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Telemetry is enabled only when a surface asks for it; otherwise the
+	// session runs with nil handles and zero recording overhead.
+	var reg *telemetry.Registry
+	if *reportPath != "" || *debugAddr != "" {
+		reg = telemetry.New()
+	}
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "firmup: debug endpoints at http://%s/debug/\n", addr)
+	}
+	rep := telemetry.NewReport("firmup", telemetry.ReportConfig{
+		Workers: *workers, BlockCache: true, Index: !*exhaustive,
+	})
 	// One analyzer session covers the query and every image: all strand
 	// sets share the session's interner and every search can use the
 	// per-image corpus index.
-	analyzer := firmup.NewAnalyzer(&firmup.AnalyzerOptions{Workers: *workers})
+	analyzer := firmup.NewAnalyzer(&firmup.AnalyzerOptions{Workers: *workers, Telemetry: reg})
 	query, err := analyzer.LoadQueryExecutable(qdata)
 	if err != nil {
 		fatal(err)
 	}
 	opt := &firmup.Options{MinScore: *minScore, MinRatio: *minRatio, Exhaustive: *exhaustive}
 	total, skipped, examined, searchable := 0, 0, 0, 0
+	var traces []tracedFinding
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -82,7 +116,7 @@ func main() {
 				}
 			}
 		}
-		res, err := firmup.SearchImageDetailed(query, *proc, img, opt)
+		res, err := analyzer.SearchImageDetailed(query, *proc, img, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -92,11 +126,39 @@ func main() {
 			total++
 			fmt.Printf("%s: %s at %#x in %s (Sim=%d, confidence=%.0f%%, %d game steps)\n",
 				path, f.ProcName, f.ProcAddr, f.ExePath, f.Score, 100*f.Confidence, f.GameSteps)
+			if *traceJSON != "" {
+				target := img.Executable(f.ExePath)
+				if target == nil {
+					continue
+				}
+				_, gt, err := analyzer.MatchProcedureTraced(query, *proc, target, opt)
+				if err != nil {
+					fatal(err)
+				}
+				traces = append(traces, tracedFinding{Image: path, Exe: f.ExePath, Proc: *proc, Game: gt})
+			}
 		}
+	}
+	if *traceJSON != "" {
+		blob, err := json.MarshalIndent(traces, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*traceJSON, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "firmup: wrote %d game trace(s) to %s\n", len(traces), *traceJSON)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "firmup: session: %d unique strands interned, %d/%d executables examined, %d skipped\n",
 			analyzer.UniqueStrands(), examined, searchable, skipped)
+	}
+	if *reportPath != "" {
+		rep.Finish(reg)
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "firmup: wrote run report to %s\n", *reportPath)
 	}
 	if total == 0 {
 		fmt.Println("no occurrences of", *proc, "found")

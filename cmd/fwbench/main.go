@@ -8,6 +8,7 @@
 //	fwbench -exp fig6|fig8|fig9|fig5|table1|demo|ablation|snapshot
 //	fwbench -exp game -json     # memoized vs reference engine, BENCH_game.json
 //	fwbench -exp analyze -json  # cached vs uncached analysis, BENCH_analyze.json
+//	fwbench -exp telemetry -json  # metrics enabled vs disabled, BENCH_telemetry.json
 package main
 
 import (
@@ -27,18 +28,19 @@ import (
 	_ "firmup/internal/isa/ppc"
 	_ "firmup/internal/isa/x86"
 	"firmup/internal/sim"
+	"firmup/internal/telemetry"
 	"firmup/internal/uir"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, game, analyze, all")
+	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, game, analyze, telemetry, all")
 	scale := flag.String("scale", "default", "corpus scale: default or eval")
-	jsonOut := flag.Bool("json", false, "write machine-readable results of the game/analyze experiments to BENCH_game.json / BENCH_analyze.json")
+	jsonOut := flag.Bool("json", false, "write machine-readable results of the game/analyze/telemetry experiments to BENCH_game.json / BENCH_analyze.json / BENCH_telemetry.json")
 	flag.Parse()
 
 	valid := map[string]bool{"all": true, "table2": true, "fig6": true, "fig8": true,
 		"fig9": true, "ablation": true, "fig5": true, "table1": true, "demo": true,
-		"snapshot": true, "game": true, "analyze": true}
+		"snapshot": true, "game": true, "analyze": true, "telemetry": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "fwbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -123,6 +125,9 @@ func main() {
 	}
 	if want("analyze") {
 		analyzeBench(env, *scale, *jsonOut)
+	}
+	if want("telemetry") {
+		telemetryBench(env, *scale, *jsonOut)
 	}
 }
 
@@ -342,6 +347,138 @@ func gameBench(env *eval.Env, scale string, jsonOut bool) {
 			fatal(err)
 		}
 		fmt.Println("wrote BENCH_game.json")
+	}
+}
+
+// telemetryBenchEntry is one benchmark row of the telemetry experiment's
+// machine-readable output.
+type telemetryBenchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// telemetryBenchReport is the schema of BENCH_telemetry.json.
+type telemetryBenchReport struct {
+	Generated  string                `json:"generated"`
+	Scale      string                `json:"scale"`
+	Images     int                   `json:"images"`
+	GamesPerOp int                   `json:"games_per_op"`
+	Benchmarks []telemetryBenchEntry `json:"benchmarks"`
+	// AnalyzeOverheadNs is enabled ns/op over disabled ns/op for the
+	// full-image analysis path (1.0 means telemetry is free).
+	AnalyzeOverheadNs float64 `json:"analyze_overhead_ns_vs_disabled"`
+	// GameOverheadNs is the same ratio for the game-heavy match path.
+	GameOverheadNs float64 `json:"game_overhead_ns_vs_disabled"`
+}
+
+// telemetryBench measures the cost of pipeline telemetry on the two hot
+// paths it instruments: full-image analysis (parse → recover → lift →
+// strands → index) and the back-and-forth game. Each path runs once with
+// telemetry disabled (nil registry: every handle is nil, recording calls
+// are no-ops) and once recording into a live registry.
+func telemetryBench(env *eval.Env, scale string, jsonOut bool) {
+	fmt.Println("=== telemetry: metrics enabled vs disabled ===")
+	var stream [][]byte
+	for _, bi := range env.Corpus.Images {
+		stream = append(stream, bi.Image.Pack(true))
+	}
+	analyze := func(reg *telemetry.Registry) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := firmup.NewAnalyzer(&firmup.AnalyzerOptions{Telemetry: reg})
+				for _, data := range stream {
+					if _, err := a.OpenImage(data); err != nil {
+						fatal(err)
+					}
+				}
+			}
+		})
+	}
+	analyzeOff := analyze(nil)
+	analyzeOn := analyze(telemetry.New())
+
+	// Game path: the gameBench workload — every meaningful wget query
+	// procedure against one cross-tool-chain MIPS target.
+	q, err := env.Query("wget", "1.15", uir.ArchMIPS32)
+	if err != nil {
+		fatal(err)
+	}
+	var target *sim.Exe
+	for _, u := range env.Units {
+		if u.Arch == uir.ArchMIPS32 && u.Pkg == "wget" {
+			target = u.Exe
+			break
+		}
+	}
+	if target == nil {
+		fatal(fmt.Errorf("no MIPS wget unit in the corpus"))
+	}
+	var qis []int
+	for qi, qp := range q.Procs {
+		if qp.Set.Size() >= 3 {
+			qis = append(qis, qi)
+		}
+	}
+	games := func(tel *core.Telemetry) testing.BenchmarkResult {
+		opt := &core.Options{Tel: tel}
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, qi := range qis {
+					core.Match(q, qi, target, opt)
+				}
+			}
+		})
+	}
+	reg := telemetry.New()
+	gamesOff := games(nil)
+	gamesOn := games(&core.Telemetry{
+		Games:            reg.Counter("game.played"),
+		Steps:            reg.Histogram("game.steps"),
+		AcceptedSteps:    reg.Histogram("game.steps.accepted"),
+		MatcherHits:      reg.Counter("game.matcher_hits"),
+		MatcherMisses:    reg.Counter("game.matcher_misses"),
+		Searches:         reg.Counter("search.runs"),
+		PrefilterKept:    reg.Counter("search.targets_kept"),
+		PrefilterSkipped: reg.Counter("search.targets_skipped"),
+	})
+
+	rep := telemetryBenchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      scale,
+		Images:     len(stream),
+		GamesPerOp: len(qis),
+		Benchmarks: []telemetryBenchEntry{
+			{Name: "AnalyzeImages/disabled", NsPerOp: float64(analyzeOff.NsPerOp()), AllocsPerOp: analyzeOff.AllocsPerOp(), BytesPerOp: analyzeOff.AllocedBytesPerOp()},
+			{Name: "AnalyzeImages/enabled", NsPerOp: float64(analyzeOn.NsPerOp()), AllocsPerOp: analyzeOn.AllocsPerOp(), BytesPerOp: analyzeOn.AllocedBytesPerOp()},
+			{Name: "MatchGame/disabled", NsPerOp: float64(gamesOff.NsPerOp()), AllocsPerOp: gamesOff.AllocsPerOp(), BytesPerOp: gamesOff.AllocedBytesPerOp()},
+			{Name: "MatchGame/enabled", NsPerOp: float64(gamesOn.NsPerOp()), AllocsPerOp: gamesOn.AllocsPerOp(), BytesPerOp: gamesOn.AllocedBytesPerOp()},
+		},
+	}
+	if analyzeOff.NsPerOp() > 0 {
+		rep.AnalyzeOverheadNs = float64(analyzeOn.NsPerOp()) / float64(analyzeOff.NsPerOp())
+	}
+	if gamesOff.NsPerOp() > 0 {
+		rep.GameOverheadNs = float64(gamesOn.NsPerOp()) / float64(gamesOff.NsPerOp())
+	}
+	for _, e := range rep.Benchmarks {
+		fmt.Printf("  %-24s %12.0f ns/op %12d B/op %10d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	fmt.Printf("  analyze: %.3fx ns/op enabled vs disabled; game: %.3fx ns/op\n\n",
+		rep.AnalyzeOverheadNs, rep.GameOverheadNs)
+	if jsonOut {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_telemetry.json", append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote BENCH_telemetry.json")
 	}
 }
 

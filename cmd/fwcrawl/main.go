@@ -20,6 +20,7 @@ import (
 	_ "firmup/internal/isa/mips"
 	_ "firmup/internal/isa/ppc"
 	_ "firmup/internal/isa/x86"
+	"firmup/internal/telemetry"
 	"firmup/internal/uir"
 )
 
@@ -28,7 +29,25 @@ func main() {
 	scale := flag.String("scale", "default", "corpus scale: default or eval")
 	compress := flag.Bool("compress", true, "zlib-compress images")
 	snap := flag.Bool("snapshot", false, "analyze each image and write a <name>.fwsnap sidecar snapshot")
+	reportPath := flag.String("report", "", "write a structured JSON run report (stage timings, counters) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	// One registry spans every per-image snapshot session, so the report
+	// aggregates the whole crawl's pipeline work. (Snapshot-time gauges
+	// like corpus.unique_strands reflect the most recent session only.)
+	var reg *telemetry.Registry
+	if *reportPath != "" || *debugAddr != "" {
+		reg = telemetry.New()
+	}
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fwcrawl: debug endpoints at http://%s/debug/\n", addr)
+	}
+	rep := telemetry.NewReport("fwcrawl", telemetry.ReportConfig{BlockCache: true, Index: true})
 
 	sc := corpus.DefaultScale()
 	if *scale == "eval" {
@@ -53,7 +72,7 @@ func main() {
 		if *snap {
 			// Each sidecar gets its own analyzer session so the embedded
 			// vocabulary is self-contained; loaders re-intern it anyway.
-			a := firmup.NewAnalyzer(nil)
+			a := firmup.NewAnalyzer(&firmup.AnalyzerOptions{Telemetry: reg})
 			img, err := a.OpenImage(data)
 			if err != nil {
 				fatal(fmt.Errorf("snapshot %s: %w", name, err))
@@ -106,6 +125,13 @@ func main() {
 			snapStats.Hits, snapStats.Blocks, 100*snapStats.HitRate(), snapStats.Unique)
 	}
 	fmt.Printf("wrote %d query executables into %s\n", len(corpus.CVEs)*4, qdir)
+	if *reportPath != "" {
+		rep.Finish(reg)
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote run report to %s\n", *reportPath)
+	}
 }
 
 func fatal(err error) {

@@ -26,6 +26,7 @@ import (
 	"firmup/internal/obj"
 	"firmup/internal/snapshot"
 	"firmup/internal/strand"
+	"firmup/internal/telemetry"
 )
 
 func main() {
@@ -35,22 +36,46 @@ func main() {
 	strands := flag.Bool("strands", false, "print canonical strands instead of disassembly")
 	useSnap := flag.Bool("snapshot", true, "inspect the <image>.fwsnap sidecar snapshot when present")
 	noSnap := flag.Bool("no-snapshot", false, "ignore sidecar snapshots")
+	noCache := flag.Bool("no-block-cache", false, "disable the session's block canonicalization cache")
+	reportPath := flag.String("report", "", "write a structured JSON run report (stage timings, counters) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *reportPath != "" || *debugAddr != "" {
+		reg = telemetry.New()
+	}
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fwdump: debug endpoints at http://%s/debug/\n", addr)
+	}
+	rep := telemetry.NewReport("fwdump", telemetry.ReportConfig{BlockCache: !*noCache, Index: true})
 
 	switch {
 	case *imgPath != "":
-		dumpImage(*imgPath, *useSnap && !*noSnap)
+		dumpImage(*imgPath, *useSnap && !*noSnap, *noCache, reg)
 	case *exePath != "":
 		dumpExe(*exePath, *proc, *strands)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: fwdump -image <file> | -exe <file> [-proc <name>] [-strands]")
 		os.Exit(2)
 	}
+
+	if *reportPath != "" {
+		rep.Finish(reg)
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fwdump: wrote run report to %s\n", *reportPath)
+	}
 }
 
 // dumpSnapshot prints the sidecar's section table and times a load
 // against the fresh analysis the caller just ran.
-func dumpSnapshot(path string, analyzeTime time.Duration) {
+func dumpSnapshot(path string, analyzeTime time.Duration, reg *telemetry.Registry) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return // no sidecar: nothing to report
@@ -65,7 +90,7 @@ func dumpSnapshot(path string, analyzeTime time.Duration) {
 		fmt.Printf("  section %-8s offset %6d  %6d bytes  crc32c %08x\n", s.Name, s.Offset, s.Length, s.CRC)
 	}
 	start := time.Now()
-	img, err := firmup.NewAnalyzer(nil).LoadImage(blob)
+	img, err := firmup.NewAnalyzer(&firmup.AnalyzerOptions{Telemetry: reg}).LoadImage(blob)
 	if err != nil {
 		fmt.Printf("  load failed: %v\n", err)
 		return
@@ -76,7 +101,7 @@ func dumpSnapshot(path string, analyzeTime time.Duration) {
 		len(img.Exes), loadTime.Round(time.Microsecond), analyzeTime.Round(time.Microsecond), speedup)
 }
 
-func dumpImage(path string, useSnap bool) {
+func dumpImage(path string, useSnap, noCache bool, reg *telemetry.Registry) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -101,7 +126,7 @@ func dumpImage(path string, useSnap bool) {
 
 	// Analyzed view: run a one-image analyzer session and summarize what
 	// a search would actually operate on.
-	analyzer := firmup.NewAnalyzer(nil)
+	analyzer := firmup.NewAnalyzer(&firmup.AnalyzerOptions{DisableBlockCache: noCache, Telemetry: reg})
 	start := time.Now()
 	img, err := analyzer.OpenImage(data)
 	analyzeTime := time.Since(start)
@@ -111,7 +136,12 @@ func dumpImage(path string, useSnap bool) {
 	}
 	fmt.Printf("analysis: %d searchable executable(s), %d unique strands interned, %d index postings\n",
 		len(img.Exes), analyzer.UniqueStrands(), img.IndexedStrands())
-	if cs := analyzer.CacheStats(); cs.Blocks > 0 {
+	// Always report the cache line: a disabled (or idle) cache is itself a
+	// fact worth surfacing, not a reason to go quiet.
+	if noCache {
+		fmt.Printf("analysis: block cache disabled, %s analyze time\n", analyzeTime.Round(time.Microsecond))
+	} else {
+		cs := analyzer.CacheStats()
 		fmt.Printf("analysis: block cache %d/%d hits (%.1f%%), %d unique blocks, %s analyze time\n",
 			cs.Hits, cs.Blocks, 100*cs.HitRate(), cs.Unique, analyzeTime.Round(time.Microsecond))
 	}
@@ -127,7 +157,7 @@ func dumpImage(path string, useSnap bool) {
 		fmt.Printf("  %-30s skipped: %v\n", s.Path, s.Err)
 	}
 	if useSnap {
-		dumpSnapshot(path+".fwsnap", analyzeTime)
+		dumpSnapshot(path+".fwsnap", analyzeTime, reg)
 	}
 }
 

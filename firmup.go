@@ -49,6 +49,7 @@ import (
 	"firmup/internal/obj"
 	"firmup/internal/sim"
 	"firmup/internal/strand"
+	"firmup/internal/telemetry"
 )
 
 // AnalyzerOptions tune an analyzer session. The zero value selects the
@@ -69,6 +70,12 @@ type AnalyzerOptions struct {
 	// cache: every lifted block is re-extracted from scratch. Analyzed
 	// output is identical either way; only the work done differs.
 	DisableBlockCache bool
+	// Telemetry, when non-nil, is the registry the session records its
+	// pipeline metrics into. The default (nil) disables telemetry
+	// entirely: instrumented code paths hold nil handles and every
+	// recording call is a no-op. Analysis and search output are
+	// identical either way.
+	Telemetry *telemetry.Registry
 }
 
 func (o *AnalyzerOptions) workers() int {
@@ -111,6 +118,127 @@ type Analyzer struct {
 	// cache memoizes per-block canonicalization across every executable
 	// the session analyzes; nil when DisableBlockCache is set.
 	cache *strand.BlockCache
+	// met holds the session's telemetry handles; nil when telemetry is
+	// disabled, in which case every handle accessor returns nil and the
+	// instrumented layers run their uninstrumented fast paths.
+	met *sessionMetrics
+}
+
+// sessionMetrics is the full handle set one session records against,
+// created once so hot paths never consult the registry's maps. Stage
+// and metric names are part of the report schema (see
+// telemetry.SchemaVersion); renaming any of them is a breaking change.
+type sessionMetrics struct {
+	obj  *obj.Telemetry
+	cfg  *cfg.Telemetry
+	sim  *sim.Telemetry
+	core *core.Telemetry
+	idx  *corpusindex.Telemetry
+
+	imageOpen   *telemetry.Stage
+	imageUnpack *telemetry.Stage
+	snapSave    *telemetry.Stage
+	snapLoad    *telemetry.Stage
+	searchImage *telemetry.Stage
+
+	snapSaveBytes *telemetry.Counter
+	snapLoadBytes *telemetry.Counter
+	exesAnalyzed  *telemetry.Counter
+	exesSkipped   *telemetry.Counter
+}
+
+func newSessionMetrics(r *telemetry.Registry) *sessionMetrics {
+	if r == nil {
+		return nil
+	}
+	return &sessionMetrics{
+		obj: &obj.Telemetry{
+			Parse:    r.Stage("obj.parse"),
+			Bytes:    r.Counter("obj.bytes"),
+			BadClass: r.Counter("obj.bad_class"),
+		},
+		cfg: &cfg.Telemetry{
+			Recover:        r.Stage("cfg.recover"),
+			Sweep:          r.Stage("cfg.sweep"),
+			Lift:           r.Stage("cfg.lift"),
+			Decoded:        r.Counter("cfg.insts_decoded"),
+			Procs:          r.Counter("cfg.procs"),
+			Blocks:         r.Counter("cfg.blocks"),
+			Insts:          r.Counter("cfg.insts"),
+			CoverageRounds: r.Counter("cfg.coverage_rounds"),
+		},
+		sim: &sim.Telemetry{
+			Build: r.Stage("sim.build"),
+			Index: r.Stage("sim.index"),
+			Procs: r.Counter("sim.procs"),
+			Extract: &strand.Telemetry{
+				Blocks:   r.Counter("strand.blocks"),
+				Computed: r.Counter("strand.blocks_computed"),
+				Strands:  r.Counter("strand.strands"),
+			},
+		},
+		core: &core.Telemetry{
+			Games:            r.Counter("game.played"),
+			Steps:            r.Histogram("game.steps"),
+			AcceptedSteps:    r.Histogram("game.steps.accepted"),
+			MatcherHits:      r.Counter("game.matcher_hits"),
+			MatcherMisses:    r.Counter("game.matcher_misses"),
+			Searches:         r.Counter("search.runs"),
+			PrefilterKept:    r.Counter("search.targets_kept"),
+			PrefilterSkipped: r.Counter("search.targets_skipped"),
+		},
+		idx: &corpusindex.Telemetry{
+			Queries:   r.Counter("index.queries"),
+			Fallbacks: r.Counter("index.fallbacks"),
+			Fanout:    r.Histogram("index.fanout"),
+		},
+		imageOpen:     r.Stage("image.open"),
+		imageUnpack:   r.Stage("image.unpack"),
+		snapSave:      r.Stage("snapshot.save"),
+		snapLoad:      r.Stage("snapshot.load"),
+		searchImage:   r.Stage("search.image"),
+		snapSaveBytes: r.Counter("snapshot.save_bytes"),
+		snapLoadBytes: r.Counter("snapshot.load_bytes"),
+		exesAnalyzed:  r.Counter("exe.analyzed"),
+		exesSkipped:   r.Counter("exe.skipped"),
+	}
+}
+
+// Per-layer handle accessors; each returns nil on a telemetry-disabled
+// session, which the layers interpret as "record nothing".
+func (a *Analyzer) objTel() *obj.Telemetry {
+	if a.met == nil {
+		return nil
+	}
+	return a.met.obj
+}
+
+func (a *Analyzer) cfgTel() *cfg.Telemetry {
+	if a.met == nil {
+		return nil
+	}
+	return a.met.cfg
+}
+
+func (a *Analyzer) simTel() *sim.Telemetry {
+	if a.met == nil {
+		return nil
+	}
+	return a.met.sim
+}
+
+func (a *Analyzer) coreTel() *core.Telemetry {
+	if a.met == nil {
+		return nil
+	}
+	return a.met.core
+}
+
+func (a *Analyzer) idxTel() *corpusindex.Telemetry {
+	if a.met == nil {
+		return nil
+	}
+	return a.met.idx
 }
 
 // NewAnalyzer creates a session. NewAnalyzer(nil) selects the defaults.
@@ -122,7 +250,26 @@ func NewAnalyzer(opt *AnalyzerOptions) *Analyzer {
 	if !a.opt.DisableBlockCache {
 		a.cache = strand.NewBlockCache(a.interner)
 	}
+	a.met = newSessionMetrics(a.opt.Telemetry)
+	if r := a.opt.Telemetry; r != nil {
+		// Gauge mirrors of state the session already tracks: evaluated at
+		// snapshot time, costing the hot paths nothing.
+		interner := a.interner
+		r.GaugeFunc("corpus.unique_strands", func() int64 { return int64(interner.Size()) })
+		if cache := a.cache; cache != nil {
+			r.GaugeFunc("strand.cache.blocks", func() int64 { return cache.Stats().Blocks })
+			r.GaugeFunc("strand.cache.hits", func() int64 { return cache.Stats().Hits })
+			r.GaugeFunc("strand.cache.unique", func() int64 { return int64(cache.Stats().Unique) })
+		}
+	}
 	return a
+}
+
+// Metrics snapshots the session's telemetry registry. On a
+// telemetry-disabled session it returns an empty snapshot carrying only
+// the schema version.
+func (a *Analyzer) Metrics() telemetry.Snapshot {
+	return a.opt.Telemetry.Snapshot()
 }
 
 // UniqueStrands reports the session's strand vocabulary: the number of
@@ -226,6 +373,17 @@ type Image struct {
 	index *corpusindex.Index
 }
 
+// Executable returns the image executable with the given in-image
+// path, or nil.
+func (im *Image) Executable(path string) *Executable {
+	for _, e := range im.Exes {
+		if e.Path == path {
+			return e
+		}
+	}
+	return nil
+}
+
 // IndexedStrands reports the number of (strand, executable, procedure)
 // postings in the image's search index, or 0 when the image was opened
 // without one.
@@ -239,7 +397,7 @@ func (im *Image) IndexedStrands() int {
 // AnalyzeExecutable parses and analyzes one FWELF binary under the
 // session.
 func (a *Analyzer) AnalyzeExecutable(path string, data []byte) (*Executable, error) {
-	f, err := obj.Read(data)
+	f, err := obj.ReadWith(data, a.objTel())
 	if err != nil {
 		return nil, err
 	}
@@ -249,11 +407,11 @@ func (a *Analyzer) AnalyzeExecutable(path string, data []byte) (*Executable, err
 }
 
 func (a *Analyzer) analyzeFile(path string, f *obj.File, procWorkers int) (*Executable, error) {
-	rec, err := cfg.Recover(f)
+	rec, err := cfg.RecoverWith(f, a.cfgTel())
 	if err != nil {
 		return nil, fmt.Errorf("firmup: %s: %w", path, err)
 	}
-	bc := &sim.BuildConfig{Cache: a.cache, Workers: procWorkers}
+	bc := &sim.BuildConfig{Cache: a.cache, Workers: procWorkers, Tel: a.simTel()}
 	return &Executable{Path: path, exe: sim.BuildWith(path, rec, a.interner, bc), rec: rec}, nil
 }
 
@@ -270,12 +428,17 @@ func (a *Analyzer) LoadQueryExecutable(data []byte) (*Executable, error) {
 // executables. Executables that fail analysis are reported in
 // Image.Skipped rather than silently dropped.
 func (a *Analyzer) OpenImage(data []byte) (*Image, error) {
+	var openSpan, unpackSpan telemetry.Span
+	if a.met != nil {
+		openSpan = a.met.imageOpen.Start()
+		unpackSpan = a.met.imageUnpack.Start()
+	}
 	var out *Image
 	var pending []pendingExe
 	im, err := image.Unpack(data)
 	if err != nil {
 		// Carving fallback: damaged or unknown container.
-		files := image.Carve(data)
+		files := image.CarveWith(data, a.objTel())
 		if len(files) == 0 {
 			return nil, fmt.Errorf("firmup: cannot unpack image and carving found no executables: %w", err)
 		}
@@ -285,9 +448,12 @@ func (a *Analyzer) OpenImage(data []byte) (*Image, error) {
 		}
 	} else {
 		out = &Image{Vendor: im.Vendor, Device: im.Device, Version: im.Version}
-		for _, pe := range im.Executables() {
+		for _, pe := range im.ExecutablesWith(a.objTel()) {
 			pending = append(pending, pendingExe{path: pe.Path, file: pe.File})
 		}
+	}
+	if a.met != nil {
+		unpackSpan.End()
 	}
 	a.analyzeAll(pending, out)
 	if len(out.Exes) == 0 {
@@ -295,9 +461,15 @@ func (a *Analyzer) OpenImage(data []byte) (*Image, error) {
 	}
 	if a.opt.indexed() {
 		out.index = corpusindex.NewIndex(a.interner)
+		out.index.SetTelemetry(a.idxTel())
 		for _, e := range out.Exes {
 			out.index.Add(e.exe)
 		}
+	}
+	if a.met != nil {
+		a.met.exesAnalyzed.Add(int64(len(out.Exes)))
+		a.met.exesSkipped.Add(int64(len(out.Skipped)))
+		openSpan.End()
 	}
 	return out, nil
 }
@@ -430,16 +602,24 @@ type SearchResult struct {
 // query shares its session, provably-irrelevant executables are skipped
 // without playing the game; the findings are identical either way.
 func SearchImage(query *Executable, procedure string, img *Image, opt *Options) ([]Finding, error) {
-	res, err := SearchImageDetailed(query, procedure, img, opt)
-	if err != nil {
-		return nil, err
-	}
-	return res.Findings, nil
+	return defaultAnalyzer().SearchImage(query, procedure, img, opt)
 }
 
 // SearchImageDetailed is SearchImage with the search accounting
-// (examined-target count, steps histogram) exposed.
+// (examined-target count, steps histogram) exposed, under the package's
+// default session.
 func SearchImageDetailed(query *Executable, procedure string, img *Image, opt *Options) (*SearchResult, error) {
+	return defaultAnalyzer().SearchImageDetailed(query, procedure, img, opt)
+}
+
+// SearchImageDetailed is SearchImage with the search accounting
+// (examined-target count, steps histogram) exposed. Game and search
+// metrics are recorded into this session's registry, if any.
+func (a *Analyzer) SearchImageDetailed(query *Executable, procedure string, img *Image, opt *Options) (*SearchResult, error) {
+	var searchSpan telemetry.Span
+	if a.met != nil {
+		searchSpan = a.met.searchImage.Start()
+	}
 	qi := query.exe.ProcByName(procedure)
 	if qi < 0 {
 		return nil, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
@@ -449,6 +629,7 @@ func SearchImageDetailed(query *Executable, procedure string, img *Image, opt *O
 		targets[i] = e.exe
 	}
 	s := opt.search()
+	s.Game.Tel = a.coreTel()
 	if img.index != nil && (opt == nil || !opt.Exhaustive) {
 		// The acceptance ratio here is plain Score/|Strands(q)| (the
 		// facade sets no strand weigher), so both floors prune soundly.
@@ -474,13 +655,20 @@ func SearchImageDetailed(query *Executable, procedure string, img *Image, opt *O
 			GameSteps:  f.Steps,
 		})
 	}
+	if a.met != nil {
+		searchSpan.End()
+	}
 	return out, nil
 }
 
 // SearchImage on a session is the package-level SearchImage; it is
 // provided so session users never touch package-level state.
 func (a *Analyzer) SearchImage(query *Executable, procedure string, img *Image, opt *Options) ([]Finding, error) {
-	return SearchImage(query, procedure, img, opt)
+	res, err := a.SearchImageDetailed(query, procedure, img, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
 }
 
 // MatchProcedure runs the back-and-forth game for one query procedure
@@ -488,13 +676,87 @@ func (a *Analyzer) SearchImage(query *Executable, procedure string, img *Image, 
 // the target does not appear to contain the procedure) and the number of
 // game steps played.
 func MatchProcedure(query *Executable, procedure string, target *Executable, opt *Options) (*Finding, int, error) {
+	return defaultAnalyzer().MatchProcedure(query, procedure, target, opt)
+}
+
+// MatchProcedure on a session is the package-level MatchProcedure with
+// game metrics recorded into the session's registry, if any.
+func (a *Analyzer) MatchProcedure(query *Executable, procedure string, target *Executable, opt *Options) (*Finding, int, error) {
+	f, r, err := a.matchTraced(query, procedure, target, opt, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, r.Steps, nil
+}
+
+// TraceStep is one player/rival exchange of a recorded game course
+// (Table 1 of the paper).
+type TraceStep struct {
+	Actor   string `json:"actor"` // "player" or "rival"
+	Text    string `json:"text"`
+	Matches string `json:"matches"`
+}
+
+// GameTrace is the full course of one back-and-forth game in a
+// JSON-encodable form: the outcome plus every recorded exchange.
+type GameTrace struct {
+	// Target is the matched procedure's index in the target executable,
+	// or -1 when the game produced no match.
+	Target int `json:"target"`
+	// Score is Sim(query, Target); 0 without a match.
+	Score int `json:"score"`
+	// Steps counts game iterations (1 = the first pick already agreed).
+	Steps int `json:"steps"`
+	// MatchedPairs is the partial matching built along the way as
+	// (query procedure index, target procedure index) pairs.
+	MatchedPairs [][2]int `json:"matched_pairs,omitempty"`
+	// Reason is the game's end reason: "matched", "no-candidate",
+	// "stuck", "step-limit" or "match-limit".
+	Reason string `json:"reason"`
+	// Trace is the recorded game course.
+	Trace []TraceStep `json:"trace,omitempty"`
+}
+
+// MatchProcedureTraced is MatchProcedure with the full game course
+// recorded and returned as a JSON-encodable trace, under the package's
+// default session.
+func MatchProcedureTraced(query *Executable, procedure string, target *Executable, opt *Options) (*Finding, *GameTrace, error) {
+	return defaultAnalyzer().MatchProcedureTraced(query, procedure, target, opt)
+}
+
+// MatchProcedureTraced is MatchProcedure with the full game course
+// recorded and returned as a JSON-encodable trace.
+func (a *Analyzer) MatchProcedureTraced(query *Executable, procedure string, target *Executable, opt *Options) (*Finding, *GameTrace, error) {
+	f, r, err := a.matchTraced(query, procedure, target, opt, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	gt := &GameTrace{
+		Target:       r.Target,
+		Score:        r.Score,
+		Steps:        r.Steps,
+		MatchedPairs: r.MatchedPairs,
+		Reason:       r.Reason.String(),
+	}
+	for _, ts := range r.Trace {
+		gt.Trace = append(gt.Trace, TraceStep{Actor: ts.Actor, Text: ts.Text, Matches: ts.Matches})
+	}
+	return f, gt, nil
+}
+
+// matchTraced is the shared MatchProcedure body; recordTrace selects
+// whether the game course is captured.
+func (a *Analyzer) matchTraced(query *Executable, procedure string, target *Executable, opt *Options, recordTrace bool) (*Finding, core.Result, error) {
 	qi := query.exe.ProcByName(procedure)
 	if qi < 0 {
-		return nil, 0, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
+		return nil, core.Result{}, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
 	}
-	f, r := core.MatchOne(query.exe, qi, target.exe, opt.search())
+	s := opt.search()
+	s.Game.Tel = a.coreTel()
+	s.Game.RecordTrace = recordTrace
+	f, r := core.MatchOne(query.exe, qi, target.exe, s)
 	if f == nil {
-		return nil, r.Steps, nil
+		return nil, r, nil
 	}
 	return &Finding{
 		ExePath:    f.ExePath,
@@ -503,5 +765,5 @@ func MatchProcedure(query *Executable, procedure string, target *Executable, opt
 		Score:      f.Score,
 		Confidence: f.Ratio,
 		GameSteps:  f.Steps,
-	}, r.Steps, nil
+	}, r, nil
 }

@@ -17,8 +17,32 @@ import (
 
 	"firmup/internal/isa"
 	"firmup/internal/obj"
+	"firmup/internal/telemetry"
 	"firmup/internal/uir"
 )
+
+// Telemetry is the optional handle set recovery records against; a nil
+// pointer (and any nil field) disables the corresponding metric.
+// Recovery output is identical with and without it.
+type Telemetry struct {
+	// Recover times each RecoverWith call end to end.
+	Recover *telemetry.Stage
+	// Sweep times the linear-sweep disassembly pass.
+	Sweep *telemetry.Stage
+	// Lift times the block-splitting and UIR-lifting pass.
+	Lift *telemetry.Stage
+	// Decoded counts instructions decoded by the sweep (ISA decoder
+	// invocations that succeeded).
+	Decoded *telemetry.Counter
+	// Procs, Blocks and Insts count recovered procedures, lifted basic
+	// blocks, and instructions attributed to procedures.
+	Procs  *telemetry.Counter
+	Blocks *telemetry.Counter
+	Insts  *telemetry.Counter
+	// CoverageRounds counts iterations of the gap-claiming coverage
+	// sweep (pass 3).
+	CoverageRounds *telemetry.Counter
+}
 
 // Proc is one recovered procedure.
 type Proc struct {
@@ -85,6 +109,16 @@ func (s *sweep) at(addr uint32) (isa.Inst, bool) {
 
 // Recover analyzes the executable.
 func Recover(f *obj.File) (*Recovered, error) {
+	return RecoverWith(f, nil)
+}
+
+// RecoverWith is Recover recording recovery metrics into tel. The
+// recovery itself is identical.
+func RecoverWith(f *obj.File, tel *Telemetry) (*Recovered, error) {
+	var recoverSpan telemetry.Span
+	if tel != nil {
+		recoverSpan = tel.Recover.Start()
+	}
 	be, err := isa.ByArch(f.Arch)
 	if err != nil {
 		return nil, err
@@ -95,6 +129,10 @@ func Recover(f *obj.File) (*Recovered, error) {
 	}
 
 	// Pass 1: linear-sweep disassembly.
+	var sweepSpan telemetry.Span
+	if tel != nil {
+		sweepSpan = tel.Sweep.Start()
+	}
 	sw := &sweep{base: text.Addr, n: uint32(len(text.Data)), idx: make([]int32, len(text.Data))}
 	for i := range sw.idx {
 		sw.idx[i] = -1
@@ -110,6 +148,10 @@ func Recover(f *obj.File) (*Recovered, error) {
 		sw.idx[off] = int32(len(sw.seq))
 		sw.seq = append(sw.seq, inst)
 		off += int(inst.Size)
+	}
+	if tel != nil {
+		sweepSpan.End()
+		tel.Decoded.Add(int64(len(sw.seq)))
 	}
 
 	// Pass 2: procedure entries from call targets, the entry point, and
@@ -139,6 +181,9 @@ func Recover(f *obj.File) (*Recovered, error) {
 	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
 	covered := make([]bool, len(sw.seq))
 	for rounds := 0; rounds < 1024; rounds++ {
+		if tel != nil {
+			tel.CoverageRounds.Inc()
+		}
 		for i := range covered {
 			covered[i] = false
 		}
@@ -157,6 +202,10 @@ func Recover(f *obj.File) (*Recovered, error) {
 		entries[i] = gap
 	}
 
+	var liftSpan telemetry.Span
+	if tel != nil {
+		liftSpan = tel.Lift.Start()
+	}
 	rec := &Recovered{File: f, Arch: f.Arch}
 	textEnd := text.Addr + uint32(len(text.Data))
 	for i, e := range entries {
@@ -170,15 +219,27 @@ func Recover(f *obj.File) (*Recovered, error) {
 		}
 		rec.Procs = append(rec.Procs, p)
 	}
+	if tel != nil {
+		liftSpan.End()
+	}
 
 	var bytes uint32
+	var blocks, insts int64
 	for _, p := range rec.Procs {
+		blocks += int64(len(p.Blocks))
+		insts += int64(len(p.Insts))
 		for _, in := range p.Insts {
 			bytes += in.Size
 		}
 	}
 	if len(text.Data) > 0 {
 		rec.Coverage = float64(bytes) / float64(len(text.Data))
+	}
+	if tel != nil {
+		tel.Procs.Add(int64(len(rec.Procs)))
+		tel.Blocks.Add(blocks)
+		tel.Insts.Add(insts)
+		recoverSpan.End()
 	}
 	return rec, nil
 }

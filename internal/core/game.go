@@ -16,7 +16,31 @@ import (
 	"fmt"
 
 	"firmup/internal/sim"
+	"firmup/internal/telemetry"
 )
+
+// Telemetry is the optional handle set the game engine records against;
+// a nil pointer (and any nil field) disables the corresponding metric.
+// Game outcomes are identical with and without it.
+type Telemetry struct {
+	// Games counts games played (Match and MatchReference calls).
+	Games *telemetry.Counter
+	// Steps observes the step count of every game, accepted or not.
+	Steps *telemetry.Histogram
+	// AcceptedSteps observes the step count of games whose finding
+	// cleared the acceptance thresholds — the paper's Fig. 9 population.
+	AcceptedSteps *telemetry.Histogram
+	// MatcherHits and MatcherMisses count memoized candidate-list reuse
+	// versus first-touch similarity accumulations inside the matcher.
+	MatcherHits   *telemetry.Counter
+	MatcherMisses *telemetry.Counter
+	// Searches counts Search calls.
+	Searches *telemetry.Counter
+	// PrefilterKept and PrefilterSkipped count target executables the
+	// search prefilter retained versus soundly pruned.
+	PrefilterKept    *telemetry.Counter
+	PrefilterSkipped *telemetry.Counter
+}
 
 // side distinguishes the two executables in the game.
 type side uint8
@@ -59,28 +83,45 @@ func (r EndReason) String() string {
 	}
 }
 
+// MarshalText encodes the reason as its String form, so JSON traces
+// carry "matched" rather than an opaque ordinal.
+func (r EndReason) MarshalText() ([]byte, error) {
+	return []byte(r.String()), nil
+}
+
+// UnmarshalText decodes the String form.
+func (r *EndReason) UnmarshalText(text []byte) error {
+	for c := EndMatched; c <= EndMatchLimit; c++ {
+		if c.String() == string(text) {
+			*r = c
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown end reason %q", text)
+}
+
 // TraceStep records one player/rival exchange for game-course reporting
 // (Table 1 of the paper).
 type TraceStep struct {
-	Actor   string // "player" or "rival"
-	Text    string
-	Matches string
+	Actor   string `json:"actor"` // "player" or "rival"
+	Text    string `json:"text"`
+	Matches string `json:"matches"`
 }
 
 // Result is the outcome of one game.
 type Result struct {
 	// Target is the index of the procedure matched to the query in the
 	// target executable, or -1.
-	Target int
+	Target int `json:"target"`
 	// Score is Sim(query, Target).
-	Score int
+	Score int `json:"score"`
 	// Steps counts game iterations (1 = the first pick already agreed).
-	Steps int
+	Steps int `json:"steps"`
 	// MatchedPairs is the partial matching built along the way,
 	// including the query pair when matched.
-	MatchedPairs [][2]int
-	Reason       EndReason
-	Trace        []TraceStep
+	MatchedPairs [][2]int    `json:"matched_pairs,omitempty"`
+	Reason       EndReason   `json:"reason"`
+	Trace        []TraceStep `json:"trace,omitempty"`
 }
 
 // addTrace appends one game-course entry.
@@ -101,6 +142,9 @@ type Options struct {
 	MaxMatches int
 	// RecordTrace captures a human-readable game course.
 	RecordTrace bool
+	// Tel, when non-nil, records engine metrics. It never changes game
+	// outcomes.
+	Tel *Telemetry
 }
 
 func (o *Options) maxSteps() int {
@@ -119,6 +163,13 @@ func (o *Options) maxMatches() int {
 
 func (o *Options) trace() bool { return o != nil && o.RecordTrace }
 
+func (o *Options) tel() *Telemetry {
+	if o == nil {
+		return nil
+	}
+	return o.Tel
+}
+
 // Match runs the similarity game to find a consistent match for procedure
 // qi of Q inside T.
 //
@@ -129,11 +180,15 @@ func (o *Options) trace() bool { return o != nil && o.RecordTrace }
 // traces — are identical to MatchReference's, byte for byte; the
 // equivalence tests enforce it.
 func Match(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
-	m := newMatcher(q, t, opt.maxMatches())
+	m := newMatcher(q, t, opt.maxMatches(), opt.tel())
 	st := newGameState()
 	res := runGame(q, qi, t, opt, m, st)
 	st.release()
 	m.release()
+	if tel := opt.tel(); tel != nil {
+		tel.Games.Inc()
+		tel.Steps.Observe(int64(res.Steps))
+	}
 	return res
 }
 
@@ -143,11 +198,16 @@ func Match(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
 // equivalence tests and the fwbench speedup baseline; search paths
 // should use Match.
 func MatchReference(q *sim.Exe, qi int, t *sim.Exe, opt *Options) Result {
-	return runGame(q, qi, t, opt, refPicker{q: q, t: t}, &gameState{
+	res := runGame(q, qi, t, opt, refPicker{q: q, t: t}, &gameState{
 		matchedQ: map[int]int{},
 		matchedT: map[int]int{},
 		inStack:  map[item]bool{},
 	})
+	if tel := opt.tel(); tel != nil {
+		tel.Games.Inc()
+		tel.Steps.Observe(int64(res.Steps))
+	}
+	return res
 }
 
 // runGame is the game skeleton, written once against the picker so the

@@ -5,6 +5,7 @@ import (
 
 	"firmup/internal/sim"
 	"firmup/internal/strand"
+	"firmup/internal/telemetry"
 )
 
 // picker answers the game's two directed best-match queries. The
@@ -83,13 +84,18 @@ type matcher struct {
 
 	counts []int  // accumulation buffer, cap ≥ max(|q.Procs|, |t.Procs|)
 	heap   []cand // bounded-selection scratch, cap ≥ k
+
+	// telemetry handles, reset per game (matchers are pooled); nil-safe.
+	telHits   *telemetry.Counter
+	telMisses *telemetry.Counter
 }
 
 var matcherPool = sync.Pool{New: func() any { return new(matcher) }}
 
 // newMatcher draws a matcher from the arena pool and readies it for one
-// game with a MaxMatches bound of k.
-func newMatcher(q, t *sim.Exe, k int) *matcher {
+// game with a MaxMatches bound of k, recording reuse metrics into tel
+// (which may be nil).
+func newMatcher(q, t *sim.Exe, k int, tel *Telemetry) *matcher {
 	m := matcherPool.Get().(*matcher)
 	m.q, m.t, m.k = q, t, k
 	m.qt = resetSpans(m.qt, len(q.Procs))
@@ -97,6 +103,10 @@ func newMatcher(q, t *sim.Exe, k int) *matcher {
 	m.slab = m.slab[:0]
 	if n := max(len(q.Procs), len(t.Procs)); cap(m.counts) < n {
 		m.counts = make([]int, n)
+	}
+	m.telHits, m.telMisses = nil, nil
+	if tel != nil {
+		m.telHits, m.telMisses = tel.MatcherHits, tel.MatcherMisses
 	}
 	return m
 }
@@ -134,7 +144,10 @@ func (m *matcher) bestInQ(ti int, excluded map[int]int) (int, int) {
 // full BestMatch scan would return.
 func (m *matcher) best(e *sim.Exe, set strand.Set, sp *span, excluded map[int]int) (int, int) {
 	if sp.n < 0 {
+		m.telMisses.Inc()
 		m.memoize(e, set, sp)
+	} else {
+		m.telHits.Inc()
 	}
 	for _, c := range m.slab[sp.off : sp.off+int32(sp.n)] {
 		if _, ok := excluded[int(c.proc)]; ok {

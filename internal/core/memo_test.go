@@ -107,7 +107,7 @@ func TestMatcherFallbackReaccumulates(t *testing.T) {
 		mkProc("t3", 1, 2),       // Sim 2
 		mkProc("t4", 1),          // Sim 1
 	})
-	m := newMatcher(q, tt, 2) // memoize only the top 2 of 4 candidates
+	m := newMatcher(q, tt, 2, nil) // memoize only the top 2 of 4 candidates
 	defer m.release()
 	excluded := map[int]int{0: 0, 1: 0} // kill the whole memoized list
 	gotP, gotS := m.bestInT(0, excluded)

@@ -118,7 +118,13 @@ type SearchResult struct {
 // steady-state search allocates per game only what escapes into its
 // Result.
 func Search(q *sim.Exe, qi int, targets []*sim.Exe, opt *SearchOptions) SearchResult {
+	tel := opt.game().tel()
 	candidates := candidateIndices(q, qi, targets, opt)
+	if tel != nil {
+		tel.Searches.Inc()
+		tel.PrefilterKept.Add(int64(len(candidates)))
+		tel.PrefilterSkipped.Add(int64(len(targets) - len(candidates)))
+	}
 	type job struct {
 		idx int
 		t   *sim.Exe
@@ -153,6 +159,9 @@ func Search(q *sim.Exe, qi int, targets []*sim.Exe, opt *SearchOptions) SearchRe
 		}
 		out.Findings = append(out.Findings, *f)
 		out.StepsHistogram[steps[i]]++
+		if tel != nil {
+			tel.AcceptedSteps.Observe(int64(steps[i]))
+		}
 	}
 	sort.Slice(out.Findings, func(i, j int) bool { return out.Findings[i].ExePath < out.Findings[j].ExePath })
 	return out
@@ -193,7 +202,13 @@ func allIndices(n int) []int {
 // threshold, returning nil when the target does not contain the query.
 func MatchOne(q *sim.Exe, qi int, t *sim.Exe, opt *SearchOptions) (*Finding, Result) {
 	r := Match(q, qi, t, opt.game())
-	return accept(q, qi, t, r, opt), r
+	f := accept(q, qi, t, r, opt)
+	if f != nil {
+		if tel := opt.game().tel(); tel != nil {
+			tel.AcceptedSteps.Observe(int64(r.Steps))
+		}
+	}
+	return f, r
 }
 
 func accept(q *sim.Exe, qi int, t *sim.Exe, r Result, opt *SearchOptions) *Finding {

@@ -18,7 +18,22 @@ import (
 
 	"firmup/internal/sim"
 	"firmup/internal/strand"
+	"firmup/internal/telemetry"
 )
+
+// Telemetry is the optional handle set candidate queries record
+// against; a nil pointer (and any nil field) disables the
+// corresponding metric. Rankings are identical with and without it.
+type Telemetry struct {
+	// Queries counts candidate-ranking queries answered from postings.
+	Queries *telemetry.Counter
+	// Fallbacks counts queries whose set was not interned under this
+	// session, forcing the caller into exhaustive examination.
+	Fallbacks *telemetry.Counter
+	// Fanout observes the number of candidate executables each answered
+	// query kept after the score floors.
+	Fanout *telemetry.Histogram
+}
 
 // Interner assigns dense uint32 IDs to 64-bit strand hashes, first come
 // first served. It is safe for concurrent use: parallel analysis of the
@@ -139,6 +154,25 @@ type Index struct {
 	// scratch pools query accumulators (see queryScratch): Candidates is
 	// on the search hot path and must not allocate per query.
 	scratch sync.Pool
+
+	// telemetry handles; the struct fields are individually nil-safe, so
+	// recording is unconditional once copied here.
+	telQueries   *telemetry.Counter
+	telFallbacks *telemetry.Counter
+	telFanout    *telemetry.Histogram
+}
+
+// SetTelemetry attaches metric handles to the index. Call it before
+// issuing queries; it is not synchronized against concurrent Candidates
+// calls.
+func (x *Index) SetTelemetry(tel *Telemetry) {
+	if tel == nil {
+		x.telQueries, x.telFallbacks, x.telFanout = nil, nil, nil
+		return
+	}
+	x.telQueries = tel.Queries
+	x.telFallbacks = tel.Fallbacks
+	x.telFanout = tel.Fanout
 }
 
 // NewIndex returns an empty index over the session's interner.
@@ -223,8 +257,11 @@ func (x *Index) Candidates(q strand.Set, minScore int, ratioFloor float64) ([]Ca
 	defer x.mu.RUnlock()
 	s, ok := x.accumulate(q, minScore, ratioFloor)
 	if !ok {
+		x.telFallbacks.Inc()
 		return nil, false
 	}
+	x.telQueries.Inc()
+	x.telFanout.Observe(int64(len(s.cands)))
 	out := append([]Candidate(nil), s.cands...)
 	x.putScratch(s)
 	return out, true
@@ -238,8 +275,11 @@ func (x *Index) CandidateIndices(q strand.Set, minScore int, ratioFloor float64,
 	defer x.mu.RUnlock()
 	s, ok := x.accumulate(q, minScore, ratioFloor)
 	if !ok {
+		x.telFallbacks.Inc()
 		return nil, false
 	}
+	x.telQueries.Inc()
+	x.telFanout.Observe(int64(len(s.cands)))
 	for _, c := range s.cands {
 		buf = append(buf, c.Exe)
 	}

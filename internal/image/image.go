@@ -45,9 +45,15 @@ func (im *Image) AddExecutable(path string, f *obj.File) {
 // path/file pairs; non-executable content (configs etc.) is skipped, as
 // are entries that fail to parse.
 func (im *Image) Executables() []ParsedExe {
+	return im.ExecutablesWith(nil)
+}
+
+// ExecutablesWith is Executables recording parse metrics into tel. The
+// parsed output is identical.
+func (im *Image) ExecutablesWith(tel *obj.Telemetry) []ParsedExe {
 	var out []ParsedExe
 	for _, fe := range im.Files {
-		f, err := obj.Read(fe.Data)
+		f, err := obj.ReadWith(fe.Data, tel)
 		if err != nil {
 			continue
 		}
@@ -184,6 +190,12 @@ func Unpack(data []byte) (*Image, error) {
 // image fails to unpack structurally (the paper reports that a large
 // fraction of crawled images had damaged or opaque containers).
 func Carve(data []byte) []*obj.File {
+	return CarveWith(data, nil)
+}
+
+// CarveWith is Carve recording parse metrics into tel. The carved
+// output is identical.
+func CarveWith(data []byte, tel *obj.Telemetry) []*obj.File {
 	var out []*obj.File
 	for off := 0; off+4 <= len(data); {
 		idx := bytes.Index(data[off:], obj.Magic[:])
@@ -191,7 +203,7 @@ func Carve(data []byte) []*obj.File {
 			break
 		}
 		pos := off + idx
-		f, err := obj.Read(data[pos:])
+		f, err := obj.ReadWith(data[pos:], tel)
 		if err == nil {
 			out = append(out, f)
 		}

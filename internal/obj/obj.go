@@ -14,6 +14,7 @@ import (
 	"io"
 
 	"firmup/internal/isa"
+	"firmup/internal/telemetry"
 	"firmup/internal/uir"
 )
 
@@ -239,6 +240,34 @@ func (f *File) Bytes() []byte {
 	var buf bytes.Buffer
 	_, _ = f.WriteTo(&buf) // writing to a bytes.Buffer cannot fail
 	return buf.Bytes()
+}
+
+// Telemetry is the optional handle set object parsing records against;
+// a nil pointer (and any nil field) disables the corresponding metric.
+type Telemetry struct {
+	// Parse times each Read call (count + wall ns).
+	Parse *telemetry.Stage
+	// Bytes counts input bytes parsed.
+	Bytes *telemetry.Counter
+	// BadClass counts files read despite a corrupted class byte.
+	BadClass *telemetry.Counter
+}
+
+// ReadWith is Read recording into tel. The parse itself is identical.
+func ReadWith(data []byte, tel *Telemetry) (*File, error) {
+	if tel == nil {
+		return Read(data)
+	}
+	sp := tel.Parse.Start()
+	f, err := Read(data)
+	sp.End()
+	if err == nil {
+		tel.Bytes.Add(int64(len(data)))
+		if f.BadClass {
+			tel.BadClass.Inc()
+		}
+	}
+	return f, err
 }
 
 // Read parses an FWELF file. A wrong class byte is tolerated and

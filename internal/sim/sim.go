@@ -18,8 +18,23 @@ import (
 	"firmup/internal/cfg"
 	"firmup/internal/isa"
 	"firmup/internal/strand"
+	"firmup/internal/telemetry"
 	"firmup/internal/uir"
 )
+
+// Telemetry is the optional handle set indexing records against; a nil
+// pointer (and any nil field) disables the corresponding metric. The
+// indexed output is identical with and without it.
+type Telemetry struct {
+	// Build times each BuildWith call end to end.
+	Build *telemetry.Stage
+	// Index times inverted-index construction (CSR or hash-map).
+	Index *telemetry.Stage
+	// Procs counts procedures indexed.
+	Procs *telemetry.Counter
+	// Extract is forwarded to the per-worker strand extractors.
+	Extract *strand.Telemetry
+}
 
 // Proc is one indexed procedure.
 type Proc struct {
@@ -77,6 +92,8 @@ type BuildConfig struct {
 	// to the serial build: procedures are assembled by index, and every
 	// per-procedure result is a pure function of the recovered input.
 	Workers int
+	// Tel, when non-nil, records indexing metrics.
+	Tel *Telemetry
 }
 
 // Build indexes a recovered executable. A non-nil interner attaches the
@@ -102,12 +119,20 @@ func BuildWith(path string, rec *cfg.Recovered, it strand.Interner, bc *BuildCon
 		entryIdx[p.Entry] = i
 	}
 	var cache *strand.BlockCache
+	var tel *Telemetry
+	var extractTel *strand.Telemetry
 	workers := 1
 	if bc != nil {
 		cache = bc.Cache
 		if bc.Workers > workers {
 			workers = bc.Workers
 		}
+		tel = bc.Tel
+	}
+	var buildSpan telemetry.Span
+	if tel != nil {
+		buildSpan = tel.Build.Start()
+		extractTel = tel.Extract
 	}
 	if workers > len(rec.Procs) {
 		workers = len(rec.Procs)
@@ -140,7 +165,7 @@ func BuildWith(path string, rec *cfg.Recovered, it strand.Interner, bc *BuildCon
 	}
 	procs := make([]*Proc, len(rec.Procs))
 	if workers <= 1 {
-		ex := strand.NewExtractor(opt, it, cache)
+		ex := strand.NewExtractorWith(opt, it, cache, extractTel)
 		for i := range rec.Procs {
 			procs[i] = buildOne(ex, i)
 		}
@@ -154,7 +179,7 @@ func BuildWith(path string, rec *cfg.Recovered, it strand.Interner, bc *BuildCon
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				ex := strand.NewExtractor(opt, it, cache)
+				ex := strand.NewExtractorWith(opt, it, cache, extractTel)
 				for {
 					i := int(cursor.Add(1)) - 1
 					if i >= len(rec.Procs) {
@@ -172,7 +197,15 @@ func BuildWith(path string, rec *cfg.Recovered, it strand.Interner, bc *BuildCon
 			e.Procs[c].CalledBy = append(e.Procs[c].CalledBy, i)
 		}
 	}
-	e.buildIndex(it)
+	if tel != nil {
+		tel.Procs.Add(int64(len(e.Procs)))
+		sp := tel.Index.Start()
+		e.buildIndex(it)
+		sp.End()
+		buildSpan.End()
+	} else {
+		e.buildIndex(it)
+	}
 	return e
 }
 

@@ -5,8 +5,24 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"firmup/internal/telemetry"
 	"firmup/internal/uir"
 )
+
+// Telemetry is the optional handle set extraction records against; a
+// nil pointer (and any nil field) disables the corresponding metric.
+// It deliberately lives outside Options: Options is hashed into the
+// block-cache context seed (contextSeed), and telemetry must never
+// influence cache keys.
+type Telemetry struct {
+	// Blocks counts blocks canonicalized (cache hits included).
+	Blocks *telemetry.Counter
+	// Computed counts blocks that ran full extraction (cache misses
+	// plus uncached extractors).
+	Computed *telemetry.Counter
+	// Strands counts canonical strands produced by full extraction.
+	Strands *telemetry.Counter
+}
 
 // blockEntry is one cached canonicalization result: everything the
 // analysis pipeline derives from a single lifted block, ready to merge
@@ -124,6 +140,12 @@ type Extractor struct {
 	accI, tmpI []uint32
 	accM, tmpM []uint32
 	blockM     []uint32
+
+	// telemetry handles, copied out of the Telemetry struct so recording
+	// is an unconditional nil-safe call.
+	telBlocks   *telemetry.Counter
+	telComputed *telemetry.Counter
+	telStrands  *telemetry.Counter
 }
 
 // NewExtractor creates an extractor for one executable's extraction
@@ -131,6 +153,12 @@ type Extractor struct {
 // a different interner than it — disables caching; extraction then
 // still runs single-pass with reused scratch.
 func NewExtractor(opt *Options, it Interner, cache *BlockCache) *Extractor {
+	return NewExtractorWith(opt, it, cache, nil)
+}
+
+// NewExtractorWith is NewExtractor recording extraction metrics into
+// tel. Extraction output (and cache keys) are identical.
+func NewExtractorWith(opt *Options, it Interner, cache *BlockCache, tel *Telemetry) *Extractor {
 	ex := &Extractor{opt: opt, it: it, sc: newExtractScratch()}
 	if cache != nil && cache.it == it {
 		ex.cache = cache
@@ -139,6 +167,11 @@ func NewExtractor(opt *Options, it Interner, cache *BlockCache) *Extractor {
 			TextLo: opt.Sections.TextLo, TextHi: opt.Sections.TextHi,
 			DataLo: opt.Sections.DataLo, DataHi: opt.Sections.DataHi,
 		}
+	}
+	if tel != nil {
+		ex.telBlocks = tel.Blocks
+		ex.telComputed = tel.Computed
+		ex.telStrands = tel.Strands
 	}
 	return ex
 }
@@ -209,6 +242,7 @@ func (ex *Extractor) Proc(blocks []*uir.Block) (Set, []uint32) {
 // block returns the canonicalization of one block, from the cache when
 // possible.
 func (ex *Extractor) block(b *uir.Block) *blockEntry {
+	ex.telBlocks.Inc()
 	if ex.cache == nil {
 		return ex.compute(b)
 	}
@@ -224,6 +258,8 @@ func (ex *Extractor) block(b *uir.Block) *blockEntry {
 func (ex *Extractor) compute(b *uir.Block) *blockEntry {
 	st := ex.sc.analyze(b, ex.opt)
 	strands := st.render(ex.opt)
+	ex.telComputed.Inc()
+	ex.telStrands.Add(int64(len(strands)))
 	e := &blockEntry{}
 	if len(strands) == 0 {
 		return e

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar name: expvar.Publish
+// panics on duplicates, and multiple debug servers (or restarts in
+// tests) may come and go within one process.
+var publishOnce sync.Once
+
+// registryHolder lets the single published expvar track whichever
+// registry the most recent ServeDebug call exposed.
+var registryHolder struct {
+	mu sync.Mutex
+	r  *Registry
+}
+
+// ServeDebug starts an HTTP server on addr exposing the standard Go
+// debugging surface for live inspection of long runs:
+//
+//	/debug/vars          expvar (includes the registry as "firmup")
+//	/debug/pprof/...     net/http/pprof profiles
+//	/debug/firmup        the registry's JSON snapshot, pretty-printed
+//
+// It returns the bound address (useful with ":0") and never blocks;
+// the server runs until the process exits. The registry may be nil —
+// the endpoints then serve empty snapshots, which still makes pprof
+// available.
+func ServeDebug(addr string, r *Registry) (string, error) {
+	registryHolder.mu.Lock()
+	registryHolder.r = r
+	registryHolder.mu.Unlock()
+	publishOnce.Do(func() {
+		expvar.Publish("firmup", expvar.Func(func() any {
+			registryHolder.mu.Lock()
+			reg := registryHolder.r
+			registryHolder.mu.Unlock()
+			return reg.Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/firmup", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		blob, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(blob, '\n'))
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}

@@ -9,6 +9,7 @@ import (
 	"firmup/internal/sim"
 	"firmup/internal/snapshot"
 	"firmup/internal/strand"
+	"firmup/internal/telemetry"
 	"firmup/internal/uir"
 )
 
@@ -24,6 +25,10 @@ var ErrSnapshotCorrupt = snapshot.ErrCorrupt
 // session's strand vocabulary (dense ID → hash) that the image's
 // per-procedure ID sets and inverted index are expressed in.
 func (a *Analyzer) SaveImage(img *Image) ([]byte, error) {
+	var saveSpan telemetry.Span
+	if a.met != nil {
+		saveSpan = a.met.snapSave.Start()
+	}
 	m := &snapshot.Image{
 		Vendor:   img.Vendor,
 		Device:   img.Device,
@@ -63,7 +68,12 @@ func (a *Analyzer) SaveImage(img *Image) ([]byte, error) {
 			m.Index[i] = snapshot.IndexRow{ID: r.ID, Posts: postsToModel(r.Posts)}
 		}
 	}
-	return snapshot.Encode(m)
+	blob, err := snapshot.Encode(m)
+	if a.met != nil && err == nil {
+		a.met.snapSaveBytes.Add(int64(len(blob)))
+		saveSpan.End()
+	}
+	return blob, err
 }
 
 func postsToModel(ps []corpusindex.Posting) []snapshot.Posting {
@@ -85,6 +95,10 @@ func postsToModel(ps []corpusindex.Posting) []snapshot.Posting {
 // error wrapping ErrSnapshotCorrupt; see OpenImageWithSnapshot for the
 // fall-back-to-analysis path.
 func (a *Analyzer) LoadImage(data []byte) (*Image, error) {
+	var loadSpan telemetry.Span
+	if a.met != nil {
+		loadSpan = a.met.snapLoad.Start()
+	}
 	m, err := snapshot.Decode(data)
 	if err != nil {
 		return nil, err
@@ -135,6 +149,11 @@ func (a *Analyzer) LoadImage(data []byte) (*Image, error) {
 				out.index.Add(e)
 			}
 		}
+		out.index.SetTelemetry(a.idxTel())
+	}
+	if a.met != nil {
+		a.met.snapLoadBytes.Add(int64(len(data)))
+		loadSpan.End()
 	}
 	return out, nil
 }

@@ -1,0 +1,159 @@
+package firmup_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"firmup"
+	"firmup/internal/telemetry"
+)
+
+// Telemetry must be pure observation: the analyzed procedures, strand
+// sets, markers and findings of a session recording into a registry are
+// byte-identical to a silent session's, in every analyzer configuration.
+func TestTelemetryEquivalence(t *testing.T) {
+	imgBytes, queryBytes, _ := buildScenario(t)
+	base, _ := analyzeScenario(t, imgBytes, queryBytes, nil)
+	for _, opt := range []*firmup.AnalyzerOptions{
+		{Telemetry: telemetry.New()},
+		{Telemetry: telemetry.New(), Workers: 8},
+		{Telemetry: telemetry.New(), DisableBlockCache: true},
+		{Telemetry: telemetry.New(), DisableIndex: true},
+	} {
+		got, _ := analyzeScenario(t, imgBytes, queryBytes, opt)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("analysis with telemetry under %+v diverged from silent baseline", *opt)
+		}
+	}
+	if len(base.Findings) == 0 {
+		t.Error("equivalence check matched nothing; scenario is vacuous")
+	}
+}
+
+// A full open → search → match flow against a live registry must leave
+// the pipeline's stage timers, counters and histograms populated, and
+// Metrics() must expose them.
+func TestAnalyzerMetrics(t *testing.T) {
+	imgBytes, queryBytes, _ := buildScenario(t)
+	reg := telemetry.New()
+	a := firmup.NewAnalyzer(&firmup.AnalyzerOptions{Telemetry: reg})
+	img, err := a.OpenImage(imgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := a.LoadQueryExecutable(queryBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.SearchImageDetailed(q, "ftp_retrieve_glob", img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("search matched nothing; scenario is vacuous")
+	}
+	snap := a.Metrics()
+	if snap.Schema != telemetry.SchemaVersion {
+		t.Errorf("snapshot schema = %d, want %d", snap.Schema, telemetry.SchemaVersion)
+	}
+	for _, stage := range []string{"image.open", "image.unpack", "obj.parse", "cfg.recover", "cfg.sweep", "cfg.lift", "sim.build", "sim.index", "search.image"} {
+		if snap.Stages[stage].Calls == 0 {
+			t.Errorf("stage %q recorded no calls", stage)
+		}
+	}
+	for _, counter := range []string{"obj.bytes", "cfg.procs", "cfg.blocks", "cfg.insts", "sim.procs", "strand.blocks", "strand.strands", "game.played", "search.runs", "exe.analyzed"} {
+		if snap.Counters[counter] == 0 {
+			t.Errorf("counter %q is zero", counter)
+		}
+	}
+	steps := snap.Histograms["game.steps"]
+	if steps.Count == 0 || len(steps.Buckets) == 0 {
+		t.Errorf("game.steps histogram is empty: %+v", steps)
+	}
+	accepted := snap.Histograms["game.steps.accepted"]
+	if accepted.Count != int64(len(res.Findings)) {
+		t.Errorf("game.steps.accepted count = %d, want %d accepted findings", accepted.Count, len(res.Findings))
+	}
+	if got, want := snap.Gauges["corpus.unique_strands"], int64(a.UniqueStrands()); got != want {
+		t.Errorf("corpus.unique_strands gauge = %d, want %d", got, want)
+	}
+	cs := a.CacheStats()
+	if got := snap.Gauges["strand.cache.blocks"]; got != cs.Blocks {
+		t.Errorf("strand.cache.blocks gauge = %d, want %d", got, cs.Blocks)
+	}
+	// The snapshot must survive a JSON round trip unchanged — it is the
+	// -report payload.
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back telemetry.Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, snap) {
+		t.Error("snapshot changed across a JSON round trip")
+	}
+}
+
+// MatchProcedureTraced must agree with the untraced match and produce a
+// JSON-round-trippable game course consistent with the finding.
+func TestMatchProcedureTraced(t *testing.T) {
+	imgBytes, queryBytes, _ := buildScenario(t)
+	a := firmup.NewAnalyzer(nil)
+	img, err := a.OpenImage(imgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := a.LoadQueryExecutable(queryBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.SearchImageDetailed(q, "ftp_retrieve_glob", img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("search matched nothing; scenario is vacuous")
+	}
+	f := res.Findings[0]
+	target := img.Executable(f.ExePath)
+	if target == nil {
+		t.Fatalf("image has no executable %q", f.ExePath)
+	}
+	plain, steps, err := a.MatchProcedure(q, "ftp_retrieve_glob", target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, gt, err := a.MatchProcedureTraced(q, "ftp_retrieve_glob", target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Errorf("traced finding %+v differs from untraced %+v", traced, plain)
+	}
+	if gt.Steps != steps {
+		t.Errorf("trace steps = %d, untraced steps = %d", gt.Steps, steps)
+	}
+	if traced == nil {
+		t.Fatal("matched finding from the search did not re-match one-on-one")
+	}
+	if gt.Reason != "matched" || gt.Target < 0 {
+		t.Errorf("accepted match traced as reason=%q target=%d", gt.Reason, gt.Target)
+	}
+	if len(gt.Trace) == 0 {
+		t.Error("recorded game course is empty")
+	}
+	blob, err := json.Marshal(gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back firmup.GameTrace
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, gt) {
+		t.Error("game trace changed across a JSON round trip")
+	}
+}
