@@ -1,0 +1,129 @@
+// Command firmupd is the long-running FirmUp query daemon: it loads a
+// sealed corpus artifact (produced by fwcrawl -sealed or
+// SealedCorpus.Save) at startup and serves CVE-search queries over
+// HTTP.
+//
+//	firmupd -corpus corpus.fwcorp -addr :8080
+//
+// Query it by POSTing a query executable (an FWELF binary, typically
+// compiled from the vulnerable package version) with the procedure to
+// look for:
+//
+//	curl -s -X POST --data-binary @CVE-2014-4877_wget_mips32.felf \
+//	    'http://localhost:8080/search?proc=ftp_retrieve_glob'
+//
+// Endpoints: POST /search (findings JSON), GET /healthz, GET /corpus,
+// GET /metrics, and — when -allow-swap is set — POST /swap?path=... to
+// hot-swap the serving corpus without dropping in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"firmup"
+	"firmup/internal/serve"
+	"firmup/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8080", "listen address")
+		corpusPath      = flag.String("corpus", "", "sealed corpus artifact to serve (required)")
+		maxInFlight     = flag.Int("max-inflight", 0, "max concurrently admitted searches (0 = 2x GOMAXPROCS)")
+		retryAfter      = flag.Int("retry-after", 1, "Retry-After seconds sent with 429 responses")
+		queryWorkers    = flag.Int("query-workers", 0, "per-request query-analysis worker budget (0 = GOMAXPROCS)")
+		searchWorkers   = flag.Int("search-workers", 0, "per-request search worker budget (0 = GOMAXPROCS)")
+		allowSwap       = flag.Bool("allow-swap", false, "enable POST /swap?path=... corpus hot-swap")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown grace period")
+	)
+	flag.Parse()
+	if *corpusPath == "" {
+		fmt.Fprintln(os.Stderr, "firmupd: -corpus is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cs, err := loadCorpus(*corpusPath)
+	if err != nil {
+		log.Fatalf("firmupd: %v", err)
+	}
+	log.Printf("firmupd: loaded %s: %d images, %d executables, %d unique strands",
+		cs.Name, len(cs.Sealed.Images()), cs.Sealed.Executables(), cs.Sealed.UniqueStrands())
+
+	reg := telemetry.New()
+	srv := serve.New(cs, &serve.Config{
+		MaxInFlight:   *maxInFlight,
+		RetryAfter:    *retryAfter,
+		QueryWorkers:  *queryWorkers,
+		SearchWorkers: *searchWorkers,
+		Registry:      reg,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *allowSwap {
+		mux.HandleFunc("/swap", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST /swap?path=<artifact>", http.StatusMethodNotAllowed)
+				return
+			}
+			path := r.URL.Query().Get("path")
+			if path == "" {
+				http.Error(w, "missing required query parameter: path", http.StatusBadRequest)
+				return
+			}
+			next, err := loadCorpus(path)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			prev := srv.Swap(next)
+			log.Printf("firmupd: swapped corpus %s -> %s", prev.Name, next.Name)
+			fmt.Fprintf(w, "swapped %s -> %s\n", prev.Name, next.Name)
+		})
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("firmupd: serving on %s", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("firmupd: %v", err)
+	case sig := <-sigCh:
+		log.Printf("firmupd: %s: draining in-flight requests", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Fatalf("firmupd: shutdown: %v", err)
+		}
+	}
+}
+
+// loadCorpus reads and decodes one sealed corpus artifact.
+func loadCorpus(path string) (*serve.Corpus, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := firmup.LoadSealedCorpus(data)
+	if err != nil {
+		if errors.Is(err, firmup.ErrSnapshotCorrupt) {
+			return nil, fmt.Errorf("%s: corrupt sealed corpus: %w", path, err)
+		}
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &serve.Corpus{Name: path, Sealed: sc, LoadedAt: time.Now()}, nil
+}

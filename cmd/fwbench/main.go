@@ -9,13 +9,22 @@
 //	fwbench -exp game -json     # memoized vs reference engine, BENCH_game.json
 //	fwbench -exp analyze -json  # cached vs uncached analysis, BENCH_analyze.json
 //	fwbench -exp telemetry -json  # metrics enabled vs disabled, BENCH_telemetry.json
+//	fwbench -exp serve -json    # firmupd load benchmark, BENCH_serve.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -27,20 +36,21 @@ import (
 	_ "firmup/internal/isa/mips"
 	_ "firmup/internal/isa/ppc"
 	_ "firmup/internal/isa/x86"
+	"firmup/internal/serve"
 	"firmup/internal/sim"
 	"firmup/internal/telemetry"
 	"firmup/internal/uir"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, game, analyze, telemetry, all")
+	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, game, analyze, telemetry, serve, all")
 	scale := flag.String("scale", "default", "corpus scale: default or eval")
-	jsonOut := flag.Bool("json", false, "write machine-readable results of the game/analyze/telemetry experiments to BENCH_game.json / BENCH_analyze.json / BENCH_telemetry.json")
+	jsonOut := flag.Bool("json", false, "write machine-readable results of the game/analyze/telemetry/serve experiments to BENCH_game.json / BENCH_analyze.json / BENCH_telemetry.json / BENCH_serve.json")
 	flag.Parse()
 
 	valid := map[string]bool{"all": true, "table2": true, "fig6": true, "fig8": true,
 		"fig9": true, "ablation": true, "fig5": true, "table1": true, "demo": true,
-		"snapshot": true, "game": true, "analyze": true, "telemetry": true}
+		"snapshot": true, "game": true, "analyze": true, "telemetry": true, "serve": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "fwbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -128,6 +138,176 @@ func main() {
 	}
 	if want("telemetry") {
 		telemetryBench(env, *scale, *jsonOut)
+	}
+	if want("serve") {
+		serveBench(env, *scale, *jsonOut)
+	}
+}
+
+// serveBenchReport is the schema of BENCH_serve.json.
+type serveBenchReport struct {
+	Generated     string `json:"generated"`
+	Scale         string `json:"scale"`
+	Images        int    `json:"images"`
+	Executables   int    `json:"executables"`
+	UniqueStrands int    `json:"unique_strands"`
+	// Clients is the number of concurrent load generators; Requests the
+	// total completed 200s across them.
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+	Failures int `json:"failures"`
+	// Rejected counts 429 admission-control sheds (0 at this in-flight
+	// budget; the bench verifies the budget holds under its own load).
+	Rejected int64 `json:"rejected_429"`
+	// Swaps is the number of corpus hot-swaps performed mid-load.
+	Swaps     int64   `json:"swaps"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	QPS       float64 `json:"qps"`
+	// P50MS/P99MS are exact client-observed latency percentiles from the
+	// full sorted sample set (not bucket estimates).
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// ServerP50US/ServerP99US are the server-side serve.latency_us
+	// histogram quantiles (bucket-interpolated).
+	ServerP50US int64 `json:"server_p50_us"`
+	ServerP99US int64 `json:"server_p99_us"`
+}
+
+// serveBench load-tests the firmupd serving path end to end: the corpus
+// is sealed once, a serve.Server fronts it over real HTTP, and
+// concurrent clients replay the wget CVE query while the corpus is
+// hot-swapped mid-run. Reported latency includes query analysis, the
+// corpus-wide search and JSON encoding — the full request cost a
+// firmupd deployment would observe.
+func serveBench(env *eval.Env, scale string, jsonOut bool) {
+	fmt.Println("=== serve: sealed-corpus query daemon under load ===")
+	a := firmup.NewAnalyzer(nil)
+	var imgs []*firmup.Image
+	for _, bi := range env.Corpus.Images {
+		img, err := a.OpenImage(bi.Image.Pack(true))
+		if err != nil {
+			fatal(err)
+		}
+		imgs = append(imgs, img)
+	}
+	sealed, err := a.Seal(imgs...)
+	if err != nil {
+		fatal(err)
+	}
+	_, qf, err := corpus.QueryExe("wget", "1.15", uir.ArchMIPS32)
+	if err != nil {
+		fatal(err)
+	}
+	query := qf.Bytes()
+
+	reg := telemetry.New()
+	mk := func(name string) *serve.Corpus {
+		return &serve.Corpus{Name: name, Sealed: sealed, LoadedAt: time.Now()}
+	}
+	srv := serve.New(mk("bench-a"), &serve.Config{MaxInFlight: 64, Registry: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	clients := runtime.GOMAXPROCS(0)
+	if clients > 8 {
+		clients = 8
+	}
+	if clients < 2 {
+		clients = 2
+	}
+	perClient := 200 / clients
+	lat := make([][]time.Duration, clients)
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				s0 := time.Now()
+				resp, err := http.Post(ts.URL+"/search?proc=ftp_retrieve_glob", "application/octet-stream", bytes.NewReader(query))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				lat[c] = append(lat[c], time.Since(s0))
+			}
+		}(c)
+	}
+	// Hot-swap mid-load: in-flight requests must finish against the
+	// corpus they were admitted under (any failure counts above).
+	reqs := reg.Counter("serve.requests")
+	for reqs.Value() < int64(clients*perClient/2) {
+		time.Sleep(time.Millisecond)
+	}
+	srv.Swap(mk("bench-b"))
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var samples []time.Duration
+	for _, l := range lat {
+		samples = append(samples, l...)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(q float64) time.Duration {
+		if len(samples) == 0 {
+			return 0
+		}
+		i := int(q*float64(len(samples))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i]
+	}
+	snap := reg.Snapshot()
+	h := snap.Histograms["serve.latency_us"]
+	rep := serveBenchReport{
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		Scale:         scale,
+		Images:        len(sealed.Images()),
+		Executables:   sealed.Executables(),
+		UniqueStrands: sealed.UniqueStrands(),
+		Clients:       clients,
+		Requests:      len(samples),
+		Failures:      int(failures.Load()),
+		Rejected:      snap.Counters["serve.rejected"],
+		Swaps:         snap.Counters["serve.swaps"],
+		ElapsedMS:     float64(elapsed) / float64(time.Millisecond),
+		QPS:           float64(len(samples)) / elapsed.Seconds(),
+		P50MS:         float64(pct(0.50)) / float64(time.Millisecond),
+		P99MS:         float64(pct(0.99)) / float64(time.Millisecond),
+		ServerP50US:   h.P50,
+		ServerP99US:   h.P99,
+	}
+	fmt.Printf("  corpus: %d images, %d executables, %d unique strands (sealed)\n",
+		rep.Images, rep.Executables, rep.UniqueStrands)
+	fmt.Printf("  load:   %d clients x %d requests, 1 hot-swap mid-run\n", clients, perClient)
+	fmt.Printf("  done:   %d ok, %d failed, %d rejected in %.0f ms  ->  %.1f qps\n",
+		rep.Requests, rep.Failures, rep.Rejected, rep.ElapsedMS, rep.QPS)
+	fmt.Printf("  latency: client p50 %.2f ms, p99 %.2f ms; server p50 %d us, p99 %d us\n\n",
+		rep.P50MS, rep.P99MS, rep.ServerP50US, rep.ServerP99US)
+	if rep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "fwbench: serve: %d requests failed under hot-swap load\n", rep.Failures)
+	}
+	if jsonOut {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_serve.json", append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote BENCH_serve.json")
 	}
 }
 

@@ -29,6 +29,7 @@ func main() {
 	scale := flag.String("scale", "default", "corpus scale: default or eval")
 	compress := flag.Bool("compress", true, "zlib-compress images")
 	snap := flag.Bool("snapshot", false, "analyze each image and write a <name>.fwsnap sidecar snapshot")
+	sealed := flag.Bool("sealed", false, "analyze every image under one shared session and write a sealed corpus.fwcorp artifact for firmupd")
 	reportPath := flag.String("report", "", "write a structured JSON run report (stage timings, counters) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -62,12 +63,40 @@ func main() {
 	}
 	var manifest strings.Builder
 	var snapStats firmup.CacheStats
+	// Sealed-corpus mode shares one session across every image so the
+	// artifact carries a single frozen vocabulary.
+	var sealSession *firmup.Analyzer
+	var sealImgs []*firmup.Image
+	if *sealed {
+		sealSession = firmup.NewAnalyzer(&firmup.AnalyzerOptions{Telemetry: reg})
+	}
+	// Skipped executables thin the corpus; they are reported per image
+	// and, at the end, fail the crawl loudly instead of silently.
+	skippedExes, skippedImages := 0, 0
+	noteSkips := func(name string, img *firmup.Image) {
+		if len(img.Skipped) == 0 {
+			return
+		}
+		skippedImages++
+		skippedExes += len(img.Skipped)
+		for _, s := range img.Skipped {
+			fmt.Fprintf(os.Stderr, "fwcrawl: %s: skipped %s: %v\n", name, s.Path, s.Err)
+		}
+	}
 	for _, bi := range c.Images {
 		name := fmt.Sprintf("%s_%s_%s.fwim", bi.Vendor, bi.Device, bi.FwVersion)
 		name = strings.ReplaceAll(name, "/", "-")
 		data := bi.Image.Pack(*compress)
 		if err := os.WriteFile(filepath.Join(*out, name), data, 0o644); err != nil {
 			fatal(err)
+		}
+		if *sealed {
+			img, err := sealSession.OpenImage(data)
+			if err != nil {
+				fatal(fmt.Errorf("seal %s: %w", name, err))
+			}
+			sealImgs = append(sealImgs, img)
+			noteSkips(name, img)
 		}
 		if *snap {
 			// Each sidecar gets its own analyzer session so the embedded
@@ -76,6 +105,11 @@ func main() {
 			img, err := a.OpenImage(data)
 			if err != nil {
 				fatal(fmt.Errorf("snapshot %s: %w", name, err))
+			}
+			if !*sealed {
+				// The sealed pass already reported this image's skips; the
+				// same data analyzes to the same skip set.
+				noteSkips(name, img)
 			}
 			blob, err := a.SaveImage(img)
 			if err != nil {
@@ -97,6 +131,22 @@ func main() {
 	}
 	if err := os.WriteFile(filepath.Join(*out, "MANIFEST.txt"), []byte(manifest.String()), 0o644); err != nil {
 		fatal(err)
+	}
+	if *sealed {
+		scorp, err := sealSession.Seal(sealImgs...)
+		if err != nil {
+			fatal(err)
+		}
+		blob, err := scorp.Save()
+		if err != nil {
+			fatal(err)
+		}
+		sealPath := filepath.Join(*out, "corpus.fwcorp")
+		if err := os.WriteFile(sealPath, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sealed %d images (%d executables, %d unique strands, %d bytes) into %s\n",
+			len(scorp.Images()), scorp.Executables(), scorp.UniqueStrands(), len(blob), sealPath)
 	}
 	// Emit the analyst-side query executables for every registry CVE, one
 	// per architecture (the paper compiles queries with gcc 5.2 -O2).
@@ -131,6 +181,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote run report to %s\n", *reportPath)
+	}
+	// A skipped executable means the written corpus is thinner than the
+	// built one: fail loudly so build pipelines notice instead of serving
+	// an incomplete corpus.
+	if skippedExes > 0 {
+		fmt.Fprintf(os.Stderr, "fwcrawl: FAILED: %d executables skipped across %d images; corpus is incomplete\n",
+			skippedExes, skippedImages)
+		os.Exit(1)
 	}
 }
 

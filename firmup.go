@@ -568,22 +568,23 @@ func (o *Options) search() *core.SearchOptions {
 	return s
 }
 
-// Finding reports one detection of the query procedure.
+// Finding reports one detection of the query procedure. The JSON field
+// names are part of the firmupd response schema.
 type Finding struct {
 	// ExePath locates the containing executable within the image.
-	ExePath string
+	ExePath string `json:"exe_path"`
 	// ProcName is the matched procedure's recovered name (sub_<addr> in
 	// stripped binaries).
-	ProcName string
+	ProcName string `json:"proc_name"`
 	// ProcAddr is its entry address — the "exact location" the paper's
 	// stripped-search findings provide.
-	ProcAddr uint32
+	ProcAddr uint32 `json:"proc_addr"`
 	// Score is Sim(query, match): the number of shared canonical strands.
-	Score int
+	Score int `json:"score"`
 	// Confidence is Score over the query's strand count.
-	Confidence float64
+	Confidence float64 `json:"confidence"`
 	// GameSteps is the number of back-and-forth iterations needed.
-	GameSteps int
+	GameSteps int `json:"game_steps"`
 }
 
 // SearchResult pairs an image search's findings with its accounting.
@@ -731,6 +732,11 @@ func (a *Analyzer) MatchProcedureTraced(query *Executable, procedure string, tar
 	if err != nil {
 		return nil, nil, err
 	}
+	return f, traceFromResult(r), nil
+}
+
+// traceFromResult converts a game result into its JSON-encodable trace.
+func traceFromResult(r core.Result) *GameTrace {
 	gt := &GameTrace{
 		Target:       r.Target,
 		Score:        r.Score,
@@ -741,18 +747,24 @@ func (a *Analyzer) MatchProcedureTraced(query *Executable, procedure string, tar
 	for _, ts := range r.Trace {
 		gt.Trace = append(gt.Trace, TraceStep{Actor: ts.Actor, Text: ts.Text, Matches: ts.Matches})
 	}
-	return f, gt, nil
+	return gt
 }
 
 // matchTraced is the shared MatchProcedure body; recordTrace selects
 // whether the game course is captured.
 func (a *Analyzer) matchTraced(query *Executable, procedure string, target *Executable, opt *Options, recordTrace bool) (*Finding, core.Result, error) {
+	return matchTracedCore(a.coreTel(), query, procedure, target, opt, recordTrace)
+}
+
+// matchTracedCore is the session-independent MatchProcedure body shared
+// by the live Analyzer and SealedCorpus paths; tel may be nil.
+func matchTracedCore(tel *core.Telemetry, query *Executable, procedure string, target *Executable, opt *Options, recordTrace bool) (*Finding, core.Result, error) {
 	qi := query.exe.ProcByName(procedure)
 	if qi < 0 {
 		return nil, core.Result{}, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
 	}
 	s := opt.search()
-	s.Game.Tel = a.coreTel()
+	s.Game.Tel = tel
 	s.Game.RecordTrace = recordTrace
 	f, r := core.MatchOne(query.exe, qi, target.exe, s)
 	if f == nil {

@@ -333,7 +333,7 @@ func (x *Index) putScratch(s *queryScratch) {
 // the returned scratch until putScratch. Callers hold at least a read
 // lock.
 func (x *Index) accumulate(q strand.Set, minScore int, ratioFloor float64) (*queryScratch, bool) {
-	if q.It != strand.Interner(x.it) {
+	if !strand.Compatible(q.It, x.it) {
 		return nil, false
 	}
 	s := x.getScratch()

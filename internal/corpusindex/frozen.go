@@ -1,0 +1,387 @@
+package corpusindex
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"firmup/internal/sim"
+	"firmup/internal/strand"
+	"firmup/internal/telemetry"
+)
+
+// Frozen is the sealed, immutable form of an analyzer session's
+// interner: a closed strand vocabulary with lock-free lookups. Nothing
+// mutates a Frozen after construction, so any number of concurrent
+// readers share one instance without synchronization.
+//
+// A Frozen still implements strand.Interner so sealed executables can
+// carry it as their session binding, but its vocabulary is closed:
+// Intern of a hash outside the vocabulary panics, because assigning a
+// fresh ID would require mutation. Query analysis against a sealed
+// corpus must therefore run under a per-request QueryInterner overlay,
+// never under the Frozen itself.
+type Frozen struct {
+	vocab []uint64          // dense ID -> hash
+	ids   map[uint64]uint32 // hash -> dense ID, never written after construction
+}
+
+// Freeze seals the interner's current vocabulary into an immutable
+// Frozen. The live interner keeps working afterwards; IDs it assigns
+// from then on are outside the frozen vocabulary.
+func (it *Interner) Freeze() *Frozen {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	f := &Frozen{
+		vocab: make([]uint64, len(it.ids)),
+		ids:   make(map[uint64]uint32, len(it.ids)),
+	}
+	for h, id := range it.ids {
+		f.vocab[id] = h
+		f.ids[h] = id
+	}
+	return f
+}
+
+// FrozenFromVocab reconstructs a Frozen from a serialized vocabulary
+// (dense ID → hash, as persisted by a sealed-corpus artifact). A
+// vocabulary with duplicate hashes is rejected: it cannot have been
+// produced by an interner and would make lookups ambiguous.
+func FrozenFromVocab(vocab []uint64) (*Frozen, error) {
+	f := &Frozen{
+		vocab: slices.Clone(vocab),
+		ids:   make(map[uint64]uint32, len(vocab)),
+	}
+	for id, h := range f.vocab {
+		if _, dup := f.ids[h]; dup {
+			return nil, fmt.Errorf("corpusindex: frozen vocabulary has duplicate hash %#x", h)
+		}
+		f.ids[h] = uint32(id)
+	}
+	return f, nil
+}
+
+// Size reports the vocabulary size.
+func (f *Frozen) Size() int { return len(f.vocab) }
+
+// Vocab returns the vocabulary ordered by dense ID. The slice is the
+// Frozen's own storage: callers must treat it as read-only.
+func (f *Frozen) Vocab() []uint64 { return f.vocab }
+
+// Lookup returns the dense ID of h and whether h is in the vocabulary.
+// It performs no locking and no allocation.
+func (f *Frozen) Lookup(h uint64) (uint32, bool) {
+	id, ok := f.ids[h]
+	return id, ok
+}
+
+// Intern returns the dense ID of a vocabulary hash. It panics on a hash
+// outside the closed vocabulary — a sealed corpus cannot grow; route
+// query analysis through NewQueryInterner instead.
+func (f *Frozen) Intern(h uint64) uint32 {
+	id, ok := f.ids[h]
+	if !ok {
+		panic(fmt.Sprintf("corpusindex: Intern(%#x) on a frozen interner: the sealed vocabulary is closed; analyze queries under a QueryInterner overlay", h))
+	}
+	return id
+}
+
+// InternAll is the bulk form of Intern, with the same closed-vocabulary
+// contract.
+func (f *Frozen) InternAll(hashes []uint64, out []uint32) []uint32 {
+	for _, h := range hashes {
+		out = append(out, f.Intern(h))
+	}
+	return out
+}
+
+// QueryInterner is the per-request overlay a sealed corpus analyzes
+// query executables under: hashes in the frozen vocabulary resolve to
+// their frozen IDs (lock-free), and hashes the corpus has never seen
+// get private IDs starting at the frozen vocabulary size, stored in
+// request-local state. Private IDs therefore never collide with any ID
+// a sealed posting list or CSR row can contain, which is what makes a
+// query set interned here directly comparable with sealed sets (see
+// strand.Compatible).
+//
+// A QueryInterner is safe for the concurrent procedure-level workers of
+// one query build; it is not meant to be shared across requests.
+type QueryInterner struct {
+	base *Frozen
+
+	mu    sync.Mutex
+	extra map[uint64]uint32 // hashes outside the frozen vocabulary
+}
+
+// NewQueryInterner returns an overlay over the frozen vocabulary.
+func NewQueryInterner(base *Frozen) *QueryInterner {
+	return &QueryInterner{base: base, extra: map[uint64]uint32{}}
+}
+
+// BaseInterner implements strand.Rebased.
+func (q *QueryInterner) BaseInterner() strand.Interner { return q.base }
+
+// Novel reports how many strand hashes outside the frozen vocabulary
+// the overlay has assigned private IDs so far.
+func (q *QueryInterner) Novel() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.extra)
+}
+
+// Intern returns the frozen ID for vocabulary hashes and a request-local
+// private ID (≥ the frozen vocabulary size) otherwise.
+func (q *QueryInterner) Intern(h uint64) uint32 {
+	if id, ok := q.base.ids[h]; ok {
+		return id
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	id, ok := q.extra[h]
+	if !ok {
+		id = uint32(len(q.base.vocab) + len(q.extra))
+		q.extra[h] = id
+	}
+	return id
+}
+
+// InternAll appends the IDs of hashes to out in input order, touching
+// the overlay lock only for hashes outside the frozen vocabulary.
+func (q *QueryInterner) InternAll(hashes []uint64, out []uint32) []uint32 {
+	for _, h := range hashes {
+		if id, ok := q.base.ids[h]; ok {
+			out = append(out, id)
+			continue
+		}
+		out = append(out, q.Intern(h))
+	}
+	return out
+}
+
+// FrozenIndex is the sealed, read-only form of a corpus-level inverted
+// index: the posting lists of an Index flattened into one CSR slab over
+// a Frozen vocabulary. It answers the same candidate-ranking queries as
+// Index — with the identical ranking and the identical soundness
+// contract — but holds no lock and supports no mutation, so unlimited
+// concurrent readers share it freely. The only shared structure the
+// query path touches is a sync.Pool of scratch accumulators, which is
+// race-safe by construction and carries no corpus state between
+// queries.
+type FrozenIndex struct {
+	it   *Frozen
+	exes []*sim.Exe
+	// CSR postings: posts[rowStart[id]:rowStart[id+1]] lists the
+	// (executable, procedure) postings of dense strand ID id.
+	rowStart []int32
+	posts    []Posting
+	// procOff are prefix sums of per-executable procedure counts, as in
+	// Index.
+	procOff []int32
+	// extra lists executables with no postings under the frozen
+	// vocabulary (not sealed under it); they are always candidates, as in
+	// Index.Candidates.
+	extra []int
+
+	scratch sync.Pool
+
+	telQueries   *telemetry.Counter
+	telFallbacks *telemetry.Counter
+	telFanout    *telemetry.Histogram
+}
+
+// NewFrozenIndex builds a sealed index over the frozen vocabulary from
+// serialized rows (Index.Rows or a decoded artifact) and the sealed
+// executables in their original insertion order. Posting data is copied
+// into the index's own flat slab, so the result shares no mutable state
+// with its source. Rows must be ordered by strictly increasing ID
+// within the vocabulary; violations are rejected.
+func NewFrozenIndex(it *Frozen, exes []*sim.Exe, rows []Row) (*FrozenIndex, error) {
+	x := &FrozenIndex{it: it, exes: exes}
+	x.procOff = make([]int32, len(exes)+1)
+	for i, e := range exes {
+		x.procOff[i+1] = x.procOff[i] + int32(len(e.Procs))
+		if len(e.Procs) > 0 && !strand.Compatible(e.Procs[0].Set.It, it) {
+			x.extra = append(x.extra, i)
+		}
+	}
+	total := 0
+	for _, r := range rows {
+		total += len(r.Posts)
+	}
+	x.rowStart = make([]int32, len(it.vocab)+1)
+	x.posts = make([]Posting, 0, total)
+	next := uint32(0)
+	for ri, r := range rows {
+		if ri > 0 && r.ID <= rows[ri-1].ID {
+			return nil, fmt.Errorf("corpusindex: frozen index rows not strictly increasing at row %d", ri)
+		}
+		if int(r.ID) >= len(it.vocab) {
+			return nil, fmt.Errorf("corpusindex: frozen index row ID %d outside the %d-entry vocabulary", r.ID, len(it.vocab))
+		}
+		for ; next <= r.ID; next++ {
+			x.rowStart[next] = int32(len(x.posts))
+		}
+		for _, p := range r.Posts {
+			if int(p.Exe) >= len(exes) || p.Exe < 0 {
+				return nil, fmt.Errorf("corpusindex: frozen index posting references executable %d of %d", p.Exe, len(exes))
+			}
+			if int(p.Proc) >= len(exes[p.Exe].Procs) || p.Proc < 0 {
+				return nil, fmt.Errorf("corpusindex: frozen index posting references procedure %d of %d", p.Proc, len(exes[p.Exe].Procs))
+			}
+		}
+		x.posts = append(x.posts, r.Posts...)
+	}
+	for ; int(next) <= len(it.vocab); next++ {
+		x.rowStart[next] = int32(len(x.posts))
+	}
+	return x, nil
+}
+
+// SetTelemetry attaches metric handles. Call it before serving queries;
+// it is not synchronized against concurrent Candidates calls.
+func (x *FrozenIndex) SetTelemetry(tel *Telemetry) {
+	if tel == nil {
+		x.telQueries, x.telFallbacks, x.telFanout = nil, nil, nil
+		return
+	}
+	x.telQueries = tel.Queries
+	x.telFallbacks = tel.Fallbacks
+	x.telFanout = tel.Fanout
+}
+
+// Interner returns the frozen vocabulary the index is keyed by.
+func (x *FrozenIndex) Interner() *Frozen { return x.it }
+
+// Len reports the number of indexed executables.
+func (x *FrozenIndex) Len() int { return len(x.exes) }
+
+// Postings reports the total number of (strand, executable, procedure)
+// postings held.
+func (x *FrozenIndex) Postings() int { return len(x.posts) }
+
+// Rows returns the index's non-empty posting rows ordered by strictly
+// increasing dense strand ID — the serialized form a sealed-corpus
+// artifact persists. Posting slices alias the index's slab; callers
+// must treat them as read-only.
+func (x *FrozenIndex) Rows() []Row {
+	var out []Row
+	for id := 0; id < len(x.rowStart)-1; id++ {
+		if x.rowStart[id] < x.rowStart[id+1] {
+			out = append(out, Row{ID: uint32(id), Posts: x.posts[x.rowStart[id]:x.rowStart[id+1]]})
+		}
+	}
+	return out
+}
+
+// Candidates is Index.Candidates over the sealed postings: identical
+// ranking, identical soundness, no locks.
+func (x *FrozenIndex) Candidates(q strand.Set, minScore int, ratioFloor float64) ([]Candidate, bool) {
+	s, ok := x.accumulate(q, minScore, ratioFloor)
+	if !ok {
+		x.telFallbacks.Inc()
+		return nil, false
+	}
+	x.telQueries.Inc()
+	x.telFanout.Observe(int64(len(s.cands)))
+	out := append([]Candidate(nil), s.cands...)
+	x.putScratch(s)
+	return out, true
+}
+
+// CandidateIndices is Index.CandidateIndices over the sealed postings.
+func (x *FrozenIndex) CandidateIndices(q strand.Set, minScore int, ratioFloor float64, buf []int) ([]int, bool) {
+	s, ok := x.accumulate(q, minScore, ratioFloor)
+	if !ok {
+		x.telFallbacks.Inc()
+		return nil, false
+	}
+	x.telQueries.Inc()
+	x.telFanout.Observe(int64(len(s.cands)))
+	for _, c := range s.cands {
+		buf = append(buf, c.Exe)
+	}
+	x.putScratch(s)
+	return buf, true
+}
+
+func (x *FrozenIndex) getScratch() *queryScratch {
+	s, _ := x.scratch.Get().(*queryScratch)
+	if s == nil {
+		s = &queryScratch{}
+	}
+	if total := int(x.procOff[len(x.exes)]); len(s.counts) < total {
+		s.counts = make([]int32, total)
+	}
+	if len(s.maxSim) < len(x.exes) {
+		s.maxSim = make([]int32, len(x.exes))
+	}
+	return s
+}
+
+func (x *FrozenIndex) putScratch(s *queryScratch) {
+	for _, di := range s.touched {
+		s.counts[di] = 0
+	}
+	for _, ei := range s.exes {
+		s.maxSim[ei] = 0
+	}
+	s.touched = s.touched[:0]
+	s.exes = s.exes[:0]
+	s.cands = s.cands[:0]
+	x.scratch.Put(s)
+}
+
+// accumulate mirrors Index.accumulate over the CSR slab. Query sets
+// must be interned under the frozen vocabulary or an overlay of it
+// (strand.Compatible); overlay-private IDs lie above the vocabulary and
+// fall out of the bounds check, exactly like a live session's
+// posting-free fresh IDs.
+func (x *FrozenIndex) accumulate(q strand.Set, minScore int, ratioFloor float64) (*queryScratch, bool) {
+	if !strand.Compatible(q.It, x.it) {
+		return nil, false
+	}
+	s := x.getScratch()
+	for _, id := range q.IDs {
+		if int(id) >= len(x.rowStart)-1 {
+			continue
+		}
+		for _, p := range x.posts[x.rowStart[id]:x.rowStart[id+1]] {
+			di := x.procOff[p.Exe] + p.Proc
+			c := s.counts[di] + 1
+			s.counts[di] = c
+			if c == 1 {
+				s.touched = append(s.touched, di)
+			}
+			if c > s.maxSim[p.Exe] {
+				if s.maxSim[p.Exe] == 0 {
+					s.exes = append(s.exes, p.Exe)
+				}
+				s.maxSim[p.Exe] = c
+			}
+		}
+	}
+	qsize := len(q.IDs)
+	if minScore < 1 {
+		minScore = 1
+	}
+	for _, ei := range s.exes {
+		c := int(s.maxSim[ei])
+		if c < minScore {
+			continue
+		}
+		if ratioFloor > 0 && qsize > 0 && float64(c)/float64(qsize) < ratioFloor {
+			continue
+		}
+		s.cands = append(s.cands, Candidate{Exe: int(ei), MaxSim: c})
+	}
+	for _, ei := range x.extra {
+		s.cands = append(s.cands, Candidate{Exe: ei, MaxSim: 0})
+	}
+	slices.SortFunc(s.cands, func(a, b Candidate) int {
+		if a.MaxSim != b.MaxSim {
+			return b.MaxSim - a.MaxSim
+		}
+		return a.Exe - b.Exe
+	})
+	return s, true
+}

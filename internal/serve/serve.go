@@ -1,0 +1,330 @@
+// Package serve implements the firmupd query service over a sealed
+// corpus: an HTTP handler set that analyzes uploaded query executables
+// against the corpus and returns findings JSON, with per-request worker
+// budgets, admission control (bounded in-flight searches, 429 +
+// Retry-After on overload) and graceful corpus hot-swap.
+//
+// Concurrency model: the sealed corpus is immutable, so request
+// handlers share it with no locks. The only cross-request coordination
+// is the admission semaphore (a buffered channel) and the atomic corpus
+// pointer; a swap installs the new corpus for subsequent requests while
+// every in-flight request keeps the pointer it loaded at admission, so
+// no request ever observes a half-swapped corpus or is dropped by a
+// swap.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"firmup"
+	"firmup/internal/telemetry"
+)
+
+// SchemaVersion identifies the /search response layout. Bumped on any
+// incompatible change.
+const SchemaVersion = 1
+
+// Corpus is one loaded sealed corpus with its serving identity.
+type Corpus struct {
+	// Name labels the corpus in responses (typically the artifact path).
+	Name string
+	// Sealed is the corpus itself.
+	Sealed *firmup.SealedCorpus
+	// LoadedAt records when the corpus was installed.
+	LoadedAt time.Time
+}
+
+// Config tunes a Server. The zero value selects the defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted /search requests; further
+	// requests are rejected with 429 + Retry-After (default
+	// 2×GOMAXPROCS).
+	MaxInFlight int
+	// RetryAfter is the Retry-After hint attached to 429 responses, in
+	// seconds (default 1).
+	RetryAfter int
+	// QueryWorkers is the per-request worker budget for analyzing the
+	// uploaded query executable (default GOMAXPROCS). One request never
+	// gets more than this many analysis goroutines.
+	QueryWorkers int
+	// SearchWorkers is the per-request worker budget for the game search
+	// (default GOMAXPROCS).
+	SearchWorkers int
+	// MaxQueryBytes bounds the accepted /search body (default 64 MiB).
+	MaxQueryBytes int64
+	// Registry, when non-nil, receives the server's request metrics:
+	// serve.requests, serve.rejected, serve.inflight, serve.swaps and the
+	// serve.latency_us histogram (whose Report quantiles are the p50/p99
+	// the load benchmark records).
+	Registry *telemetry.Registry
+}
+
+func (c *Config) maxInFlight() int {
+	if c == nil || c.MaxInFlight <= 0 {
+		return 2 * runtime.GOMAXPROCS(0)
+	}
+	return c.MaxInFlight
+}
+
+func (c *Config) retryAfter() int {
+	if c == nil || c.RetryAfter <= 0 {
+		return 1
+	}
+	return c.RetryAfter
+}
+
+func (c *Config) maxQueryBytes() int64 {
+	if c == nil || c.MaxQueryBytes <= 0 {
+		return 64 << 20
+	}
+	return c.MaxQueryBytes
+}
+
+// Server serves CVE-search queries against a hot-swappable sealed
+// corpus. Create with New, install handlers via Handler, swap corpora
+// at runtime with Swap.
+type Server struct {
+	cfg    Config
+	corpus atomic.Pointer[Corpus]
+	// sem is the admission semaphore: a slot must be acquired before any
+	// per-request work (body read, analysis, search) begins.
+	sem chan struct{}
+
+	reqs     *telemetry.Counter
+	rejected *telemetry.Counter
+	swaps    *telemetry.Counter
+	inflight *telemetry.Gauge
+	latency  *telemetry.Histogram
+}
+
+// New creates a server over an initial corpus (which may be nil; /search
+// then answers 503 until the first Swap).
+func New(initial *Corpus, cfg *Config) *Server {
+	s := &Server{}
+	if cfg != nil {
+		s.cfg = *cfg
+	}
+	s.sem = make(chan struct{}, s.cfg.maxInFlight())
+	if r := s.cfg.Registry; r != nil {
+		s.reqs = r.Counter("serve.requests")
+		s.rejected = r.Counter("serve.rejected")
+		s.swaps = r.Counter("serve.swaps")
+		s.inflight = r.Gauge("serve.inflight")
+		s.latency = r.Histogram("serve.latency_us")
+	}
+	if initial != nil {
+		s.corpus.Store(initial)
+	}
+	return s
+}
+
+// Swap atomically installs a new corpus. In-flight requests finish
+// against the corpus they were admitted under; subsequent requests see
+// the new one. The previous corpus is returned so the caller can log or
+// release it.
+func (s *Server) Swap(next *Corpus) *Corpus {
+	prev := s.corpus.Swap(next)
+	s.swaps.Inc()
+	return prev
+}
+
+// Current returns the currently installed corpus, or nil.
+func (s *Server) Current() *Corpus { return s.corpus.Load() }
+
+// Handler returns the server's HTTP routes:
+//
+//	POST /search?proc=NAME  query executable in the body → findings JSON
+//	GET  /healthz           liveness
+//	GET  /corpus            installed-corpus summary
+//	GET  /metrics           telemetry snapshot JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/corpus", s.handleCorpus)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// SearchResponse is the /search response schema.
+type SearchResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Corpus        string `json:"corpus"`
+	Procedure     string `json:"procedure"`
+	// QueryStrands is the query procedure's strand-set size — the
+	// denominator behind every finding's confidence.
+	QueryStrands int `json:"query_strands"`
+	// Images holds one entry per corpus image, in corpus order.
+	Images []firmup.ImageFindings `json:"images"`
+	// TotalFindings sums findings across images.
+	TotalFindings int `json:"total_findings"`
+	// ElapsedMS is the server-side request latency in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is the JSON error envelope on every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a query executable to /search")
+		return
+	}
+	// Admission control: bounded in-flight searches. Reject before any
+	// expensive work so an overloaded server sheds load in microseconds.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfter()))
+		writeError(w, http.StatusTooManyRequests, "server at capacity (%d in-flight searches); retry later", s.cfg.maxInFlight())
+		return
+	}
+	defer func() { <-s.sem }()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	s.reqs.Inc()
+	t0 := time.Now()
+
+	cs := s.corpus.Load()
+	if cs == nil {
+		writeError(w, http.StatusServiceUnavailable, "no corpus loaded")
+		return
+	}
+	proc := r.URL.Query().Get("proc")
+	if proc == "" {
+		writeError(w, http.StatusBadRequest, "missing required query parameter: proc")
+		return
+	}
+	opt, err := searchOptions(r, &s.cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxQueryBytes()))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading query executable: %v", err)
+		return
+	}
+	query, err := cs.Sealed.AnalyzeQueryWith("query", body, s.cfg.QueryWorkers)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "analyzing query executable: %v", err)
+		return
+	}
+	images, err := cs.Sealed.SearchAll(query, proc, opt)
+	if err != nil {
+		// The only search error is an unknown procedure name.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := &SearchResponse{
+		SchemaVersion: SchemaVersion,
+		Corpus:        cs.Name,
+		Procedure:     proc,
+		Images:        images,
+	}
+	for i := range images {
+		if images[i].Findings == nil {
+			images[i].Findings = []firmup.Finding{}
+		}
+		resp.TotalFindings += len(images[i].Findings)
+	}
+	if qi := queryProcIndex(query, proc); qi >= 0 {
+		resp.QueryStrands = query.Procedures()[qi].Strands
+	}
+	elapsed := time.Since(t0)
+	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	s.latency.Observe(elapsed.Microseconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryProcIndex finds the query procedure's index by name.
+func queryProcIndex(query *firmup.Executable, proc string) int {
+	for i, p := range query.Procedures() {
+		if p.Name == proc {
+			return i
+		}
+	}
+	return -1
+}
+
+// searchOptions builds the per-request search options from the URL
+// parameters, bounded by the server's worker budget.
+func searchOptions(r *http.Request, cfg *Config) (*firmup.Options, error) {
+	opt := &firmup.Options{Workers: cfg.SearchWorkers}
+	q := r.URL.Query()
+	if v := q.Get("min_score"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad min_score %q", v)
+		}
+		opt.MinScore = n
+	}
+	if v := q.Get("min_ratio"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f > 1 {
+			return nil, fmt.Errorf("bad min_ratio %q", v)
+		}
+		opt.MinRatio = f
+	}
+	if v := q.Get("exhaustive"); v == "1" || v == "true" {
+		opt.Exhaustive = true
+	}
+	return opt, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// CorpusInfo is the /corpus response schema.
+type CorpusInfo struct {
+	Name          string `json:"name"`
+	Images        int    `json:"images"`
+	Executables   int    `json:"executables"`
+	UniqueStrands int    `json:"unique_strands"`
+	LoadedAt      string `json:"loaded_at"`
+	Swaps         int64  `json:"swaps"`
+}
+
+func (s *Server) handleCorpus(w http.ResponseWriter, _ *http.Request) {
+	cs := s.corpus.Load()
+	if cs == nil {
+		writeError(w, http.StatusServiceUnavailable, "no corpus loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, CorpusInfo{
+		Name:          cs.Name,
+		Images:        len(cs.Sealed.Images()),
+		Executables:   cs.Sealed.Executables(),
+		UniqueStrands: cs.Sealed.UniqueStrands(),
+		LoadedAt:      cs.LoadedAt.UTC().Format(time.RFC3339),
+		Swaps:         s.swaps.Value(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Registry.Snapshot())
+}

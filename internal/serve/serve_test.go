@@ -1,0 +1,404 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"firmup"
+	"firmup/internal/corpus"
+	"firmup/internal/serve"
+	"firmup/internal/telemetry"
+	"firmup/internal/uir"
+)
+
+// The sealed corpus is immutable and the corpus build dominates test
+// time, so every test shares one.
+var (
+	scenarioOnce   sync.Once
+	scenarioSealed *firmup.SealedCorpus
+	scenarioQuery  []byte
+	scenarioErr    error
+)
+
+func buildScenario(t *testing.T) (*firmup.SealedCorpus, []byte) {
+	t.Helper()
+	scenarioOnce.Do(func() {
+		c, err := corpus.Build(corpus.DefaultScale())
+		if err != nil {
+			scenarioErr = err
+			return
+		}
+		a := firmup.NewAnalyzer(nil)
+		var imgs []*firmup.Image
+		for _, bi := range c.Images {
+			img, err := a.OpenImage(bi.Image.Pack(true))
+			if err != nil {
+				scenarioErr = err
+				return
+			}
+			imgs = append(imgs, img)
+		}
+		scenarioSealed, scenarioErr = a.Seal(imgs...)
+		if scenarioErr != nil {
+			return
+		}
+		_, qf, err := corpus.QueryExe("wget", "1.15", uir.ArchMIPS32)
+		if err != nil {
+			scenarioErr = err
+			return
+		}
+		scenarioQuery = qf.Bytes()
+	})
+	if scenarioErr != nil {
+		t.Fatal(scenarioErr)
+	}
+	return scenarioSealed, scenarioQuery
+}
+
+func newCorpus(name string, sc *firmup.SealedCorpus) *serve.Corpus {
+	return &serve.Corpus{Name: name, Sealed: sc, LoadedAt: time.Now()}
+}
+
+func postSearch(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, blob
+}
+
+func TestServeSearch(t *testing.T) {
+	sc, query := buildScenario(t)
+	srv := serve.New(newCorpus("test.fwcorp", sc), nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, blob := postSearch(t, ts.URL+"/search?proc=ftp_retrieve_glob", query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, blob)
+	}
+	var sr serve.SearchResponse
+	if err := json.Unmarshal(blob, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.SchemaVersion != serve.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", sr.SchemaVersion, serve.SchemaVersion)
+	}
+	if sr.Corpus != "test.fwcorp" || sr.Procedure != "ftp_retrieve_glob" {
+		t.Errorf("identity fields wrong: %q %q", sr.Corpus, sr.Procedure)
+	}
+	if len(sr.Images) != len(sc.Images()) {
+		t.Errorf("images = %d, want %d", len(sr.Images), len(sc.Images()))
+	}
+	if sr.TotalFindings == 0 {
+		t.Error("no findings for the wget query against the default corpus")
+	}
+	if sr.QueryStrands == 0 {
+		t.Error("query_strands missing")
+	}
+	// Empty findings must encode as [], never null — the schema
+	// consumers index into the array unconditionally.
+	if bytes.Contains(blob, []byte(`"findings":null`)) {
+		t.Error("an image's findings encoded as null")
+	}
+}
+
+func TestServeRequestErrors(t *testing.T) {
+	sc, query := buildScenario(t)
+	srv := serve.New(newCorpus("c", sc), &serve.Config{MaxQueryBytes: int64(len(query) + 1)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL + "/search?proc=x"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /search status %d, want 405", resp.StatusCode)
+	}
+	if resp, _ := postSearch(t, ts.URL+"/search", query); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing proc status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postSearch(t, ts.URL+"/search?proc=x&min_score=zero", query); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad min_score status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postSearch(t, ts.URL+"/search?proc=x&min_ratio=2", query); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad min_ratio status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postSearch(t, ts.URL+"/search?proc=x", []byte("not an executable")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage query status %d, want 400", resp.StatusCode)
+	}
+	big := make([]byte, len(query)+2)
+	if resp, _ := postSearch(t, ts.URL+"/search?proc=x", big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status %d, want 413", resp.StatusCode)
+	}
+
+	empty := serve.New(nil, nil)
+	tse := httptest.NewServer(empty.Handler())
+	defer tse.Close()
+	if resp, _ := postSearch(t, tse.URL+"/search?proc=x", query); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("no-corpus status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServeAdmissionControl occupies the single admission slot with a
+// request whose body never arrives, then verifies the next request is
+// shed immediately with 429 + Retry-After rather than queued.
+func TestServeAdmissionControl(t *testing.T) {
+	sc, query := buildScenario(t)
+	reg := telemetry.New()
+	srv := serve.New(newCorpus("c", sc), &serve.Config{MaxInFlight: 1, RetryAfter: 7, Registry: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/search?proc=ftp_retrieve_glob", "application/octet-stream", pr)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("blocked request finished with status %d", resp.StatusCode)
+			}
+		}
+		done <- err
+	}()
+	// Wait for the first request to be admitted (it then blocks reading
+	// its body, holding the slot).
+	gauge := reg.Gauge("serve.inflight")
+	deadline := time.Now().Add(5 * time.Second)
+	for gauge.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, _ := postSearch(t, ts.URL+"/search?proc=ftp_retrieve_glob", query)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want \"7\"", got)
+	}
+	if reg.Counter("serve.rejected").Value() == 0 {
+		t.Error("serve.rejected not incremented")
+	}
+
+	// Deliver the body; the admitted request must still complete.
+	if _, err := pw.Write(query); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeHotSwapUnderLoad swaps the corpus while concurrent searches
+// are in flight: no request may fail, every response must name one of
+// the two corpora, and requests arriving after the swap see the new
+// one.
+func TestServeHotSwapUnderLoad(t *testing.T) {
+	sc, query := buildScenario(t)
+	reg := telemetry.New()
+	srv := serve.New(newCorpus("A", sc), &serve.Config{MaxInFlight: 64, Registry: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const workers = 4
+	const perWorker = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	names := make(chan string, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := http.Post(ts.URL+"/search?proc=ftp_retrieve_glob", "application/octet-stream", bytes.NewReader(query))
+				if err != nil {
+					errs <- err
+					return
+				}
+				blob, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d during swap load: %s", resp.StatusCode, blob)
+					return
+				}
+				var sr serve.SearchResponse
+				if err := json.Unmarshal(blob, &sr); err != nil {
+					errs <- err
+					return
+				}
+				if sr.TotalFindings == 0 {
+					errs <- fmt.Errorf("response from corpus %q lost its findings", sr.Corpus)
+					return
+				}
+				names <- sr.Corpus
+			}
+		}()
+	}
+	// Let some requests land on A, then swap mid-load.
+	for reg.Counter("serve.requests").Value() < workers {
+		time.Sleep(time.Millisecond)
+	}
+	prev := srv.Swap(newCorpus("B", sc))
+	if prev == nil || prev.Name != "A" {
+		t.Errorf("Swap returned %+v, want previous corpus A", prev)
+	}
+	wg.Wait()
+	close(errs)
+	close(names)
+	for err := range errs {
+		t.Error(err)
+	}
+	for name := range names {
+		if name != "A" && name != "B" {
+			t.Errorf("response names unknown corpus %q", name)
+		}
+	}
+	// After the swap has settled, new requests must see B.
+	resp, blob := postSearch(t, ts.URL+"/search?proc=ftp_retrieve_glob", query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap status %d", resp.StatusCode)
+	}
+	var sr serve.SearchResponse
+	if err := json.Unmarshal(blob, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Corpus != "B" {
+		t.Errorf("post-swap response from %q, want B", sr.Corpus)
+	}
+	if got := srv.Current().Name; got != "B" {
+		t.Errorf("Current() = %q, want B", got)
+	}
+}
+
+func TestServeCorpusAndMetricsEndpoints(t *testing.T) {
+	sc, query := buildScenario(t)
+	reg := telemetry.New()
+	srv := serve.New(newCorpus("c.fwcorp", sc), &serve.Config{Registry: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, blob := postSearch(t, ts.URL+"/search?proc=ftp_retrieve_glob", query); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d: %s", resp.StatusCode, blob)
+	}
+
+	resp, err := http.Get(ts.URL + "/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info serve.CorpusInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "c.fwcorp" || info.Images != len(sc.Images()) ||
+		info.Executables != sc.Executables() || info.UniqueStrands != sc.UniqueStrands() {
+		t.Errorf("corpus info mismatch: %+v", info)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["serve.requests"] < 1 {
+		t.Errorf("serve.requests = %d, want >= 1", snap.Counters["serve.requests"])
+	}
+	h, ok := snap.Histograms["serve.latency_us"]
+	if !ok {
+		t.Fatal("metrics lack serve.latency_us histogram")
+	}
+	if h.Count < 1 || h.P50 <= 0 {
+		t.Errorf("latency histogram vacuous: %+v", h)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+// TestServeFindingsFileSchema validates a findings JSON file captured
+// from a running firmupd (the CI smoke step curls /search into a file
+// and points FIRMUPD_FINDINGS_FILE here). Skipped when the variable is
+// unset.
+func TestServeFindingsFileSchema(t *testing.T) {
+	path := os.Getenv("FIRMUPD_FINDINGS_FILE")
+	if path == "" {
+		t.Skip("FIRMUPD_FINDINGS_FILE not set")
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatalf("findings file is not a JSON object: %v", err)
+	}
+	var schema int
+	if err := json.Unmarshal(raw["schema_version"], &schema); err != nil || schema != serve.SchemaVersion {
+		t.Fatalf("schema_version = %s, want %d", raw["schema_version"], serve.SchemaVersion)
+	}
+	var sr serve.SearchResponse
+	if err := json.Unmarshal(blob, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Procedure == "" {
+		t.Error("response lacks procedure")
+	}
+	if len(sr.Images) == 0 {
+		t.Fatal("response has no images")
+	}
+	if sr.TotalFindings == 0 {
+		t.Error("smoke query found nothing; expected at least one detection")
+	}
+	total := 0
+	for i, im := range sr.Images {
+		if im.Vendor == "" || im.Device == "" || im.Version == "" {
+			t.Errorf("image %d lacks identity: %+v", i, im)
+		}
+		if im.Findings == nil {
+			t.Errorf("image %d findings is null, want []", i)
+		}
+		for _, f := range im.Findings {
+			if f.ExePath == "" || f.ProcName == "" || f.Score <= 0 || f.Confidence <= 0 {
+				t.Errorf("image %d has malformed finding: %+v", i, f)
+			}
+		}
+		total += len(im.Findings)
+	}
+	if total != sr.TotalFindings {
+		t.Errorf("total_findings = %d but images carry %d", sr.TotalFindings, total)
+	}
+}

@@ -236,6 +236,34 @@ func FromProcsSession(path string, procs []*Proc, it strand.Interner) *Exe {
 // or nil.
 func (e *Exe) Session() strand.Interner { return e.it }
 
+// Rebound returns a copy of the executable bound to a different session
+// interner without re-interning: the CSR posting lists and every
+// procedure's slice data (hashes, IDs, markers, call graph) are shared
+// with the receiver, but the Proc structs are fresh so the copy's sets
+// carry it as their session. The caller guarantees it assigns the same
+// dense ID to every hash the receiver's session did — the contract a
+// frozen snapshot of the live interner satisfies by construction.
+// Lazily-built caches (hash index, name map) are not carried over; the
+// copy rebuilds its own on first use.
+func (e *Exe) Rebound(it strand.Interner) *Exe {
+	out := &Exe{
+		Path:     e.Path,
+		Arch:     e.Arch,
+		Stripped: e.Stripped,
+		it:       it,
+		ids:      e.ids,
+		start:    e.start,
+		procs:    e.procs,
+	}
+	out.Procs = make([]*Proc, len(e.Procs))
+	for i, p := range e.Procs {
+		cp := *p
+		cp.Set.It = it
+		out.Procs[i] = &cp
+	}
+	return out
+}
+
 func (e *Exe) buildIndex(it strand.Interner) {
 	e.it = it
 	if it == nil {
@@ -331,7 +359,7 @@ func (e *Exe) SimAllInto(q strand.Set, counts []int) []int {
 		counts = counts[:len(e.Procs)]
 		clear(counts)
 	}
-	if e.it != nil && q.It == e.it {
+	if e.it != nil && (q.It == e.it || strand.Compatible(q.It, e.it)) {
 		e.simIDs(q.IDs, counts)
 		return counts
 	}

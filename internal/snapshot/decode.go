@@ -298,135 +298,161 @@ func decodeInterner(r *reader, img *Image) error {
 }
 
 func decodeExes(r *reader, img *Image) error {
-	nexes, err := r.count("executable", 3)
+	exes, err := decodeExesList(r)
 	if err != nil {
 		return err
+	}
+	img.Exes = exes
+	return nil
+}
+
+func decodeExesList(r *reader) ([]Exe, error) {
+	var out []Exe
+	nexes, err := r.count("executable", 3)
+	if err != nil {
+		return nil, err
 	}
 	for ei := 0; ei < nexes; ei++ {
 		var e Exe
 		if e.Path, err = r.str(); err != nil {
-			return err
+			return nil, err
 		}
 		if e.Arch, err = r.byte(); err != nil {
-			return err
+			return nil, err
 		}
 		if e.Stripped, err = r.bool(); err != nil {
-			return err
+			return nil, err
 		}
 		nprocs, err := r.count("procedure", 8)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for pi := 0; pi < nprocs; pi++ {
 			var p Proc
 			if p.Name, err = r.str(); err != nil {
-				return err
+				return nil, err
 			}
 			if p.Addr, err = r.u32(); err != nil {
-				return err
+				return nil, err
 			}
 			if p.Exported, err = r.bool(); err != nil {
-				return err
+				return nil, err
 			}
 			nids, err := r.count("strand ID", 1)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if p.IDs, err = r.deltaIDs("strand IDs", nids); err != nil {
-				return err
+				return nil, err
 			}
 			nmark, err := r.count("marker", 1)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			for k := 0; k < nmark; k++ {
 				m, err := r.uvarint32("marker")
 				if err != nil {
-					return err
+					return nil, err
 				}
 				p.Markers = append(p.Markers, m)
 			}
 			if p.BlockCount, err = r.uvarintInt("block count"); err != nil {
-				return err
+				return nil, err
 			}
 			if p.EdgeCount, err = r.uvarintInt("edge count"); err != nil {
-				return err
+				return nil, err
 			}
 			if p.InstCount, err = r.uvarintInt("instruction count"); err != nil {
-				return err
+				return nil, err
 			}
 			ncalls, err := r.count("call", 1)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			for k := 0; k < ncalls; k++ {
 				c, err := r.uvarintInt("call target")
 				if err != nil {
-					return err
+					return nil, err
 				}
 				p.Calls = append(p.Calls, int32(c))
 			}
 			e.Procs = append(e.Procs, p)
 		}
-		img.Exes = append(img.Exes, e)
+		out = append(out, e)
 	}
-	return nil
+	return out, nil
 }
 
 func decodeIndex(r *reader, img *Image) error {
-	nrows, err := r.count("index row", 2)
+	rows, err := decodeIndexRows(r)
 	if err != nil {
 		return err
 	}
+	img.Index = rows
+	return nil
+}
+
+func decodeIndexRows(r *reader) ([]IndexRow, error) {
+	nrows, err := r.count("index row", 2)
+	if err != nil {
+		return nil, err
+	}
 	// A present-but-empty index section still means "indexed": keep the
 	// distinction from nil (no index at analysis time).
-	img.Index = make([]IndexRow, 0, nrows)
+	out := make([]IndexRow, 0, nrows)
 	prev := uint64(0)
 	for ri := 0; ri < nrows; ri++ {
 		var row IndexRow
 		v, err := r.uvarint()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if ri == 0 {
 			prev = v
 		} else {
 			if v == 0 {
-				return r.corrupt("index rows not strictly increasing at row %d", ri)
+				return nil, r.corrupt("index rows not strictly increasing at row %d", ri)
 			}
 			prev += v
 		}
 		if prev > math.MaxUint32 {
-			return r.corrupt("index row ID %d exceeds the dense-ID space", prev)
+			return nil, r.corrupt("index row ID %d exceeds the dense-ID space", prev)
 		}
 		row.ID = uint32(prev)
 		nposts, err := r.count("posting", 2)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		row.Posts = make([]Posting, 0, nposts)
 		for k := 0; k < nposts; k++ {
 			exe, err := r.uvarintInt("posting executable")
 			if err != nil {
-				return err
+				return nil, err
 			}
 			proc, err := r.uvarintInt("posting procedure")
 			if err != nil {
-				return err
+				return nil, err
 			}
 			row.Posts = append(row.Posts, Posting{Exe: int32(exe), Proc: int32(proc)})
 		}
-		img.Index = append(img.Index, row)
+		out = append(out, row)
 	}
-	return nil
+	return out, nil
 }
 
 // linkCheck validates cross-section references after all sections are
 // decoded: strand IDs must fall inside the vocabulary, call targets
 // inside their executable, postings inside the executable table.
 func linkCheck(img *Image) error {
-	vocab := uint32(len(img.Interner))
-	for ei, e := range img.Exes {
+	if err := linkCheckExes(len(img.Interner), img.Exes); err != nil {
+		return err
+	}
+	return linkCheckIndex(len(img.Interner), img.Exes, img.Index)
+}
+
+func linkCheckExes(nvocab int, exes []Exe) error {
+	vocab := uint32(nvocab)
+	for ei, e := range exes {
 		for pi, p := range e.Procs {
 			if n := len(p.IDs); n > 0 && p.IDs[n-1] >= vocab {
 				return corrupt("exes", "exe %d proc %d references strand ID %d outside the %d-entry vocabulary", ei, pi, p.IDs[n-1], vocab)
@@ -438,16 +464,21 @@ func linkCheck(img *Image) error {
 			}
 		}
 	}
-	for ri, row := range img.Index {
+	return nil
+}
+
+func linkCheckIndex(nvocab int, exes []Exe, rows []IndexRow) error {
+	vocab := uint32(nvocab)
+	for ri, row := range rows {
 		if row.ID >= vocab {
 			return corrupt("index", "row %d references strand ID %d outside the %d-entry vocabulary", ri, row.ID, vocab)
 		}
 		for _, p := range row.Posts {
-			if int(p.Exe) >= len(img.Exes) {
-				return corrupt("index", "row %d posting references executable %d of %d", ri, p.Exe, len(img.Exes))
+			if int(p.Exe) >= len(exes) {
+				return corrupt("index", "row %d posting references executable %d of %d", ri, p.Exe, len(exes))
 			}
-			if int(p.Proc) >= len(img.Exes[p.Exe].Procs) {
-				return corrupt("index", "row %d posting references procedure %d of %d", ri, p.Proc, len(img.Exes[p.Exe].Procs))
+			if int(p.Proc) >= len(exes[p.Exe].Procs) {
+				return corrupt("index", "row %d posting references procedure %d of %d", ri, p.Proc, len(exes[p.Exe].Procs))
 			}
 		}
 	}

@@ -58,14 +58,27 @@ func payloadLen[T any](xs []T, f func(T) int) int {
 // invalid model fails at save time instead of producing an unreadable
 // snapshot.
 func validate(img *Image) error {
-	for ei, e := range img.Exes {
+	if err := validateExes(len(img.Interner), img.Exes); err != nil {
+		return err
+	}
+	if err := validateIndex(len(img.Interner), img.Exes, img.Index); err != nil {
+		return err
+	}
+	if len(img.Interner) > math.MaxUint32 {
+		return fmt.Errorf("snapshot: encode: vocabulary of %d exceeds the dense-ID space", len(img.Interner))
+	}
+	return nil
+}
+
+func validateExes(vocab int, exes []Exe) error {
+	for ei, e := range exes {
 		for pi, p := range e.Procs {
 			for k, id := range p.IDs {
 				if k > 0 && id <= p.IDs[k-1] {
 					return fmt.Errorf("snapshot: encode: exe %d proc %d: strand IDs not strictly increasing", ei, pi)
 				}
-				if int(id) >= len(img.Interner) {
-					return fmt.Errorf("snapshot: encode: exe %d proc %d: strand ID %d outside vocabulary of %d", ei, pi, id, len(img.Interner))
+				if int(id) >= vocab {
+					return fmt.Errorf("snapshot: encode: exe %d proc %d: strand ID %d outside vocabulary of %d", ei, pi, id, vocab)
 				}
 			}
 			for _, c := range p.Calls {
@@ -78,24 +91,25 @@ func validate(img *Image) error {
 			}
 		}
 	}
-	for ri, r := range img.Index {
-		if ri > 0 && r.ID <= img.Index[ri-1].ID {
+	return nil
+}
+
+func validateIndex(vocab int, exes []Exe, rows []IndexRow) error {
+	for ri, r := range rows {
+		if ri > 0 && r.ID <= rows[ri-1].ID {
 			return fmt.Errorf("snapshot: encode: index rows not strictly increasing at row %d", ri)
 		}
-		if int(r.ID) >= len(img.Interner) {
+		if int(r.ID) >= vocab {
 			return fmt.Errorf("snapshot: encode: index row %d: strand ID %d outside vocabulary", ri, r.ID)
 		}
 		for _, p := range r.Posts {
-			if p.Exe < 0 || int(p.Exe) >= len(img.Exes) {
+			if p.Exe < 0 || int(p.Exe) >= len(exes) {
 				return fmt.Errorf("snapshot: encode: index row %d: posting exe %d out of range", ri, p.Exe)
 			}
-			if p.Proc < 0 || int(p.Proc) >= len(img.Exes[p.Exe].Procs) {
+			if p.Proc < 0 || int(p.Proc) >= len(exes[p.Exe].Procs) {
 				return fmt.Errorf("snapshot: encode: index row %d: posting proc %d out of range", ri, p.Proc)
 			}
 		}
-	}
-	if len(img.Interner) > math.MaxUint32 {
-		return fmt.Errorf("snapshot: encode: vocabulary of %d exceeds the dense-ID space", len(img.Interner))
 	}
 	return nil
 }
@@ -132,9 +146,13 @@ func encodeInterner(img *Image) []byte {
 }
 
 func encodeExes(img *Image) []byte {
+	return encodeExesList(img.Exes)
+}
+
+func encodeExesList(exes []Exe) []byte {
 	var b []byte
-	b = appendUvarint(b, uint64(len(img.Exes)))
-	for _, e := range img.Exes {
+	b = appendUvarint(b, uint64(len(exes)))
+	for _, e := range exes {
 		b = appendString(b, e.Path)
 		b = append(b, e.Arch)
 		if e.Stripped {
@@ -180,10 +198,14 @@ func encodeExes(img *Image) []byte {
 }
 
 func encodeIndex(img *Image) []byte {
+	return encodeIndexRows(img.Index)
+}
+
+func encodeIndexRows(rows []IndexRow) []byte {
 	var b []byte
-	b = appendUvarint(b, uint64(len(img.Index)))
+	b = appendUvarint(b, uint64(len(rows)))
 	prev := uint32(0)
-	for ri, r := range img.Index {
+	for ri, r := range rows {
 		if ri == 0 {
 			b = appendUvarint(b, uint64(r.ID))
 		} else {

@@ -509,6 +509,43 @@ type BulkInterner interface {
 	InternAll(hashes []uint64, out []uint32) []uint32
 }
 
+// Rebased is an Interner layered over a base interner whose ID space it
+// extends without mutating: hashes known to the base keep their base
+// IDs, and hashes the base has never seen are assigned private IDs
+// strictly above the base's ID space. A sealed corpus hands each query
+// such an overlay, so query analysis never writes to shared state while
+// the query's known-strand IDs stay directly comparable with the
+// corpus's.
+type Rebased interface {
+	Interner
+	// BaseInterner returns the read-only interner this overlay extends.
+	BaseInterner() Interner
+}
+
+// Compatible reports whether a set interned by q carries dense IDs
+// valid against the ID space of a set (or index) interned by t. That
+// holds when the two are the same interner, or when one is a Rebased
+// overlay of the other: overlay IDs for base-known hashes are the base
+// IDs themselves, and overlay-private IDs lie above the base space so
+// they can never collide with a base-assigned ID. Two distinct overlays
+// of one base are NOT compatible — their private IDs overlap while
+// standing for different hashes.
+func Compatible(q, t Interner) bool {
+	if q == nil || t == nil {
+		return false
+	}
+	if q == t {
+		return true
+	}
+	if r, ok := q.(Rebased); ok && r.BaseInterner() == t {
+		return true
+	}
+	if r, ok := t.(Rebased); ok && r.BaseInterner() == q {
+		return true
+	}
+	return false
+}
+
 // Set is a procedure's strand-hash set, the unit Sim operates on.
 type Set struct {
 	Hashes []uint64 // sorted, unique

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestQuantileEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %d, want 0", got)
+	}
+	h := &Histogram{}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+}
+
+func TestQuantileSingleBucketExact(t *testing.T) {
+	// Bucket 1 is [1, 1]: any quantile of all-ones must be exactly 1.
+	h := &Histogram{}
+	for i := 0; i < 10; i++ {
+		h.Observe(1)
+	}
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1 {
+			t.Errorf("Quantile(%v) = %d, want 1", q, got)
+		}
+	}
+}
+
+func TestQuantileWithinBucketBounds(t *testing.T) {
+	// The estimate's error is bounded by the bucket holding the target
+	// rank: for a single observed value v, every quantile must land in
+	// v's bucket.
+	for _, v := range []int64{3, 100, 1000, 1 << 20} {
+		h := &Histogram{}
+		h.Observe(v)
+		lo, hi := BucketBounds(BucketOf(v))
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			got := h.Quantile(q)
+			if got < lo || got > hi {
+				t.Errorf("value %d: Quantile(%v) = %d outside bucket [%d, %d]", v, q, got, lo, hi)
+			}
+		}
+	}
+}
+
+func TestQuantileRankSelection(t *testing.T) {
+	// 90 small values and 10 large ones: p50 must report the small
+	// bucket, p99 the large one.
+	h := &Histogram{}
+	for i := 0; i < 90; i++ {
+		h.Observe(2) // bucket [2, 3]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // bucket [512, 1023]
+	}
+	if got := h.Quantile(0.5); got < 2 || got > 3 {
+		t.Errorf("p50 = %d, want within [2, 3]", got)
+	}
+	if got := h.Quantile(0.99); got < 512 || got > 1023 {
+		t.Errorf("p99 = %d, want within [512, 1023]", got)
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(1); v <= 4096; v *= 2 {
+		for i := int64(0); i < v%7+1; i++ {
+			h.Observe(v)
+		}
+	}
+	prev := int64(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Errorf("Quantile(%v) = %d < previous %d; quantiles must be monotonic", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(-5) // bucket 0 estimates 0
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("non-positive-only quantile = %d, want 0", got)
+	}
+	h2 := &Histogram{}
+	h2.Observe(1 << 40) // overflow bucket estimates its lower bound
+	lo, _ := BucketBounds(HistBuckets - 1)
+	if got := h2.Quantile(0.5); got != lo {
+		t.Errorf("overflow quantile = %d, want %d", got, lo)
+	}
+	// Out-of-range q clamps instead of misbehaving.
+	if got := h2.Quantile(-1); got != lo {
+		t.Errorf("Quantile(-1) = %d, want %d", got, lo)
+	}
+	if got := h2.Quantile(2); got != lo {
+		t.Errorf("Quantile(2) = %d, want %d", got, lo)
+	}
+}
+
+func TestSnapshotCarriesQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("test.latency")
+	for i := 0; i < 90; i++ {
+		h.Observe(2)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	blob, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Histograms map[string]struct {
+			P50 int64 `json:"p50"`
+			P90 int64 `json:"p90"`
+			P99 int64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatal(err)
+	}
+	hs, ok := snap.Histograms["test.latency"]
+	if !ok {
+		t.Fatal("snapshot lacks test.latency histogram")
+	}
+	if hs.P50 < 2 || hs.P50 > 3 {
+		t.Errorf("snapshot p50 = %d, want within [2, 3]", hs.P50)
+	}
+	if hs.P90 > hs.P99 {
+		t.Errorf("snapshot p90 %d > p99 %d", hs.P90, hs.P99)
+	}
+	if hs.P99 < 512 || hs.P99 > 1023 {
+		t.Errorf("snapshot p99 = %d, want within [512, 1023]", hs.P99)
+	}
+}

@@ -23,11 +23,18 @@ type StageSnapshot struct {
 	Ns    int64 `json:"ns"`
 }
 
-// HistogramSnapshot is one histogram's state: exact count and sum plus
-// the non-empty buckets with their inclusive value bounds.
+// HistogramSnapshot is one histogram's state: exact count and sum, the
+// estimated p50/p90/p99 quantiles (see Histogram.Quantile for the
+// interpolation and its bucket-bounded error), plus the non-empty
+// buckets with their inclusive value bounds. The quantile fields are a
+// schema-compatible addition: consumers of earlier snapshots ignore
+// them, and the bucket layout is unchanged.
 type HistogramSnapshot struct {
 	Count   int64            `json:"count"`
 	Sum     int64            `json:"sum"`
+	P50     int64            `json:"p50"`
+	P90     int64            `json:"p90"`
+	P99     int64            `json:"p99"`
 	Buckets []BucketSnapshot `json:"buckets,omitempty"`
 }
 
@@ -81,7 +88,13 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
-	hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	hs := HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
 	for i := 0; i < HistBuckets; i++ {
 		if n := h.Bucket(i); n > 0 {
 			lo, hi := BucketBounds(i)

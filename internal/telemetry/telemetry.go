@@ -156,6 +156,67 @@ func (h *Histogram) Bucket(i int) int64 {
 	return h.buckets[i].Load()
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values
+// from the bucket counts: the bucket holding the target rank is located
+// and the value is linearly interpolated across the bucket's value
+// range, so the estimate's error is bounded by the bucket's 2x
+// resolution. Bucket 0 (non-positive observations) estimates 0 and the
+// overflow bucket estimates its lower bound, since neither has a finite
+// interior to interpolate over. Returns 0 on a nil or empty histogram.
+//
+// The count and bucket loads are not one atomic cut: under concurrent
+// Observe traffic the estimate reflects some near-current state, which
+// is the precision a bucketed quantile has anyway.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < HistBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i == 0 {
+				return 0
+			}
+			lo, hi := BucketBounds(i)
+			if i == HistBuckets-1 {
+				return lo
+			}
+			frac := float64(rank-cum) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	// Bucket sums can trail the count under concurrent observation; fall
+	// back to the highest non-empty bucket's estimate.
+	for i := HistBuckets - 1; i > 0; i-- {
+		if h.buckets[i].Load() > 0 {
+			lo, hi := BucketBounds(i)
+			if i == HistBuckets-1 {
+				return lo
+			}
+			return hi
+		}
+	}
+	return 0
+}
+
 // Stage accumulates wall time and invocation count for one pipeline
 // stage. Usage:
 //

@@ -1,0 +1,401 @@
+package firmup
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"firmup/internal/cfg"
+	"firmup/internal/core"
+	"firmup/internal/corpusindex"
+	"firmup/internal/obj"
+	"firmup/internal/sim"
+	"firmup/internal/snapshot"
+	"firmup/internal/strand"
+	"firmup/internal/uir"
+)
+
+// SealedCorpus is the immutable, serve-oriented form of an analysis
+// session: a frozen strand vocabulary plus every sealed image's
+// executables and inverted index, re-expressed as read-only views. The
+// query path — AnalyzeQuery through SearchImage — performs no writes to
+// the corpus: query executables are analyzed under per-request overlay
+// interners whose private IDs sit above the frozen vocabulary, so their
+// sets remain directly comparable with sealed sets while the corpus
+// itself is shared, lock-free, by unlimited concurrent readers.
+//
+// A sealed corpus answers searches identically to the live session it
+// was sealed from: same candidate ranking, same acceptance floors, same
+// game — byte-identical findings, examined counts and step histograms.
+type SealedCorpus struct {
+	frozen *corpusindex.Frozen
+	images []*SealedImage
+}
+
+// SealedImage is one firmware image of a sealed corpus.
+type SealedImage struct {
+	Vendor  string
+	Device  string
+	Version string
+	Exes    []*Executable
+	// Skipped carries the analysis-time skip diagnostics verbatim.
+	Skipped []SkipReason
+
+	index   *corpusindex.FrozenIndex
+	targets []*sim.Exe
+}
+
+// Executable returns the sealed executable with the given in-image
+// path, or nil.
+func (im *SealedImage) Executable(path string) *Executable {
+	for _, e := range im.Exes {
+		if e.Path == path {
+			return e
+		}
+	}
+	return nil
+}
+
+// IndexedStrands reports the number of postings in the image's sealed
+// search index, or 0 when the image was sealed without one.
+func (im *SealedImage) IndexedStrands() int {
+	if im.index == nil {
+		return 0
+	}
+	return im.index.Postings()
+}
+
+// Seal freezes the session's current state into an immutable corpus
+// over the given images. The live Analyzer and its images stay fully
+// usable afterwards — Seal copies what it must (procedure headers,
+// posting slabs) and shares what is already final (hash and ID slices,
+// CSR rows) — so sealing is cheap relative to analysis while the sealed
+// corpus aliases no mutable session state.
+//
+// Every image must have been analyzed (or loaded) under this session;
+// an executable from another session has incomparable dense IDs and is
+// rejected.
+func (a *Analyzer) Seal(images ...*Image) (*SealedCorpus, error) {
+	frozen := a.interner.Freeze()
+	sc := &SealedCorpus{frozen: frozen}
+	for ii, img := range images {
+		si := &SealedImage{
+			Vendor:  img.Vendor,
+			Device:  img.Device,
+			Version: img.Version,
+			Skipped: append([]SkipReason(nil), img.Skipped...),
+		}
+		for _, e := range img.Exes {
+			if e.exe.Session() != strand.Interner(a.interner) {
+				return nil, fmt.Errorf("firmup: Seal: image %d executable %s was not analyzed under this session", ii, e.Path)
+			}
+			si.Exes = append(si.Exes, &Executable{Path: e.Path, exe: e.exe.Rebound(frozen), rec: e.rec})
+		}
+		si.targets = make([]*sim.Exe, len(si.Exes))
+		for i, e := range si.Exes {
+			si.targets[i] = e.exe
+		}
+		if img.index != nil {
+			idx, err := corpusindex.NewFrozenIndex(frozen, si.targets, img.index.Rows())
+			if err != nil {
+				return nil, fmt.Errorf("firmup: Seal: image %d: %w", ii, err)
+			}
+			si.index = idx
+		}
+		sc.images = append(sc.images, si)
+	}
+	return sc, nil
+}
+
+// Images returns the sealed images in seal order. The slice is shared;
+// treat it as read-only.
+func (sc *SealedCorpus) Images() []*SealedImage { return sc.images }
+
+// UniqueStrands reports the frozen vocabulary size.
+func (sc *SealedCorpus) UniqueStrands() int { return sc.frozen.Size() }
+
+// Executables reports the total executable count across all images.
+func (sc *SealedCorpus) Executables() int {
+	n := 0
+	for _, im := range sc.images {
+		n += len(im.Exes)
+	}
+	return n
+}
+
+// AnalyzeQuery analyzes a query binary against the sealed corpus under
+// a fresh per-request overlay interner (see AnalyzeQueryWith).
+func (sc *SealedCorpus) AnalyzeQuery(data []byte) (*Executable, error) {
+	return sc.AnalyzeQueryWith("query", data, 0)
+}
+
+// AnalyzeQueryWith analyzes one FWELF binary for querying this sealed
+// corpus, with a bounded procedure-level worker budget (≤ 0 selects
+// GOMAXPROCS). The analysis runs under a request-private overlay of the
+// frozen vocabulary: strands the corpus knows resolve to their frozen
+// IDs, novel strands get private IDs above the vocabulary, and nothing
+// in the corpus is written. The returned executable queries this corpus
+// on the interned fast paths; against any other corpus it falls back to
+// hash-based comparison (still correct, just slower).
+func (sc *SealedCorpus) AnalyzeQueryWith(path string, data []byte, workers int) (*Executable, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	f, err := obj.Read(data)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := cfg.Recover(f)
+	if err != nil {
+		return nil, fmt.Errorf("firmup: %s: %w", path, err)
+	}
+	qit := corpusindex.NewQueryInterner(sc.frozen)
+	bc := &sim.BuildConfig{Workers: workers}
+	return &Executable{Path: path, exe: sim.BuildWith(path, rec, qit, bc), rec: rec}, nil
+}
+
+// sealedView adapts one sealed image to the core search layer's
+// read-only corpus interface, with the acceptance floors baked in so
+// candidate narrowing stays sound (see corpusindex.Candidates).
+type sealedView struct {
+	img        *SealedImage
+	minScore   int
+	minRatio   float64
+	exhaustive bool
+}
+
+func (v sealedView) Targets() []*sim.Exe { return v.img.targets }
+
+func (v sealedView) Candidates(q *sim.Exe, qi int) ([]int, bool) {
+	if v.img.index == nil || v.exhaustive {
+		return nil, false
+	}
+	return v.img.index.CandidateIndices(q.Procs[qi].Set, v.minScore, v.minRatio, nil)
+}
+
+// SearchImageDetailed looks for the query executable's procedure in
+// every executable of one sealed image, with the search accounting
+// exposed. The result is identical to the live Analyzer's
+// SearchImageDetailed over the image this one was sealed from.
+func (sc *SealedCorpus) SearchImageDetailed(query *Executable, procedure string, img *SealedImage, opt *Options) (*SearchResult, error) {
+	qi := query.exe.ProcByName(procedure)
+	if qi < 0 {
+		return nil, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
+	}
+	s := opt.search()
+	v := sealedView{
+		img:        img,
+		minScore:   s.MinScore,
+		minRatio:   s.MinRatio,
+		exhaustive: opt != nil && opt.Exhaustive,
+	}
+	res := core.SearchView(query.exe, qi, v, s)
+	out := &SearchResult{
+		Findings:       make([]Finding, 0, len(res.Findings)),
+		Examined:       res.Examined,
+		StepsHistogram: res.StepsHistogram,
+	}
+	for _, f := range res.Findings {
+		out.Findings = append(out.Findings, Finding{
+			ExePath:    f.ExePath,
+			ProcName:   f.ProcName,
+			ProcAddr:   f.ProcAddr,
+			Score:      f.Score,
+			Confidence: f.Ratio,
+			GameSteps:  f.Steps,
+		})
+	}
+	return out, nil
+}
+
+// SearchImage looks for the query executable's procedure in every
+// executable of one sealed image.
+func (sc *SealedCorpus) SearchImage(query *Executable, procedure string, img *SealedImage, opt *Options) ([]Finding, error) {
+	res, err := sc.SearchImageDetailed(query, procedure, img, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// ImageFindings is one sealed image's outcome of a corpus-wide search.
+type ImageFindings struct {
+	Vendor   string    `json:"vendor"`
+	Device   string    `json:"device"`
+	Version  string    `json:"version"`
+	Findings []Finding `json:"findings"`
+	Examined int       `json:"examined"`
+}
+
+// SearchAll runs the query against every image of the corpus in seal
+// order.
+func (sc *SealedCorpus) SearchAll(query *Executable, procedure string, opt *Options) ([]ImageFindings, error) {
+	out := make([]ImageFindings, 0, len(sc.images))
+	for _, img := range sc.images {
+		res, err := sc.SearchImageDetailed(query, procedure, img, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ImageFindings{
+			Vendor:   img.Vendor,
+			Device:   img.Device,
+			Version:  img.Version,
+			Findings: res.Findings,
+			Examined: res.Examined,
+		})
+	}
+	return out, nil
+}
+
+// MatchProcedure runs the back-and-forth game for one query procedure
+// against a single sealed executable.
+func (sc *SealedCorpus) MatchProcedure(query *Executable, procedure string, target *Executable, opt *Options) (*Finding, int, error) {
+	f, r, err := matchTracedCore(nil, query, procedure, target, opt, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, r.Steps, nil
+}
+
+// MatchProcedureTraced is MatchProcedure with the full game course
+// recorded, for sealed targets. Traces are identical to the live
+// session's for the same query/target pair.
+func (sc *SealedCorpus) MatchProcedureTraced(query *Executable, procedure string, target *Executable, opt *Options) (*Finding, *GameTrace, error) {
+	f, r, err := matchTracedCore(nil, query, procedure, target, opt, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, traceFromResult(r), nil
+}
+
+// Save serializes the sealed corpus into the FWCORP artifact: one
+// shared frozen vocabulary plus every image's executables and index, so
+// a serving process cold-starts by LoadSealedCorpus instead of
+// re-analyzing firmware.
+func (sc *SealedCorpus) Save() ([]byte, error) {
+	c := &snapshot.Corpus{Interner: sc.frozen.Vocab()}
+	for _, im := range sc.images {
+		ci := snapshot.CorpusImage{Vendor: im.Vendor, Device: im.Device, Version: im.Version}
+		for _, s := range im.Skipped {
+			ci.Skipped = append(ci.Skipped, snapshot.Skip{Path: s.Path, Err: s.Err.Error()})
+		}
+		for _, e := range im.Exes {
+			ci.Exes = append(ci.Exes, exeToModel(e.Path, e.exe))
+		}
+		if im.index != nil {
+			rows := im.index.Rows()
+			ci.Index = make([]snapshot.IndexRow, len(rows))
+			for i, r := range rows {
+				ci.Index[i] = snapshot.IndexRow{ID: r.ID, Posts: postsToModel(r.Posts)}
+			}
+		}
+		c.Images = append(c.Images, ci)
+	}
+	return snapshot.EncodeCorpus(c)
+}
+
+// exeToModel serializes one sealed executable into the snapshot model.
+func exeToModel(path string, e *sim.Exe) snapshot.Exe {
+	se := snapshot.Exe{Path: path, Arch: uint8(e.Arch), Stripped: e.Stripped}
+	for _, p := range e.Procs {
+		sp := snapshot.Proc{
+			Name:       p.Name,
+			Addr:       p.Addr,
+			Exported:   p.Exported,
+			IDs:        p.Set.IDs,
+			Markers:    p.Markers,
+			BlockCount: p.BlockCount,
+			EdgeCount:  p.EdgeCount,
+			InstCount:  p.InstCount,
+		}
+		for _, c := range p.Calls {
+			sp.Calls = append(sp.Calls, int32(c))
+		}
+		se.Procs = append(se.Procs, sp)
+	}
+	return se
+}
+
+// LoadSealedCorpus reconstructs a sealed corpus from a Save artifact.
+// No live session is involved: the saved vocabulary restores directly
+// into a frozen interner, the saved dense-ID sets and indexes are valid
+// in its ID space verbatim, and the result serves queries exactly like
+// the corpus that was saved. Unreadable input fails with an error
+// wrapping ErrSnapshotCorrupt.
+func LoadSealedCorpus(data []byte) (*SealedCorpus, error) {
+	c, err := snapshot.DecodeCorpus(data)
+	if err != nil {
+		return nil, err
+	}
+	frozen, err := corpusindex.FrozenFromVocab(c.Interner)
+	if err != nil {
+		return nil, err
+	}
+	sc := &SealedCorpus{frozen: frozen}
+	for ii := range c.Images {
+		ci := &c.Images[ii]
+		si := &SealedImage{Vendor: ci.Vendor, Device: ci.Device, Version: ci.Version}
+		for _, s := range ci.Skipped {
+			si.Skipped = append(si.Skipped, SkipReason{Path: s.Path, Err: errors.New(s.Err)})
+		}
+		for ei := range ci.Exes {
+			se := &ci.Exes[ei]
+			procs := make([]*sim.Proc, len(se.Procs))
+			for pi := range se.Procs {
+				procs[pi] = loadFrozenProc(&se.Procs[pi], c.Interner, frozen)
+			}
+			for i, p := range procs {
+				for _, cl := range p.Calls {
+					procs[cl].CalledBy = append(procs[cl].CalledBy, i)
+				}
+			}
+			e := sim.FromProcsSession(se.Path, procs, frozen)
+			e.Arch = uir.Arch(se.Arch)
+			e.Stripped = se.Stripped
+			si.Exes = append(si.Exes, &Executable{Path: se.Path, exe: e})
+			si.targets = append(si.targets, e)
+		}
+		if ci.Index != nil {
+			rows := make([]corpusindex.Row, len(ci.Index))
+			for i, r := range ci.Index {
+				rows[i] = corpusindex.Row{ID: r.ID, Posts: postsFromModel(r.Posts)}
+			}
+			idx, err := corpusindex.NewFrozenIndex(frozen, si.targets, rows)
+			if err != nil {
+				return nil, err
+			}
+			si.index = idx
+		}
+		sc.images = append(sc.images, si)
+	}
+	return sc, nil
+}
+
+// loadFrozenProc rebuilds one procedure in the frozen ID space: the
+// saved dense IDs are the frozen IDs themselves, and the hashes are
+// recovered through the vocabulary. The set binds to the frozen
+// interner directly, so no Intern call ever runs during load.
+func loadFrozenProc(sp *snapshot.Proc, vocab []uint64, frozen *corpusindex.Frozen) *sim.Proc {
+	ids := append([]uint32(nil), sp.IDs...)
+	hashes := make([]uint64, len(sp.IDs))
+	for k, id := range sp.IDs {
+		hashes[k] = vocab[id]
+	}
+	// Set invariant: Hashes sorted ascending (IDs already are).
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	p := &sim.Proc{
+		Name:       sp.Name,
+		Addr:       sp.Addr,
+		Exported:   sp.Exported,
+		Set:        strand.Set{Hashes: hashes, IDs: ids, It: frozen},
+		Markers:    sp.Markers,
+		BlockCount: sp.BlockCount,
+		EdgeCount:  sp.EdgeCount,
+		InstCount:  sp.InstCount,
+	}
+	for _, c := range sp.Calls {
+		p.Calls = append(p.Calls, int(c))
+	}
+	return p
+}

@@ -42,24 +42,7 @@ func (a *Analyzer) SaveImage(img *Image) ([]byte, error) {
 		if e.exe.Session() != strand.Interner(a.interner) {
 			return nil, fmt.Errorf("firmup: SaveImage: executable %s was not analyzed under this session", e.Path)
 		}
-		se := snapshot.Exe{Path: e.Path, Arch: uint8(e.exe.Arch), Stripped: e.exe.Stripped}
-		for _, p := range e.exe.Procs {
-			sp := snapshot.Proc{
-				Name:       p.Name,
-				Addr:       p.Addr,
-				Exported:   p.Exported,
-				IDs:        p.Set.IDs,
-				Markers:    p.Markers,
-				BlockCount: p.BlockCount,
-				EdgeCount:  p.EdgeCount,
-				InstCount:  p.InstCount,
-			}
-			for _, c := range p.Calls {
-				sp.Calls = append(sp.Calls, int32(c))
-			}
-			se.Procs = append(se.Procs, sp)
-		}
-		m.Exes = append(m.Exes, se)
+		m.Exes = append(m.Exes, exeToModel(e.Path, e.exe))
 	}
 	if img.index != nil {
 		rows := img.index.Rows()
