@@ -43,6 +43,7 @@ func main() {
 		queryWorkers    = flag.Int("query-workers", 0, "per-request query-analysis worker budget (0 = GOMAXPROCS)")
 		searchWorkers   = flag.Int("search-workers", 0, "per-request search worker budget (0 = GOMAXPROCS)")
 		allowSwap       = flag.Bool("allow-swap", false, "enable POST /swap?path=... corpus hot-swap")
+		batchWindow     = flag.Duration("batch-window", 0, "coalesce concurrent same-target searches into one batched pass, waiting this long for followers (0 = off)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown grace period")
 	)
 	flag.Parse()
@@ -65,6 +66,7 @@ func main() {
 		RetryAfter:    *retryAfter,
 		QueryWorkers:  *queryWorkers,
 		SearchWorkers: *searchWorkers,
+		BatchWindow:   *batchWindow,
 		Registry:      reg,
 	})
 

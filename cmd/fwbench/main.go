@@ -31,6 +31,7 @@ import (
 	"firmup"
 	"firmup/internal/core"
 	"firmup/internal/corpus"
+	"firmup/internal/corpusindex"
 	"firmup/internal/eval"
 	_ "firmup/internal/isa/arm"
 	_ "firmup/internal/isa/mips"
@@ -439,6 +440,34 @@ type gameBenchReport struct {
 	// AllocRatio is reference allocs/op over memoized allocs/op (>1
 	// means the memoized engine allocates less).
 	AllocRatio float64 `json:"alloc_ratio_vs_reference"`
+	// MultiQuery is the batched multi-query engine measurement.
+	MultiQuery multiQueryReport `json:"multi_query"`
+}
+
+// multiQueryReport is the multi-query section of BENCH_game.json: N
+// query procedures of one query executable searched against the same
+// target set, sequentially (one Search per query) versus in one
+// SearchBatch pass, with the per-phase prefilter/game split.
+type multiQueryReport struct {
+	// Queries is the number of query procedures in the batch.
+	Queries int `json:"queries"`
+	// Targets is the shared target-set size.
+	Targets int `json:"targets"`
+	// SequentialNsPerOp is the cost of running every query through its
+	// own Search pass; BatchedNsPerOp is one SearchBatch over the same
+	// queries.
+	SequentialNsPerOp float64 `json:"sequential_ns_per_op"`
+	BatchedNsPerOp    float64 `json:"batched_ns_per_op"`
+	// PrefilterNsPerOp isolates the candidate-narrowing phase (identical
+	// in both paths); the game-phase costs are the remainders.
+	PrefilterNsPerOp   float64 `json:"prefilter_ns_per_op"`
+	SequentialGameNs   float64 `json:"sequential_game_ns_per_op"`
+	BatchedGameNs      float64 `json:"batched_game_ns_per_op"`
+	NsPerQuerySequential float64 `json:"ns_per_query_sequential"`
+	NsPerQueryBatched    float64 `json:"ns_per_query_batched"`
+	// SpeedupNsPerQuery is sequential over batched ns/query (>1 means
+	// batching wins).
+	SpeedupNsPerQuery float64 `json:"speedup_ns_per_query"`
 }
 
 // gameBench measures the memoized game engine against the unmemoized
@@ -493,6 +522,51 @@ func gameBench(env *eval.Env, scale string, jsonOut bool) {
 		}
 	})
 
+	// Multi-query workload: up to eight query procedures of the one wget
+	// query executable against every MIPS target — the serve coalescing
+	// shape. Both paths share an identical corpus-index prefilter built
+	// over exactly this target slice, so candidate narrowing is
+	// apples-to-apples and the measured gap is the game engine's.
+	mqis := qis
+	if len(mqis) > 8 {
+		mqis = mqis[:8]
+	}
+	batchQs := make([]core.BatchQuery, len(mqis))
+	for i, qi := range mqis {
+		batchQs[i] = core.BatchQuery{Q: q, QI: qi}
+	}
+	idx := corpusindex.NewIndex(env.It)
+	for _, t := range targets {
+		idx.Add(t)
+	}
+	mqOpt := eval.DefaultSearch()
+	minScore, minRatio := mqOpt.MinScore, mqOpt.MinRatio
+	mqOpt.Prefilter = func(qe *sim.Exe, qpi int, _ []*sim.Exe) ([]int, bool) {
+		return idx.CandidateIndices(qe.Procs[qpi].Set, minScore, minRatio, nil)
+	}
+	seq := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, bq := range batchQs {
+				core.Search(bq.Q, bq.QI, targets, mqOpt)
+			}
+		}
+	})
+	batched := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.SearchBatch(batchQs, targets, mqOpt)
+		}
+	})
+	prefilter := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, bq := range batchQs {
+				idx.CandidateIndices(bq.Q.Procs[bq.QI].Set, minScore, minRatio, nil)
+			}
+		}
+	})
+
 	rep := gameBenchReport{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		Scale:      scale,
@@ -502,7 +576,27 @@ func gameBench(env *eval.Env, scale string, jsonOut bool) {
 			{Name: "MatchGame/reference", NsPerOp: float64(ref.NsPerOp()), AllocsPerOp: ref.AllocsPerOp(), BytesPerOp: ref.AllocedBytesPerOp()},
 			{Name: "MatchGame/memoized", NsPerOp: float64(memo.NsPerOp()), AllocsPerOp: memo.AllocsPerOp(), BytesPerOp: memo.AllocedBytesPerOp()},
 			{Name: "SearchMemoized", NsPerOp: float64(search.NsPerOp()), AllocsPerOp: search.AllocsPerOp(), BytesPerOp: search.AllocedBytesPerOp()},
+			{Name: "MultiQuery/sequential", NsPerOp: float64(seq.NsPerOp()), AllocsPerOp: seq.AllocsPerOp(), BytesPerOp: seq.AllocedBytesPerOp()},
+			{Name: "MultiQuery/batched", NsPerOp: float64(batched.NsPerOp()), AllocsPerOp: batched.AllocsPerOp(), BytesPerOp: batched.AllocedBytesPerOp()},
+			{Name: "MultiQuery/prefilter", NsPerOp: float64(prefilter.NsPerOp()), AllocsPerOp: prefilter.AllocsPerOp(), BytesPerOp: prefilter.AllocedBytesPerOp()},
 		},
+		MultiQuery: multiQueryReport{
+			Queries:           len(batchQs),
+			Targets:           len(targets),
+			SequentialNsPerOp: float64(seq.NsPerOp()),
+			BatchedNsPerOp:    float64(batched.NsPerOp()),
+			PrefilterNsPerOp:  float64(prefilter.NsPerOp()),
+		},
+	}
+	mq := &rep.MultiQuery
+	mq.SequentialGameNs = mq.SequentialNsPerOp - mq.PrefilterNsPerOp
+	mq.BatchedGameNs = mq.BatchedNsPerOp - mq.PrefilterNsPerOp
+	if n := float64(len(batchQs)); n > 0 {
+		mq.NsPerQuerySequential = mq.SequentialNsPerOp / n
+		mq.NsPerQueryBatched = mq.BatchedNsPerOp / n
+	}
+	if mq.BatchedNsPerOp > 0 {
+		mq.SpeedupNsPerQuery = mq.SequentialNsPerOp / mq.BatchedNsPerOp
 	}
 	if memo.NsPerOp() > 0 {
 		rep.SpeedupNs = float64(ref.NsPerOp()) / float64(memo.NsPerOp())
@@ -516,8 +610,10 @@ func gameBench(env *eval.Env, scale string, jsonOut bool) {
 	}
 	fmt.Printf("  %d games/op over %d query procedures; search spans %d targets\n",
 		rep.GamesPerOp, rep.GamesPerOp, rep.Targets)
-	fmt.Printf("  memoized vs reference: %.2fx ns/op, %.2fx fewer allocs/op\n\n",
+	fmt.Printf("  memoized vs reference: %.2fx ns/op, %.2fx fewer allocs/op\n",
 		rep.SpeedupNs, rep.AllocRatio)
+	fmt.Printf("  multi-query: %d queries x %d targets, prefilter %.0f ns, game %0.f -> %.0f ns, %.2fx ns/query batched\n\n",
+		mq.Queries, mq.Targets, mq.PrefilterNsPerOp, mq.SequentialGameNs, mq.BatchedGameNs, mq.SpeedupNsPerQuery)
 	if jsonOut {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

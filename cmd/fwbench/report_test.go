@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestGameBenchFileSchema validates an externally produced
+// BENCH_game.json — the CI multi-query bench smoke step runs
+// `fwbench -exp game -json` and points FWBENCH_GAME_FILE here. Skipped
+// when the variable is unset.
+func TestGameBenchFileSchema(t *testing.T) {
+	path := os.Getenv("FWBENCH_GAME_FILE")
+	if path == "" {
+		t.Skip("FWBENCH_GAME_FILE not set; run via the CI game bench smoke step")
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep gameBenchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("BENCH_game.json does not parse: %v", err)
+	}
+	if rep.Generated == "" || rep.Scale == "" {
+		t.Errorf("report lacks provenance: generated=%q scale=%q", rep.Generated, rep.Scale)
+	}
+	if rep.GamesPerOp <= 0 || rep.Targets <= 0 {
+		t.Errorf("vacuous workload: games_per_op=%d targets=%d", rep.GamesPerOp, rep.Targets)
+	}
+	want := map[string]bool{
+		"MatchGame/reference":   false,
+		"MatchGame/memoized":    false,
+		"SearchMemoized":        false,
+		"MultiQuery/sequential": false,
+		"MultiQuery/batched":    false,
+		"MultiQuery/prefilter":  false,
+	}
+	for _, e := range rep.Benchmarks {
+		if _, ok := want[e.Name]; ok {
+			want[e.Name] = true
+		}
+		if e.NsPerOp <= 0 {
+			t.Errorf("benchmark %q has non-positive ns/op", e.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("report lacks benchmark row %q", name)
+		}
+	}
+	if rep.SpeedupNs <= 0 {
+		t.Error("speedup_ns_vs_reference missing")
+	}
+
+	mq := rep.MultiQuery
+	if mq.Queries <= 1 {
+		t.Errorf("multi_query.queries = %d; the batched experiment needs several queries", mq.Queries)
+	}
+	if mq.Targets <= 0 {
+		t.Errorf("multi_query.targets = %d", mq.Targets)
+	}
+	for name, v := range map[string]float64{
+		"sequential_ns_per_op":      mq.SequentialNsPerOp,
+		"batched_ns_per_op":         mq.BatchedNsPerOp,
+		"prefilter_ns_per_op":       mq.PrefilterNsPerOp,
+		"sequential_game_ns_per_op": mq.SequentialGameNs,
+		"batched_game_ns_per_op":    mq.BatchedGameNs,
+		"ns_per_query_sequential":   mq.NsPerQuerySequential,
+		"ns_per_query_batched":      mq.NsPerQueryBatched,
+		"speedup_ns_per_query":      mq.SpeedupNsPerQuery,
+	} {
+		if v <= 0 {
+			t.Errorf("multi_query.%s = %v, want > 0", name, v)
+		}
+	}
+	// The per-phase split must be internally consistent: prefilter plus
+	// game re-adds to the total for both paths.
+	if got := mq.PrefilterNsPerOp + mq.SequentialGameNs; got != mq.SequentialNsPerOp {
+		t.Errorf("sequential phase split inconsistent: %v + %v != %v", mq.PrefilterNsPerOp, mq.SequentialGameNs, mq.SequentialNsPerOp)
+	}
+	if got := mq.PrefilterNsPerOp + mq.BatchedGameNs; got != mq.BatchedNsPerOp {
+		t.Errorf("batched phase split inconsistent: %v + %v != %v", mq.PrefilterNsPerOp, mq.BatchedGameNs, mq.BatchedNsPerOp)
+	}
+}

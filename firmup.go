@@ -178,14 +178,17 @@ func newSessionMetrics(r *telemetry.Registry) *sessionMetrics {
 			},
 		},
 		core: &core.Telemetry{
-			Games:            r.Counter("game.played"),
-			Steps:            r.Histogram("game.steps"),
-			AcceptedSteps:    r.Histogram("game.steps.accepted"),
-			MatcherHits:      r.Counter("game.matcher_hits"),
-			MatcherMisses:    r.Counter("game.matcher_misses"),
-			Searches:         r.Counter("search.runs"),
-			PrefilterKept:    r.Counter("search.targets_kept"),
-			PrefilterSkipped: r.Counter("search.targets_skipped"),
+			Games:                 r.Counter("game.played"),
+			Steps:                 r.Histogram("game.steps"),
+			AcceptedSteps:         r.Histogram("game.steps.accepted"),
+			MatcherHits:           r.Counter("game.matcher_hits"),
+			MatcherMisses:         r.Counter("game.matcher_misses"),
+			Searches:              r.Counter("search.runs"),
+			PrefilterKept:         r.Counter("search.targets_kept"),
+			PrefilterSkipped:      r.Counter("search.targets_skipped"),
+			BatchSearches:         r.Counter("batch.searches"),
+			BatchSharedGames:      r.Counter("batch.shared_games"),
+			BatchQueriesPerTarget: r.Histogram("batch.queries_per_target"),
 		},
 		idx: &corpusindex.Telemetry{
 			Queries:   r.Counter("index.queries"),
@@ -625,10 +628,20 @@ func (a *Analyzer) SearchImageDetailed(query *Executable, procedure string, img 
 	if qi < 0 {
 		return nil, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
 	}
-	targets := make([]*sim.Exe, len(img.Exes))
-	for i, e := range img.Exes {
-		targets[i] = e.exe
+	s := a.imageSearchOptions(img, opt)
+	res := core.Search(query.exe, qi, img.targets(), s)
+	out := searchResultFromCore(res)
+	if a.met != nil {
+		searchSpan.End()
 	}
+	return out, nil
+}
+
+// imageSearchOptions builds the core search options for one image under
+// this session: game telemetry attached and, when the image carries an
+// index and the caller did not ask for an exhaustive search, the
+// corpus-index prefilter installed.
+func (a *Analyzer) imageSearchOptions(img *Image, opt *Options) *core.SearchOptions {
 	s := opt.search()
 	s.Game.Tel = a.coreTel()
 	if img.index != nil && (opt == nil || !opt.Exhaustive) {
@@ -640,7 +653,21 @@ func (a *Analyzer) SearchImageDetailed(query *Executable, procedure string, img 
 			return idx.CandidateIndices(q.Procs[qpi].Set, minScore, minRatio, nil)
 		}
 	}
-	res := core.Search(query.exe, qi, targets, s)
+	return s
+}
+
+// targets lists the image executables' indexed views, aligned with Exes.
+func (im *Image) targets() []*sim.Exe {
+	out := make([]*sim.Exe, len(im.Exes))
+	for i, e := range im.Exes {
+		out[i] = e.exe
+	}
+	return out
+}
+
+// searchResultFromCore converts a core search result into the facade
+// form.
+func searchResultFromCore(res core.SearchResult) *SearchResult {
 	out := &SearchResult{
 		Findings:       make([]Finding, 0, len(res.Findings)),
 		Examined:       res.Examined,
@@ -656,10 +683,63 @@ func (a *Analyzer) SearchImageDetailed(query *Executable, procedure string, img 
 			GameSteps:  f.Steps,
 		})
 	}
+	return out
+}
+
+// BatchQuery names one query procedure for a batched image search.
+type BatchQuery struct {
+	// Query is the analyzed query executable.
+	Query *Executable
+	// Procedure is the query procedure's name within it.
+	Procedure string
+}
+
+// coreBatch resolves the facade batch queries to core form, rejecting
+// unknown procedure names with the same error the sequential path
+// reports.
+func coreBatch(queries []BatchQuery) ([]core.BatchQuery, error) {
+	out := make([]core.BatchQuery, len(queries))
+	for i, bq := range queries {
+		qi := bq.Query.exe.ProcByName(bq.Procedure)
+		if qi < 0 {
+			return nil, fmt.Errorf("firmup: query executable has no procedure %q", bq.Procedure)
+		}
+		out[i] = core.BatchQuery{Q: bq.Query.exe, QI: qi}
+	}
+	return out, nil
+}
+
+// SearchBatch looks for every batch query in the image in one batched
+// game-engine pass: each image executable is visited once for the whole
+// batch, and queries from the same query executable share matcher
+// caches and similarity vectors. The returned results are positionally
+// aligned with queries and byte-identical to calling
+// SearchImageDetailed once per query.
+func (a *Analyzer) SearchBatch(queries []BatchQuery, img *Image, opt *Options) ([]*SearchResult, error) {
+	var searchSpan telemetry.Span
+	if a.met != nil {
+		searchSpan = a.met.searchImage.Start()
+	}
+	cqs, err := coreBatch(queries)
+	if err != nil {
+		return nil, err
+	}
+	s := a.imageSearchOptions(img, opt)
+	res := core.SearchBatch(cqs, img.targets(), s)
+	out := make([]*SearchResult, len(res))
+	for i := range res {
+		out[i] = searchResultFromCore(res[i])
+	}
 	if a.met != nil {
 		searchSpan.End()
 	}
 	return out, nil
+}
+
+// SearchBatch runs a batched image search under the package's default
+// session (see Analyzer.SearchBatch).
+func SearchBatch(queries []BatchQuery, img *Image, opt *Options) ([]*SearchResult, error) {
+	return defaultAnalyzer().SearchBatch(queries, img, opt)
 }
 
 // SearchImage on a session is the package-level SearchImage; it is

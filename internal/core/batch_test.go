@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"firmup/internal/corpusindex"
+	"firmup/internal/sim"
+)
+
+// TestMatchBatchEquivalenceRandomized: every Result of a batched pass —
+// target, score, steps, matched pairs, end reason and trace — must be
+// deep-equal to an independent Match call for the same (qi, target)
+// pair, for any batch composition including repeated procedures.
+func TestMatchBatchEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	opt := &Options{RecordTrace: true}
+	for trial := 0; trial < 200; trial++ {
+		it := corpusindex.NewInterner()
+		nq := 2 + rng.Intn(14)
+		nt := 2 + rng.Intn(14)
+		universe := 1 + rng.Intn(24)
+		q := sim.FromProcsSession("Q", randProcs(rng, "q", nq, universe, 8), it)
+		tt := sim.FromProcsSession("T", randProcs(rng, "t", nt, universe, 8), it)
+		qis := make([]int, 1+rng.Intn(2*nq)) // duplicates allowed
+		for i := range qis {
+			qis[i] = rng.Intn(nq)
+		}
+		batch := MatchBatch(q, qis, tt, opt)
+		for i, qi := range qis {
+			solo := Match(q, qi, tt, opt)
+			if !reflect.DeepEqual(batch[i], solo) {
+				t.Fatalf("trial %d: batched game %d (qi=%d) diverges from Match:\nbatch: %+v\nsolo:  %+v",
+					trial, i, qi, batch[i], solo)
+			}
+		}
+	}
+}
+
+// TestMatchBatchEquivalenceTightLimits stresses the shared matcher near
+// the top-k truncation boundary: tiny MaxMatches/MaxSteps with dense
+// overlap force exclusion-heavy revisits of candidate lists warmed by
+// earlier games of the batch.
+func TestMatchBatchEquivalenceTightLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 200; trial++ {
+		opt := &Options{
+			MaxSteps:    1 + rng.Intn(8),
+			MaxMatches:  1 + rng.Intn(4),
+			RecordTrace: true,
+		}
+		n := 4 + rng.Intn(10)
+		universe := 1 + rng.Intn(6)
+		q := sim.FromProcs("Q", randProcs(rng, "q", n, universe, 5))
+		tt := sim.FromProcs("T", randProcs(rng, "t", n, universe, 5))
+		qis := make([]int, 1+rng.Intn(n))
+		for i := range qis {
+			qis[i] = rng.Intn(n)
+		}
+		batch := MatchBatch(q, qis, tt, opt)
+		for i, qi := range qis {
+			solo := Match(q, qi, tt, opt)
+			if !reflect.DeepEqual(batch[i], solo) {
+				t.Fatalf("trial %d: batched game %d (qi=%d) diverges under tight limits:\nbatch: %+v\nsolo:  %+v",
+					trial, i, qi, batch[i], solo)
+			}
+		}
+	}
+}
+
+// randBatchScenario is one randomized multi-executable search setup:
+// several query executables with procedure picks, and a shared target
+// set, all interned under one session so the CSR fast paths engage.
+type randBatchScenario struct {
+	queries []BatchQuery
+	targets []*sim.Exe
+}
+
+func newRandBatchScenario(rng *rand.Rand) randBatchScenario {
+	it := corpusindex.NewInterner()
+	universe := 4 + rng.Intn(24)
+	var sc randBatchScenario
+	nexes := 1 + rng.Intn(3)
+	for e := 0; e < nexes; e++ {
+		nq := 2 + rng.Intn(8)
+		q := sim.FromProcsSession("Q", randProcs(rng, "q", nq, universe, 8), it)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			sc.queries = append(sc.queries, BatchQuery{Q: q, QI: rng.Intn(nq)})
+		}
+	}
+	nt := 3 + rng.Intn(8)
+	for ti := 0; ti < nt; ti++ {
+		np := 2 + rng.Intn(10)
+		sc.targets = append(sc.targets, sim.FromProcsSession("T", randProcs(rng, "t", np, universe, 8), it))
+	}
+	return sc
+}
+
+// TestSearchBatchEquivalenceRandomized sweeps randomized batches of
+// queries spanning several query executables: every SearchResult of the
+// batched pass must deep-equal the sequential Search for that query —
+// findings, examined counts and step histograms — and the batch must be
+// order-insensitive: shuffling the queries permutes the results and
+// nothing else.
+func TestSearchBatchEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 120; trial++ {
+		sc := newRandBatchScenario(rng)
+		opt := &SearchOptions{
+			MinScore:         1 + rng.Intn(3),
+			MinRatio:         0.05 + 0.3*rng.Float64(),
+			MarkerMinOverlap: -1, // random procs carry no markers
+		}
+		// Sweep batch sizes 1..len: each prefix is its own batch.
+		for n := 1; n <= len(sc.queries); n++ {
+			batch := SearchBatch(sc.queries[:n], sc.targets, opt)
+			for i, bq := range sc.queries[:n] {
+				solo := Search(bq.Q, bq.QI, sc.targets, opt)
+				if !reflect.DeepEqual(batch[i], solo) {
+					t.Fatalf("trial %d: batch size %d query %d diverges from sequential Search:\nbatch: %+v\nsolo:  %+v",
+						trial, n, i, batch[i], solo)
+				}
+			}
+		}
+		// Order-insensitivity: a shuffled batch returns the same result
+		// for each query, aligned to the shuffled positions.
+		full := SearchBatch(sc.queries, sc.targets, opt)
+		perm := rng.Perm(len(sc.queries))
+		shuffled := make([]BatchQuery, len(sc.queries))
+		for i, p := range perm {
+			shuffled[i] = sc.queries[p]
+		}
+		reres := SearchBatch(shuffled, sc.targets, opt)
+		for i, p := range perm {
+			if !reflect.DeepEqual(reres[i], full[p]) {
+				t.Fatalf("trial %d: shuffled batch position %d (original %d) diverges:\nshuffled: %+v\noriginal: %+v",
+					trial, i, p, reres[i], full[p])
+			}
+		}
+	}
+}
+
+// TestSearchBatchEquivalenceWithPrefilter pins the batched pass under a
+// caller-installed prefilter: the batch applies the same per-query
+// narrowing the sequential path does, so findings and Examined agree
+// even when the prefilter keeps different targets for different
+// queries.
+func TestSearchBatchEquivalenceWithPrefilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 80; trial++ {
+		sc := newRandBatchScenario(rng)
+		opt := &SearchOptions{MinScore: 1, MinRatio: 0.05, MarkerMinOverlap: -1}
+		// A deterministic per-query narrowing (equivalence does not need
+		// soundness: both paths apply the identical prefilter).
+		opt.Prefilter = func(q *sim.Exe, qi int, targets []*sim.Exe) ([]int, bool) {
+			if qi%3 == 0 {
+				return nil, false // no information: examine everything
+			}
+			var keep []int
+			for ti := range targets {
+				if (ti+qi)%2 == 0 {
+					keep = append(keep, ti)
+				}
+			}
+			return keep, true
+		}
+		batch := SearchBatch(sc.queries, sc.targets, opt)
+		for i, bq := range sc.queries {
+			solo := Search(bq.Q, bq.QI, sc.targets, opt)
+			if !reflect.DeepEqual(batch[i], solo) {
+				t.Fatalf("trial %d: prefiltered batch query %d diverges:\nbatch: %+v\nsolo:  %+v",
+					trial, i, batch[i], solo)
+			}
+		}
+	}
+}
+
+// fakeView adapts a target slice plus a canned narrowing to the View
+// interface for SearchViewBatch testing.
+type fakeView struct {
+	targets []*sim.Exe
+	cand    func(q *sim.Exe, qi int) ([]int, bool)
+}
+
+func (v fakeView) Targets() []*sim.Exe { return v.targets }
+func (v fakeView) Candidates(q *sim.Exe, qi int) ([]int, bool) {
+	return v.cand(q, qi)
+}
+
+// TestSearchViewBatchMatchesSearchView: the batched view entry point
+// must agree with per-query SearchView over the same view.
+func TestSearchViewBatchMatchesSearchView(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 60; trial++ {
+		sc := newRandBatchScenario(rng)
+		v := fakeView{targets: sc.targets, cand: func(q *sim.Exe, qi int) ([]int, bool) {
+			if qi%2 == 1 {
+				return nil, false
+			}
+			var keep []int
+			for ti := range sc.targets {
+				if ti%2 == qi%4/2 {
+					keep = append(keep, ti)
+				}
+			}
+			return keep, true
+		}}
+		opt := &SearchOptions{MinScore: 1, MinRatio: 0.05, MarkerMinOverlap: -1}
+		batch := SearchViewBatch(sc.queries, v, opt)
+		for i, bq := range sc.queries {
+			solo := SearchView(bq.Q, bq.QI, v, opt)
+			if !reflect.DeepEqual(batch[i], solo) {
+				t.Fatalf("trial %d: SearchViewBatch query %d diverges from SearchView:\nbatch: %+v\nsolo:  %+v",
+					trial, i, batch[i], solo)
+			}
+		}
+		if opt.Prefilter != nil {
+			t.Fatal("SearchViewBatch mutated the caller's options")
+		}
+	}
+}

@@ -40,6 +40,15 @@ type Telemetry struct {
 	// search prefilter retained versus soundly pruned.
 	PrefilterKept    *telemetry.Counter
 	PrefilterSkipped *telemetry.Counter
+	// BatchSearches counts SearchBatch passes; BatchSharedGames counts
+	// games answered through a matcher already warmed by an earlier
+	// query of the same target pass — the cross-query similarity-vector
+	// reuse the batch engine exists for.
+	BatchSearches    *telemetry.Counter
+	BatchSharedGames *telemetry.Counter
+	// BatchQueriesPerTarget observes, for every target a batched pass
+	// examines, how many of the batch's queries shared that pass.
+	BatchQueriesPerTarget *telemetry.Histogram
 }
 
 // side distinguishes the two executables in the game.

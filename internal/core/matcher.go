@@ -82,8 +82,8 @@ type matcher struct {
 	tq   []span // t procedure index → candidate list in q
 	slab []cand // backing store for all candidate lists of this game
 
-	counts []int  // accumulation buffer, cap ≥ max(|q.Procs|, |t.Procs|)
-	heap   []cand // bounded-selection scratch, cap ≥ k
+	buf  sim.Buffers // accumulation scratch, grown to max(|q.Procs|, |t.Procs|)
+	heap []cand      // bounded-selection scratch, cap ≥ k
 
 	// telemetry handles, reset per game (matchers are pooled); nil-safe.
 	telHits   *telemetry.Counter
@@ -101,9 +101,7 @@ func newMatcher(q, t *sim.Exe, k int, tel *Telemetry) *matcher {
 	m.qt = resetSpans(m.qt, len(q.Procs))
 	m.tq = resetSpans(m.tq, len(t.Procs))
 	m.slab = m.slab[:0]
-	if n := max(len(q.Procs), len(t.Procs)); cap(m.counts) < n {
-		m.counts = make([]int, n)
-	}
+	m.buf.Grow(max(len(q.Procs), len(t.Procs)))
 	m.telHits, m.telMisses = nil, nil
 	if tel != nil {
 		m.telHits, m.telMisses = tel.MatcherHits, tel.MatcherMisses
@@ -163,16 +161,14 @@ func (m *matcher) best(e *sim.Exe, set strand.Set, sp *span, excluded map[int]in
 	// Truncated list exhausted by exclusions. Unreachable while
 	// k ≥ MaxMatches (see the matcher doc), but re-accumulating keeps the
 	// matcher correct under any configuration.
-	counts := e.SimAllInto(set, m.counts)
-	m.counts = counts
+	counts := e.SimAllBuf(set, &m.buf)
 	return e.BestMatchFrom(counts, func(i int) bool { _, ok := excluded[i]; return ok })
 }
 
 // memoize accumulates the full similarity vector for set over e and
 // stores its k best candidates in the slab.
 func (m *matcher) memoize(e *sim.Exe, set strand.Set, sp *span) {
-	counts := e.SimAllInto(set, m.counts)
-	m.counts = counts
+	counts := e.SimAllBuf(set, &m.buf)
 	h := m.heap[:0]
 	positive := 0
 	for i, c := range counts {

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,10 +60,19 @@ type Config struct {
 	SearchWorkers int
 	// MaxQueryBytes bounds the accepted /search body (default 64 MiB).
 	MaxQueryBytes int64
+	// BatchWindow, when positive, coalesces concurrent /search requests:
+	// the first request for a (corpus, image, options) key waits this
+	// long collecting followers, then runs all collected queries in one
+	// batched game-engine pass (SealedCorpus.SearchBatch), which shares
+	// matcher caches across queries. Each request still holds its own
+	// admission slot while batched, so MaxInFlight/429 semantics are
+	// unchanged. Zero (the default) disables coalescing.
+	BatchWindow time.Duration
 	// Registry, when non-nil, receives the server's request metrics:
-	// serve.requests, serve.rejected, serve.inflight, serve.swaps and the
+	// serve.requests, serve.rejected, serve.inflight, serve.swaps, the
 	// serve.latency_us histogram (whose Report quantiles are the p50/p99
-	// the load benchmark records).
+	// the load benchmark records), and — under BatchWindow — the
+	// serve.batches counter and serve.batch_size histogram.
 	Registry *telemetry.Registry
 }
 
@@ -97,11 +107,47 @@ type Server struct {
 	// per-request work (body read, analysis, search) begins.
 	sem chan struct{}
 
-	reqs     *telemetry.Counter
-	rejected *telemetry.Counter
-	swaps    *telemetry.Counter
-	inflight *telemetry.Gauge
-	latency  *telemetry.Histogram
+	// batchMu guards pending, the open coalescing groups keyed by
+	// (corpus, image, options). The first request to open a key is the
+	// group's leader: it sleeps out the batch window, removes the group,
+	// and runs one batched pass for every request that joined meanwhile.
+	batchMu sync.Mutex
+	pending map[batchKey]*batchGroup
+
+	reqs      *telemetry.Counter
+	rejected  *telemetry.Counter
+	swaps     *telemetry.Counter
+	inflight  *telemetry.Gauge
+	latency   *telemetry.Histogram
+	batches   *telemetry.Counter
+	batchSize *telemetry.Histogram
+}
+
+// batchKey identifies searches that may share one batched pass: same
+// installed corpus, same image scope, same search options. firmup's
+// Options is all scalar fields, so the struct is a valid map key.
+type batchKey struct {
+	corpus *Corpus
+	image  int
+	opt    firmup.Options
+}
+
+// batchGroup is one open coalescing group; entries joined during the
+// leader's window.
+type batchGroup struct {
+	entries []*batchEntry
+}
+
+// batchEntry is one request's seat in a group.
+type batchEntry struct {
+	query *firmup.Executable
+	proc  string
+	done  chan batchResult
+}
+
+type batchResult struct {
+	images []firmup.ImageFindings
+	err    error
 }
 
 // New creates a server over an initial corpus (which may be nil; /search
@@ -112,12 +158,15 @@ func New(initial *Corpus, cfg *Config) *Server {
 		s.cfg = *cfg
 	}
 	s.sem = make(chan struct{}, s.cfg.maxInFlight())
+	s.pending = map[batchKey]*batchGroup{}
 	if r := s.cfg.Registry; r != nil {
 		s.reqs = r.Counter("serve.requests")
 		s.rejected = r.Counter("serve.rejected")
 		s.swaps = r.Counter("serve.swaps")
 		s.inflight = r.Gauge("serve.inflight")
 		s.latency = r.Histogram("serve.latency_us")
+		s.batches = r.Counter("serve.batches")
+		s.batchSize = r.Histogram("serve.batch_size")
 	}
 	if initial != nil {
 		s.corpus.Store(initial)
@@ -140,7 +189,7 @@ func (s *Server) Current() *Corpus { return s.corpus.Load() }
 
 // Handler returns the server's HTTP routes:
 //
-//	POST /search?proc=NAME  query executable in the body → findings JSON
+//	POST /search?proc=NAME[&image=N]  query executable in the body → findings JSON
 //	GET  /healthz           liveness
 //	GET  /corpus            installed-corpus summary
 //	GET  /metrics           telemetry snapshot JSON
@@ -222,6 +271,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	image, err := imageParam(r, cs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxQueryBytes()))
 	if err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge, "reading query executable: %v", err)
@@ -232,7 +286,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "analyzing query executable: %v", err)
 		return
 	}
-	images, err := cs.Sealed.SearchAll(query, proc, opt)
+	var images []firmup.ImageFindings
+	if s.cfg.BatchWindow > 0 {
+		// Pre-validate the procedure name so a bad request gets its own
+		// 400 instead of failing the whole coalesced batch.
+		if queryProcIndex(query, proc) < 0 {
+			writeError(w, http.StatusBadRequest, "firmup: query executable has no procedure %q", proc)
+			return
+		}
+		images, err = s.searchCoalesced(cs, image, query, proc, opt)
+	} else {
+		images, err = searchImages(cs, image, query, proc, opt)
+	}
 	if err != nil {
 		// The only search error is an unknown procedure name.
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -257,6 +322,106 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 	s.latency.Observe(elapsed.Microseconds())
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// imageParam parses the optional image query parameter: an index into
+// the corpus's Images(), or -1 (absent) for a corpus-wide search.
+func imageParam(r *http.Request, cs *Corpus) (int, error) {
+	v := r.URL.Query().Get("image")
+	if v == "" {
+		return -1, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 || n >= len(cs.Sealed.Images()) {
+		return 0, fmt.Errorf("bad image %q (corpus has %d images)", v, len(cs.Sealed.Images()))
+	}
+	return n, nil
+}
+
+// searchImages is the uncoalesced search: the whole corpus, or a single
+// image when image >= 0.
+func searchImages(cs *Corpus, image int, query *firmup.Executable, proc string, opt *firmup.Options) ([]firmup.ImageFindings, error) {
+	if image < 0 {
+		return cs.Sealed.SearchAll(query, proc, opt)
+	}
+	img := cs.Sealed.Images()[image]
+	res, err := cs.Sealed.SearchImageDetailed(query, proc, img, opt)
+	if err != nil {
+		return nil, err
+	}
+	return []firmup.ImageFindings{imageFindings(img, res.Findings, res.Examined)}, nil
+}
+
+func imageFindings(img *firmup.SealedImage, findings []firmup.Finding, examined int) firmup.ImageFindings {
+	return firmup.ImageFindings{
+		Vendor:   img.Vendor,
+		Device:   img.Device,
+		Version:  img.Version,
+		Findings: findings,
+		Examined: examined,
+	}
+}
+
+// searchCoalesced joins (or opens) the coalescing group for this
+// request's batch key and returns this request's share of the group's
+// single batched pass. The leader — the request that opened the group —
+// sleeps out the batch window, then runs every joined query through
+// SealedCorpus.SearchBatch/SearchAllBatch; followers just wait on their
+// result channel. Batched results are byte-identical to the sequential
+// path (the core batch equivalence suites pin this), so coalescing is
+// invisible in responses.
+func (s *Server) searchCoalesced(cs *Corpus, image int, query *firmup.Executable, proc string, opt *firmup.Options) ([]firmup.ImageFindings, error) {
+	e := &batchEntry{query: query, proc: proc, done: make(chan batchResult, 1)}
+	key := batchKey{corpus: cs, image: image, opt: *opt}
+	s.batchMu.Lock()
+	g, ok := s.pending[key]
+	if !ok {
+		g = &batchGroup{}
+		s.pending[key] = g
+	}
+	g.entries = append(g.entries, e)
+	s.batchMu.Unlock()
+	if !ok {
+		time.Sleep(s.cfg.BatchWindow)
+		s.batchMu.Lock()
+		delete(s.pending, key)
+		entries := g.entries
+		s.batchMu.Unlock()
+		s.runBatch(cs, image, entries, opt)
+	}
+	r := <-e.done
+	return r.images, r.err
+}
+
+// runBatch executes one coalesced group and fans results back out to
+// its entries.
+func (s *Server) runBatch(cs *Corpus, image int, entries []*batchEntry, opt *firmup.Options) {
+	s.batches.Inc()
+	s.batchSize.Observe(int64(len(entries)))
+	queries := make([]firmup.BatchQuery, len(entries))
+	for i, e := range entries {
+		queries[i] = firmup.BatchQuery{Query: e.query, Procedure: e.proc}
+	}
+	if image < 0 {
+		res, err := cs.Sealed.SearchAllBatch(queries, opt)
+		for i, e := range entries {
+			if err != nil {
+				e.done <- batchResult{err: err}
+			} else {
+				e.done <- batchResult{images: res[i]}
+			}
+		}
+		return
+	}
+	img := cs.Sealed.Images()[image]
+	res, err := cs.Sealed.SearchBatch(queries, img, opt)
+	for i, e := range entries {
+		if err != nil {
+			e.done <- batchResult{err: err}
+		} else {
+			e.done <- batchResult{images: []firmup.ImageFindings{imageFindings(img, res[i].Findings, res[i].Examined)}}
+		}
+	}
 }
 
 // queryProcIndex finds the query procedure's index by name.

@@ -1,0 +1,34 @@
+package sim
+
+import "firmup/internal/strand"
+
+// Buffers is reusable similarity-accumulation scratch. One Buffers
+// value can serve any number of SimAllBuf calls against any executables
+// in sequence: the count buffer grows monotonically to the largest
+// procedure count seen and is zeroed (never reallocated) on every
+// accumulation whose result fits. The batched game engine threads one
+// Buffers through every query of a target pass, so cross-query
+// similarity accumulations reuse a single allocation instead of one per
+// game.
+//
+// A Buffers value must not be shared by concurrent accumulations; give
+// each worker its own.
+type Buffers struct {
+	counts []int
+}
+
+// Grow ensures the count buffer can hold n entries without a later
+// reallocation.
+func (b *Buffers) Grow(n int) {
+	if cap(b.counts) < n {
+		b.counts = make([]int, n)
+	}
+}
+
+// SimAllBuf is SimAllInto accumulating into the shared buffer: the
+// returned slice has len(e.Procs) entries and aliases b's storage, so
+// it is valid only until the next accumulation through b.
+func (e *Exe) SimAllBuf(q strand.Set, b *Buffers) []int {
+	b.counts = e.SimAllInto(q, b.counts)
+	return b.counts
+}

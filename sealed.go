@@ -190,21 +190,30 @@ func (sc *SealedCorpus) SearchImageDetailed(query *Executable, procedure string,
 		minRatio:   s.MinRatio,
 		exhaustive: opt != nil && opt.Exhaustive,
 	}
-	res := core.SearchView(query.exe, qi, v, s)
-	out := &SearchResult{
-		Findings:       make([]Finding, 0, len(res.Findings)),
-		Examined:       res.Examined,
-		StepsHistogram: res.StepsHistogram,
+	return searchResultFromCore(core.SearchView(query.exe, qi, v, s)), nil
+}
+
+// SearchBatch looks for every batch query in one sealed image in a
+// single batched game-engine pass (see Analyzer.SearchBatch). Results
+// align with queries and are byte-identical to per-query
+// SearchImageDetailed calls against this sealed image — and therefore
+// to the live session the image was sealed from.
+func (sc *SealedCorpus) SearchBatch(queries []BatchQuery, img *SealedImage, opt *Options) ([]*SearchResult, error) {
+	cqs, err := coreBatch(queries)
+	if err != nil {
+		return nil, err
 	}
-	for _, f := range res.Findings {
-		out.Findings = append(out.Findings, Finding{
-			ExePath:    f.ExePath,
-			ProcName:   f.ProcName,
-			ProcAddr:   f.ProcAddr,
-			Score:      f.Score,
-			Confidence: f.Ratio,
-			GameSteps:  f.Steps,
-		})
+	s := opt.search()
+	v := sealedView{
+		img:        img,
+		minScore:   s.MinScore,
+		minRatio:   s.MinRatio,
+		exhaustive: opt != nil && opt.Exhaustive,
+	}
+	res := core.SearchViewBatch(cqs, v, s)
+	out := make([]*SearchResult, len(res))
+	for i := range res {
+		out[i] = searchResultFromCore(res[i])
 	}
 	return out, nil
 }
@@ -244,6 +253,36 @@ func (sc *SealedCorpus) SearchAll(query *Executable, procedure string, opt *Opti
 			Findings: res.Findings,
 			Examined: res.Examined,
 		})
+	}
+	return out, nil
+}
+
+// SearchAllBatch runs every batch query against every image of the
+// corpus in seal order, one batched game-engine pass per image. The
+// outer result dimension aligns with queries, the inner with Images();
+// each entry is byte-identical to the corresponding sequential
+// SearchAll call. This is the serve path's coalesced form: concurrent
+// requests against one corpus share each image's target pass instead of
+// replaying it per request.
+func (sc *SealedCorpus) SearchAllBatch(queries []BatchQuery, opt *Options) ([][]ImageFindings, error) {
+	out := make([][]ImageFindings, len(queries))
+	for qx := range queries {
+		out[qx] = make([]ImageFindings, 0, len(sc.images))
+	}
+	for _, img := range sc.images {
+		res, err := sc.SearchBatch(queries, img, opt)
+		if err != nil {
+			return nil, err
+		}
+		for qx, r := range res {
+			out[qx] = append(out[qx], ImageFindings{
+				Vendor:   img.Vendor,
+				Device:   img.Device,
+				Version:  img.Version,
+				Findings: r.Findings,
+				Examined: r.Examined,
+			})
+		}
 	}
 	return out, nil
 }
