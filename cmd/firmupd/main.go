@@ -1,9 +1,11 @@
 // Command firmupd is the long-running FirmUp query daemon: it loads a
-// sealed corpus artifact (produced by fwcrawl -sealed or
-// SealedCorpus.Save) at startup and serves CVE-search queries over
-// HTTP.
+// sealed corpus — a v1 artifact (fwcrawl -sealed / SealedCorpus.Save)
+// or a directory of mmap-backed v2 shards (fwcrawl -sealed -shards N /
+// SealedCorpus.WriteShards) — at startup and serves CVE-search queries
+// over HTTP.
 //
 //	firmupd -corpus corpus.fwcorp -addr :8080
+//	firmupd -corpus corpus.fwcorp.d -addr :8080
 //
 // Query it by POSTing a query executable (an FWELF binary, typically
 // compiled from the vulnerable package version) with the procedure to
@@ -114,18 +116,25 @@ func main() {
 	}
 }
 
-// loadCorpus reads and decodes one sealed corpus artifact.
+// loadCorpus opens one sealed corpus: a v1 artifact (decoded into
+// RAM), a single v2 shard file, or a directory of v2 shards (both
+// mmap-backed and lazily materialized).
 func loadCorpus(path string) (*serve.Corpus, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	sc, err := firmup.LoadSealedCorpus(data)
+	sc, err := firmup.OpenSealedCorpus(path)
 	if err != nil {
 		if errors.Is(err, firmup.ErrSnapshotCorrupt) {
 			return nil, fmt.Errorf("%s: corrupt sealed corpus: %w", path, err)
 		}
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if shards := sc.Shards(); shards != nil {
+		mapped := 0
+		for _, sh := range shards {
+			if sh.Mapped {
+				mapped++
+			}
+		}
+		log.Printf("firmupd: %s: %d shards (%d mmap-backed)", path, len(shards), mapped)
 	}
 	return &serve.Corpus{Name: path, Sealed: sc, LoadedAt: time.Now()}, nil
 }

@@ -44,16 +44,34 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, game, analyze, telemetry, serve, all")
-	scale := flag.String("scale", "default", "corpus scale: default or eval")
-	jsonOut := flag.Bool("json", false, "write machine-readable results of the game/analyze/telemetry/serve experiments to BENCH_game.json / BENCH_analyze.json / BENCH_telemetry.json / BENCH_serve.json")
+	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, game, analyze, telemetry, serve, scale, all")
+	scale := flag.String("scale", "default", "corpus scale: default, eval or paper (paper selects -exp scale)")
+	jsonOut := flag.Bool("json", false, "write machine-readable results of the game/analyze/telemetry/serve/scale experiments to BENCH_<exp>.json")
+	images := flag.Int("images", 32, "scale experiment: generated image count")
+	shards := flag.Int("shards", 4, "scale experiment: v2 shard count")
+	maxRSS := flag.Int64("max-rss-bytes", 0, "scale experiment: exit 1 if peak RSS exceeds this budget (0 = unenforced)")
 	flag.Parse()
 
 	valid := map[string]bool{"all": true, "table2": true, "fig6": true, "fig8": true,
 		"fig9": true, "ablation": true, "fig5": true, "table1": true, "demo": true,
-		"snapshot": true, "game": true, "analyze": true, "telemetry": true, "serve": true}
+		"snapshot": true, "game": true, "analyze": true, "telemetry": true, "serve": true,
+		"scale": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "fwbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	// -scale paper is the sharded-corpus cold-start benchmark; it builds
+	// its own streamed corpus at -images size, so it neither needs nor
+	// fits the eval.Prepare environment below.
+	if *scale == "paper" && *exp == "all" {
+		*exp = "scale"
+	}
+	if *exp == "scale" {
+		scaleBench(*scale, *images, *shards, *maxRSS, *jsonOut)
+		return
+	}
+	if *scale == "paper" {
+		fmt.Fprintln(os.Stderr, "fwbench: -scale paper applies to -exp scale only")
 		os.Exit(2)
 	}
 	sc := corpus.DefaultScale()
@@ -172,6 +190,9 @@ type serveBenchReport struct {
 	// histogram quantiles (bucket-interpolated).
 	ServerP50US int64 `json:"server_p50_us"`
 	ServerP99US int64 `json:"server_p99_us"`
+	// benchMem: OpenNs is the analyze-and-seal cold start the daemon
+	// pays before serving.
+	benchMem
 }
 
 // serveBench load-tests the firmupd serving path end to end: the corpus
@@ -182,6 +203,7 @@ type serveBenchReport struct {
 // firmupd deployment would observe.
 func serveBench(env *eval.Env, scale string, jsonOut bool) {
 	fmt.Println("=== serve: sealed-corpus query daemon under load ===")
+	tOpen := time.Now()
 	a := firmup.NewAnalyzer(nil)
 	var imgs []*firmup.Image
 	for _, bi := range env.Corpus.Images {
@@ -195,6 +217,7 @@ func serveBench(env *eval.Env, scale string, jsonOut bool) {
 	if err != nil {
 		fatal(err)
 	}
+	openNs := time.Since(tOpen).Nanoseconds()
 	_, qf, err := corpus.QueryExe("wget", "1.15", uir.ArchMIPS32)
 	if err != nil {
 		fatal(err)
@@ -289,14 +312,17 @@ func serveBench(env *eval.Env, scale string, jsonOut bool) {
 		P99MS:         float64(pct(0.99)) / float64(time.Millisecond),
 		ServerP50US:   h.P50,
 		ServerP99US:   h.P99,
+		benchMem:      benchMem{OpenNs: openNs, PeakRSSBytes: peakRSSBytes()},
 	}
 	fmt.Printf("  corpus: %d images, %d executables, %d unique strands (sealed)\n",
 		rep.Images, rep.Executables, rep.UniqueStrands)
 	fmt.Printf("  load:   %d clients x %d requests, 1 hot-swap mid-run\n", clients, perClient)
 	fmt.Printf("  done:   %d ok, %d failed, %d rejected in %.0f ms  ->  %.1f qps\n",
 		rep.Requests, rep.Failures, rep.Rejected, rep.ElapsedMS, rep.QPS)
-	fmt.Printf("  latency: client p50 %.2f ms, p99 %.2f ms; server p50 %d us, p99 %d us\n\n",
+	fmt.Printf("  latency: client p50 %.2f ms, p99 %.2f ms; server p50 %d us, p99 %d us\n",
 		rep.P50MS, rep.P99MS, rep.ServerP50US, rep.ServerP99US)
+	fmt.Printf("  cold start: %.1f ms analyze-and-seal; peak RSS %d MiB\n\n",
+		float64(rep.OpenNs)/1e6, rep.PeakRSSBytes/(1<<20))
 	if rep.Failures > 0 {
 		fmt.Fprintf(os.Stderr, "fwbench: serve: %d requests failed under hot-swap load\n", rep.Failures)
 	}
@@ -341,6 +367,8 @@ type analyzeBenchReport struct {
 	// AllocRatio is uncached allocs/op over cached allocs/op (>1 means
 	// the cached front end allocates less).
 	AllocRatio float64 `json:"alloc_ratio_vs_uncached"`
+	// benchMem: OpenNs is one cached warm-session pass over the stream.
+	benchMem
 }
 
 // analyzeBench measures the parallel analysis front end with the block
@@ -376,7 +404,9 @@ func analyzeBench(env *eval.Env, scale string, jsonOut bool) {
 	}
 	cold := bench(true)
 	cached := bench(false)
+	tOpen := time.Now()
 	stats := run(false).CacheStats()
+	openNs := time.Since(tOpen).Nanoseconds()
 
 	rep := analyzeBenchReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -387,6 +417,7 @@ func analyzeBench(env *eval.Env, scale string, jsonOut bool) {
 		Hits:      stats.Hits,
 		Unique:    stats.Unique,
 		HitRate:   stats.HitRate(),
+		benchMem:  benchMem{OpenNs: openNs, PeakRSSBytes: peakRSSBytes()},
 		Benchmarks: []analyzeBenchEntry{
 			{Name: "AnalyzeStream/uncached", NsPerOp: float64(cold.NsPerOp()), AllocsPerOp: cold.AllocsPerOp(), BytesPerOp: cold.AllocedBytesPerOp()},
 			{Name: "AnalyzeStream/cached", NsPerOp: float64(cached.NsPerOp()), AllocsPerOp: cached.AllocsPerOp(), BytesPerOp: cached.AllocedBytesPerOp()},
@@ -404,8 +435,10 @@ func analyzeBench(env *eval.Env, scale string, jsonOut bool) {
 	}
 	fmt.Printf("  stream: %d opens of %d images per op; cache: %d/%d block hits (%.1f%%), %d unique\n",
 		rep.StreamLen, rep.Images, rep.Hits, rep.Blocks, 100*rep.HitRate, rep.Unique)
-	fmt.Printf("  cached vs uncached: %.2fx ns/op, %.2fx fewer allocs/op\n\n",
+	fmt.Printf("  cached vs uncached: %.2fx ns/op, %.2fx fewer allocs/op\n",
 		rep.SpeedupNs, rep.AllocRatio)
+	fmt.Printf("  cold start: %.1f ms cached session open; peak RSS %d MiB\n\n",
+		float64(rep.OpenNs)/1e6, rep.PeakRSSBytes/(1<<20))
 	if jsonOut {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// benchMem is the memory/latency section shared by every fwbench JSON
+// report: how long the experiment's corpus took to open (decode or
+// map) and the process's peak resident set. Embedded, so the fields
+// land flat in each report.
+type benchMem struct {
+	OpenNs       int64 `json:"open_ns"`
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+}
+
+// procStatusBytes reads one kB-denominated field of /proc/self/status
+// (VmHWM, VmRSS) as bytes, returning 0 where procfs is unavailable —
+// reports then carry 0, which consumers treat as "not measured".
+func procStatusBytes(field string) int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	prefix := []byte(field + ":")
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, prefix) {
+			continue
+		}
+		f := bytes.Fields(line[len(prefix):])
+		if len(f) == 0 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(f[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// peakRSSBytes reports the process's high-water resident set.
+func peakRSSBytes() int64 { return procStatusBytes("VmHWM") }
+
+// currentRSSBytes reports the current resident set.
+func currentRSSBytes() int64 { return procStatusBytes("VmRSS") }

@@ -30,6 +30,7 @@ func main() {
 	compress := flag.Bool("compress", true, "zlib-compress images")
 	snap := flag.Bool("snapshot", false, "analyze each image and write a <name>.fwsnap sidecar snapshot")
 	sealed := flag.Bool("sealed", false, "analyze every image under one shared session and write a sealed corpus.fwcorp artifact for firmupd")
+	shards := flag.Int("shards", 0, "with -sealed: write the corpus as N mmap-ready FWCORP v2 shards under corpus.fwcorp.d/ instead of one v1 artifact")
 	reportPath := flag.String("report", "", "write a structured JSON run report (stage timings, counters) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -137,16 +138,32 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		blob, err := scorp.Save()
-		if err != nil {
-			fatal(err)
+		if *shards > 0 {
+			shardDir := filepath.Join(*out, "corpus.fwcorp.d")
+			paths, err := scorp.WriteShards(shardDir, *shards)
+			if err != nil {
+				fatal(err)
+			}
+			var total int64
+			for _, p := range paths {
+				if st, err := os.Stat(p); err == nil {
+					total += st.Size()
+				}
+			}
+			fmt.Printf("sealed %d images (%d executables, %d unique strands, %d bytes) into %d shards under %s\n",
+				len(scorp.Images()), scorp.Executables(), scorp.UniqueStrands(), total, len(paths), shardDir)
+		} else {
+			blob, err := scorp.Save()
+			if err != nil {
+				fatal(err)
+			}
+			sealPath := filepath.Join(*out, "corpus.fwcorp")
+			if err := os.WriteFile(sealPath, blob, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("sealed %d images (%d executables, %d unique strands, %d bytes) into %s\n",
+				len(scorp.Images()), scorp.Executables(), scorp.UniqueStrands(), len(blob), sealPath)
 		}
-		sealPath := filepath.Join(*out, "corpus.fwcorp")
-		if err := os.WriteFile(sealPath, blob, 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("sealed %d images (%d executables, %d unique strands, %d bytes) into %s\n",
-			len(scorp.Images()), scorp.Executables(), scorp.UniqueStrands(), len(blob), sealPath)
 	}
 	// Emit the analyst-side query executables for every registry CVE, one
 	// per architecture (the paper compiles queries with gcc 5.2 -O2).

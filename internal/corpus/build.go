@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"errors"
 	"fmt"
 
 	"firmup/internal/cfg"
@@ -67,6 +68,49 @@ type builtUnit struct {
 // chain, stripped, and packed into images.
 func Build(sc Scale) (*Corpus, error) {
 	c := &Corpus{Vendors: Vendors(sc), builds: map[string]*builtUnit{}}
+	if err := c.stream(sc, func(bi *BuiltImage) error {
+		c.Images = append(c.Images, bi)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ErrStop, returned by a Stream callback, ends the stream early
+// without error.
+var ErrStop = errors.New("corpus: stop streaming")
+
+// Stream generates the corpus image-by-image, handing each built image
+// to fn and retaining none of them — compiled units are still cached
+// and shared across images (the same binary shipping in many images),
+// but peak memory stays bounded by the callback's own retention
+// instead of the corpus size. Build order, and therefore every random
+// corpus decision, is identical to Build at the same scale. fn may
+// return ErrStop to end the stream early.
+func Stream(sc Scale, fn func(*BuiltImage) error) error {
+	c := &Corpus{Vendors: Vendors(sc), builds: map[string]*builtUnit{}}
+	err := c.stream(sc, fn)
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	return err
+}
+
+// ScaleForImages returns a scale generating at least n images (each
+// device ships at least one release, so 4 vendors x devices-per-vendor
+// is a floor); pair with Stream and ErrStop to take exactly n.
+func ScaleForImages(n int) Scale {
+	if n < 1 {
+		n = 1
+	}
+	return Scale{DevicesPerVendor: (n + 3) / 4, MaxReleases: 2, Seed: 1}
+}
+
+// stream is the single generation loop behind Build and Stream. The
+// rng consumption order here is the corpus definition: any reordering
+// changes every generated corpus.
+func (c *Corpus) stream(sc Scale, fn func(*BuiltImage) error) error {
 	rng := newGenRNG(sc.Seed ^ 0xBADC0DE)
 	for vi := range c.Vendors {
 		v := &c.Vendors[vi]
@@ -84,7 +128,7 @@ func Build(sc Scale) (*Corpus, error) {
 					ver := rel.Packages[pkg]
 					unit, err := c.buildUnit(v, dev.Arch, pkg, ver)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					path := "bin/" + pkg
 					if len(PackageExports(pkg)) > 0 {
@@ -104,11 +148,13 @@ func Build(sc Scale) (*Corpus, error) {
 						})
 					}
 				}
-				c.Images = append(c.Images, bi)
+				if err := fn(bi); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return c, nil
+	return nil
 }
 
 func sortedPkgs(m map[string]string) []string {

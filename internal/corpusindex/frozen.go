@@ -21,9 +21,18 @@ import (
 // fresh ID would require mutation. Query analysis against a sealed
 // corpus must therefore run under a per-request QueryInterner overlay,
 // never under the Frozen itself.
+// A Frozen has two internal lookup representations: a hash map built at
+// seal/load time (map mode), or a binary-searched sorted slab pair
+// handed over from a mapped v2 shard (slab mode, FrozenFromSlabs) that
+// requires no construction work at open. Both are immutable after
+// construction and behave identically.
 type Frozen struct {
 	vocab []uint64          // dense ID -> hash
-	ids   map[uint64]uint32 // hash -> dense ID, never written after construction
+	ids   map[uint64]uint32 // hash -> dense ID (map mode); nil in slab mode
+	// Slab mode: hashes ascending with the parallel dense IDs, typically
+	// aliasing a mapped shard section.
+	sortedHashes []uint64
+	sortedIDs    []uint32
 }
 
 // Freeze seals the interner's current vocabulary into an immutable
@@ -61,6 +70,31 @@ func FrozenFromVocab(vocab []uint64) (*Frozen, error) {
 	return f, nil
 }
 
+// FrozenFromSlabs constructs a Frozen directly over foreign memory: the
+// vocabulary (dense ID → hash) plus a sorted-hash slab with its
+// parallel dense IDs, as persisted by a v2 shard. Unlike
+// FrozenFromVocab nothing is cloned and no map is built — lookups
+// binary-search the sorted slab — so opening a paper-scale vocabulary
+// costs validation only. The slices must stay valid and unmodified for
+// the Frozen's lifetime. Validation: equal lengths, strictly increasing
+// hashes, and every (hash, id) pair agreeing with the vocabulary —
+// which together prove the slab is exactly the vocabulary re-sorted.
+func FrozenFromSlabs(vocab []uint64, sortedHashes []uint64, sortedIDs []uint32) (*Frozen, error) {
+	if len(sortedHashes) != len(vocab) || len(sortedIDs) != len(vocab) {
+		return nil, fmt.Errorf("corpusindex: sorted vocabulary slabs hold %d+%d entries, vocabulary holds %d", len(sortedHashes), len(sortedIDs), len(vocab))
+	}
+	for i, h := range sortedHashes {
+		if i > 0 && h <= sortedHashes[i-1] {
+			return nil, fmt.Errorf("corpusindex: sorted vocabulary not strictly increasing at entry %d", i)
+		}
+		id := sortedIDs[i]
+		if int(id) >= len(vocab) || vocab[id] != h {
+			return nil, fmt.Errorf("corpusindex: sorted vocabulary entry %d (hash %#x, id %d) disagrees with the vocabulary", i, h, id)
+		}
+	}
+	return &Frozen{vocab: vocab, sortedHashes: sortedHashes, sortedIDs: sortedIDs}, nil
+}
+
 // Size reports the vocabulary size.
 func (f *Frozen) Size() int { return len(f.vocab) }
 
@@ -71,15 +105,22 @@ func (f *Frozen) Vocab() []uint64 { return f.vocab }
 // Lookup returns the dense ID of h and whether h is in the vocabulary.
 // It performs no locking and no allocation.
 func (f *Frozen) Lookup(h uint64) (uint32, bool) {
-	id, ok := f.ids[h]
-	return id, ok
+	if f.ids != nil {
+		id, ok := f.ids[h]
+		return id, ok
+	}
+	i, ok := slices.BinarySearch(f.sortedHashes, h)
+	if !ok {
+		return 0, false
+	}
+	return f.sortedIDs[i], true
 }
 
 // Intern returns the dense ID of a vocabulary hash. It panics on a hash
 // outside the closed vocabulary — a sealed corpus cannot grow; route
 // query analysis through NewQueryInterner instead.
 func (f *Frozen) Intern(h uint64) uint32 {
-	id, ok := f.ids[h]
+	id, ok := f.Lookup(h)
 	if !ok {
 		panic(fmt.Sprintf("corpusindex: Intern(%#x) on a frozen interner: the sealed vocabulary is closed; analyze queries under a QueryInterner overlay", h))
 	}
@@ -132,7 +173,7 @@ func (q *QueryInterner) Novel() int {
 // Intern returns the frozen ID for vocabulary hashes and a request-local
 // private ID (≥ the frozen vocabulary size) otherwise.
 func (q *QueryInterner) Intern(h uint64) uint32 {
-	if id, ok := q.base.ids[h]; ok {
+	if id, ok := q.base.Lookup(h); ok {
 		return id
 	}
 	q.mu.Lock()
@@ -149,7 +190,7 @@ func (q *QueryInterner) Intern(h uint64) uint32 {
 // the overlay lock only for hashes outside the frozen vocabulary.
 func (q *QueryInterner) InternAll(hashes []uint64, out []uint32) []uint32 {
 	for _, h := range hashes {
-		if id, ok := q.base.ids[h]; ok {
+		if id, ok := q.base.Lookup(h); ok {
 			out = append(out, id)
 			continue
 		}
@@ -167,19 +208,35 @@ func (q *QueryInterner) InternAll(hashes []uint64, out []uint32) []uint32 {
 // query path touches is a sync.Pool of scratch accumulators, which is
 // race-safe by construction and carries no corpus state between
 // queries.
+// A FrozenIndex holds its postings in one of two CSR representations:
+// dense (rowStart spans the whole vocabulary, built by NewFrozenIndex
+// from in-RAM rows) or sparse (only the non-empty rows, as rowIDs /
+// rowEnds slabs typically aliasing a mapped v2 shard, built by
+// NewFrozenIndexForeign with no per-row allocation). Queries walk
+// either form to the identical ranking.
 type FrozenIndex struct {
-	it   *Frozen
+	it    *Frozen
+	nexes int
+	// exes are the sealed executables (dense mode); nil in foreign mode,
+	// where the index exists before any executable is materialized.
 	exes []*sim.Exe
-	// CSR postings: posts[rowStart[id]:rowStart[id+1]] lists the
-	// (executable, procedure) postings of dense strand ID id.
+	// Dense CSR: posts[rowStart[id]:rowStart[id+1]] lists the
+	// (executable, procedure) postings of dense strand ID id. Nil in
+	// sparse mode.
 	rowStart []int32
-	posts    []Posting
+	// Sparse CSR: rowIDs are the non-empty rows' strand IDs ascending;
+	// row i's postings are posts[rowEnds[i-1]:rowEnds[i]] (rowEnds[-1]
+	// taken as 0). Nil in dense mode.
+	rowIDs  []uint32
+	rowEnds []uint32
+	posts   []Posting
 	// procOff are prefix sums of per-executable procedure counts, as in
 	// Index.
 	procOff []int32
 	// extra lists executables with no postings under the frozen
 	// vocabulary (not sealed under it); they are always candidates, as in
-	// Index.Candidates.
+	// Index.Candidates. Always nil in foreign mode: a persisted shard
+	// only ever holds executables sealed under its own vocabulary.
 	extra []int
 
 	scratch sync.Pool
@@ -196,7 +253,7 @@ type FrozenIndex struct {
 // with its source. Rows must be ordered by strictly increasing ID
 // within the vocabulary; violations are rejected.
 func NewFrozenIndex(it *Frozen, exes []*sim.Exe, rows []Row) (*FrozenIndex, error) {
-	x := &FrozenIndex{it: it, exes: exes}
+	x := &FrozenIndex{it: it, exes: exes, nexes: len(exes)}
 	x.procOff = make([]int32, len(exes)+1)
 	for i, e := range exes {
 		x.procOff[i+1] = x.procOff[i] + int32(len(e.Procs))
@@ -237,6 +294,57 @@ func NewFrozenIndex(it *Frozen, exes []*sim.Exe, rows []Row) (*FrozenIndex, erro
 	return x, nil
 }
 
+// NewFrozenIndexForeign builds a sealed index directly over foreign CSR
+// slabs — the row-ID, row-end and posting sections of a mapped v2 shard
+// — without copying them or densifying rows across the vocabulary. The
+// executables themselves need not exist yet: procCounts stands in for
+// them, so a shard's index is queryable before (and without) any
+// executable materialization. The slabs must stay valid and unmodified
+// for the index's lifetime.
+//
+// Validation matches NewFrozenIndex: strictly increasing in-vocabulary
+// row IDs, nondecreasing row ends terminating at len(posts), and every
+// posting inside [0, len(procCounts)) x [0, procCounts[exe]).
+func NewFrozenIndexForeign(it *Frozen, procCounts []int32, rowIDs, rowEnds []uint32, posts []Posting) (*FrozenIndex, error) {
+	x := &FrozenIndex{it: it, nexes: len(procCounts), rowIDs: rowIDs, rowEnds: rowEnds, posts: posts}
+	x.procOff = make([]int32, len(procCounts)+1)
+	for i, n := range procCounts {
+		if n < 0 {
+			return nil, fmt.Errorf("corpusindex: foreign index executable %d declares %d procedures", i, n)
+		}
+		x.procOff[i+1] = x.procOff[i] + n
+	}
+	if len(rowIDs) != len(rowEnds) {
+		return nil, fmt.Errorf("corpusindex: foreign index holds %d row IDs but %d row ends", len(rowIDs), len(rowEnds))
+	}
+	prevEnd := uint32(0)
+	for i, id := range rowIDs {
+		if i > 0 && id <= rowIDs[i-1] {
+			return nil, fmt.Errorf("corpusindex: foreign index rows not strictly increasing at row %d", i)
+		}
+		if int(id) >= len(it.vocab) {
+			return nil, fmt.Errorf("corpusindex: foreign index row ID %d outside the %d-entry vocabulary", id, len(it.vocab))
+		}
+		end := rowEnds[i]
+		if end < prevEnd || uint64(end) > uint64(len(posts)) {
+			return nil, fmt.Errorf("corpusindex: foreign index row %d ends at posting %d (previous %d, slab %d)", i, end, prevEnd, len(posts))
+		}
+		prevEnd = end
+	}
+	if int(prevEnd) != len(posts) {
+		return nil, fmt.Errorf("corpusindex: foreign index rows cover %d of %d postings", prevEnd, len(posts))
+	}
+	for pi, p := range posts {
+		if p.Exe < 0 || int(p.Exe) >= len(procCounts) {
+			return nil, fmt.Errorf("corpusindex: foreign index posting %d references executable %d of %d", pi, p.Exe, len(procCounts))
+		}
+		if p.Proc < 0 || p.Proc >= procCounts[p.Exe] {
+			return nil, fmt.Errorf("corpusindex: foreign index posting %d references procedure %d of %d", pi, p.Proc, procCounts[p.Exe])
+		}
+	}
+	return x, nil
+}
+
 // SetTelemetry attaches metric handles. Call it before serving queries;
 // it is not synchronized against concurrent Candidates calls.
 func (x *FrozenIndex) SetTelemetry(tel *Telemetry) {
@@ -253,7 +361,7 @@ func (x *FrozenIndex) SetTelemetry(tel *Telemetry) {
 func (x *FrozenIndex) Interner() *Frozen { return x.it }
 
 // Len reports the number of indexed executables.
-func (x *FrozenIndex) Len() int { return len(x.exes) }
+func (x *FrozenIndex) Len() int { return x.nexes }
 
 // Postings reports the total number of (strand, executable, procedure)
 // postings held.
@@ -265,6 +373,15 @@ func (x *FrozenIndex) Postings() int { return len(x.posts) }
 // must treat them as read-only.
 func (x *FrozenIndex) Rows() []Row {
 	var out []Row
+	if x.rowStart == nil {
+		lo := uint32(0)
+		for i, id := range x.rowIDs {
+			hi := x.rowEnds[i]
+			out = append(out, Row{ID: id, Posts: x.posts[lo:hi]})
+			lo = hi
+		}
+		return out
+	}
 	for id := 0; id < len(x.rowStart)-1; id++ {
 		if x.rowStart[id] < x.rowStart[id+1] {
 			out = append(out, Row{ID: uint32(id), Posts: x.posts[x.rowStart[id]:x.rowStart[id+1]]})
@@ -309,11 +426,11 @@ func (x *FrozenIndex) getScratch() *queryScratch {
 	if s == nil {
 		s = &queryScratch{}
 	}
-	if total := int(x.procOff[len(x.exes)]); len(s.counts) < total {
+	if total := int(x.procOff[x.nexes]); len(s.counts) < total {
 		s.counts = make([]int32, total)
 	}
-	if len(s.maxSim) < len(x.exes) {
-		s.maxSim = make([]int32, len(x.exes))
+	if len(s.maxSim) < x.nexes {
+		s.maxSim = make([]int32, x.nexes)
 	}
 	return s
 }
@@ -331,6 +448,25 @@ func (x *FrozenIndex) putScratch(s *queryScratch) {
 	x.scratch.Put(s)
 }
 
+// scanPosts accumulates one posting row into the scratch counters —
+// the shared inner loop of both CSR representations.
+func (x *FrozenIndex) scanPosts(s *queryScratch, posts []Posting) {
+	for _, p := range posts {
+		di := x.procOff[p.Exe] + p.Proc
+		c := s.counts[di] + 1
+		s.counts[di] = c
+		if c == 1 {
+			s.touched = append(s.touched, di)
+		}
+		if c > s.maxSim[p.Exe] {
+			if s.maxSim[p.Exe] == 0 {
+				s.exes = append(s.exes, p.Exe)
+			}
+			s.maxSim[p.Exe] = c
+		}
+	}
+}
+
 // accumulate mirrors Index.accumulate over the CSR slab. Query sets
 // must be interned under the frozen vocabulary or an overlay of it
 // (strand.Compatible); overlay-private IDs lie above the vocabulary and
@@ -341,23 +477,29 @@ func (x *FrozenIndex) accumulate(q strand.Set, minScore int, ratioFloor float64)
 		return nil, false
 	}
 	s := x.getScratch()
-	for _, id := range q.IDs {
-		if int(id) >= len(x.rowStart)-1 {
-			continue
+	if x.rowStart == nil {
+		// Sparse CSR: both q.IDs and rowIDs are strictly increasing, so
+		// one forward binary-search cursor visits each matching row once.
+		ri := 0
+		for _, id := range q.IDs {
+			j, ok := slices.BinarySearch(x.rowIDs[ri:], id)
+			ri += j
+			if !ok {
+				continue
+			}
+			lo := uint32(0)
+			if ri > 0 {
+				lo = x.rowEnds[ri-1]
+			}
+			x.scanPosts(s, x.posts[lo:x.rowEnds[ri]])
+			ri++
 		}
-		for _, p := range x.posts[x.rowStart[id]:x.rowStart[id+1]] {
-			di := x.procOff[p.Exe] + p.Proc
-			c := s.counts[di] + 1
-			s.counts[di] = c
-			if c == 1 {
-				s.touched = append(s.touched, di)
+	} else {
+		for _, id := range q.IDs {
+			if int(id) >= len(x.rowStart)-1 {
+				continue
 			}
-			if c > s.maxSim[p.Exe] {
-				if s.maxSim[p.Exe] == 0 {
-					s.exes = append(s.exes, p.Exe)
-				}
-				s.maxSim[p.Exe] = c
-			}
+			x.scanPosts(s, x.posts[x.rowStart[id]:x.rowStart[id+1]])
 		}
 	}
 	qsize := len(q.IDs)

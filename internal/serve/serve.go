@@ -464,14 +464,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// CorpusInfo is the /corpus response schema.
+// CorpusInfo is the /corpus response schema. Shards is present only
+// when the serving corpus is backed by FWCORP v2 shard files.
 type CorpusInfo struct {
-	Name          string `json:"name"`
-	Images        int    `json:"images"`
-	Executables   int    `json:"executables"`
-	UniqueStrands int    `json:"unique_strands"`
-	LoadedAt      string `json:"loaded_at"`
-	Swaps         int64  `json:"swaps"`
+	Name          string               `json:"name"`
+	Images        int                  `json:"images"`
+	Executables   int                  `json:"executables"`
+	UniqueStrands int                  `json:"unique_strands"`
+	LoadedAt      string               `json:"loaded_at"`
+	Swaps         int64                `json:"swaps"`
+	Shards        []firmup.SealedShard `json:"shards,omitempty"`
 }
 
 func (s *Server) handleCorpus(w http.ResponseWriter, _ *http.Request) {
@@ -487,6 +489,7 @@ func (s *Server) handleCorpus(w http.ResponseWriter, _ *http.Request) {
 		UniqueStrands: cs.Sealed.UniqueStrands(),
 		LoadedAt:      cs.LoadedAt.UTC().Format(time.RFC3339),
 		Swaps:         s.swaps.Value(),
+		Shards:        cs.Sealed.Shards(),
 	})
 }
 

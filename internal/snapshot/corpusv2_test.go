@@ -1,0 +1,332 @@
+package snapshot
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func mustEncodeShard(t *testing.T, c *Corpus, hdr ShardHeader) []byte {
+	t.Helper()
+	b, err := EncodeCorpusShard(c, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// touchShard walks every accessor of an open shard — the complete
+// first-touch surface — returning the first error. Every byte the
+// shard can ever serve is CRC-verified by the end of a clean walk.
+func touchShard(s *CorpusShard) error {
+	if _, err := s.Vocab(); err != nil {
+		return err
+	}
+	if _, _, err := s.SortedVocab(); err != nil {
+		return err
+	}
+	for i := 0; i < s.NumImages(); i++ {
+		info := s.Image(i)
+		if _, err := s.ProcCounts(i); err != nil {
+			return err
+		}
+		for e := 0; e < info.Executables; e++ {
+			if _, err := s.Exe(i, e); err != nil {
+				return err
+			}
+		}
+		if _, err := s.Index(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardToCorpus reconstructs the encoder-side model from an open
+// shard, canonicalizing empty slices to nil to match model form.
+func shardToCorpus(t *testing.T, s *CorpusShard) *Corpus {
+	t.Helper()
+	vocab, err := s.Vocab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Corpus{Interner: append([]uint64(nil), vocab...)}
+	if len(c.Interner) == 0 {
+		c.Interner = nil
+	}
+	for i := 0; i < s.NumImages(); i++ {
+		info := s.Image(i)
+		ci := CorpusImage{Vendor: info.Vendor, Device: info.Device, Version: info.Version, Skipped: info.Skipped}
+		for e := 0; e < info.Executables; e++ {
+			ed, err := s.Exe(i, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se := Exe{Path: ed.Path, Arch: ed.Arch, Stripped: ed.Stripped}
+			for _, pd := range ed.Procs {
+				sp := Proc{
+					Name: pd.Name, Addr: pd.Addr, Exported: pd.Exported,
+					BlockCount: pd.BlockCount, EdgeCount: pd.EdgeCount, InstCount: pd.InstCount,
+				}
+				if len(pd.IDs) > 0 {
+					sp.IDs = append([]uint32(nil), pd.IDs...)
+				}
+				if len(pd.Markers) > 0 {
+					sp.Markers = append([]uint32(nil), pd.Markers...)
+				}
+				if len(pd.Calls) > 0 {
+					sp.Calls = append([]int32(nil), pd.Calls...)
+				}
+				se.Procs = append(se.Procs, sp)
+			}
+			ci.Exes = append(ci.Exes, se)
+		}
+		slabs, err := s.Index(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slabs != nil {
+			ci.Index = []IndexRow{}
+			for k, id := range slabs.RowIDs {
+				lo := uint32(0)
+				if k > 0 {
+					lo = slabs.RowEnds[k-1]
+				}
+				ci.Index = append(ci.Index, IndexRow{
+					ID:    id,
+					Posts: append([]Posting(nil), slabs.Posts[lo:slabs.RowEnds[k]]...),
+				})
+			}
+		}
+		c.Images = append(c.Images, ci)
+	}
+	return c
+}
+
+// randomCorpusModel generates a structurally valid corpus over one
+// shared vocabulary, reusing the image-model generator for shapes.
+func randomCorpusModel(rng *rand.Rand) *Corpus {
+	c := &Corpus{}
+	seen := map[uint64]bool{}
+	for vocab := 1 + rng.Intn(250); len(c.Interner) < vocab; {
+		h := rng.Uint64()
+		if !seen[h] {
+			seen[h] = true
+			c.Interner = append(c.Interner, h)
+		}
+	}
+	nimg := 1 + rng.Intn(4)
+	for i := 0; i < nimg; i++ {
+		m := randomModel(rng)
+		ci := CorpusImage{Vendor: m.Vendor, Device: m.Device, Version: m.Version, Skipped: m.Skipped, Exes: m.Exes}
+		// Rebase the image's ID sets and index into the shared vocabulary.
+		for ei := range ci.Exes {
+			for pi := range ci.Exes[ei].Procs {
+				ci.Exes[ei].Procs[pi].IDs = randIDSet(rng, len(c.Interner), 30)
+			}
+		}
+		if rng.Intn(4) > 0 {
+			var idx []IndexRow
+			for _, id := range randIDSet(rng, len(c.Interner), 40) {
+				var posts []Posting
+				for k := 1 + rng.Intn(3); k > 0; k-- {
+					if len(ci.Exes) == 0 {
+						break
+					}
+					ei := rng.Intn(len(ci.Exes))
+					if len(ci.Exes[ei].Procs) == 0 {
+						continue
+					}
+					posts = append(posts, Posting{Exe: int32(ei), Proc: int32(rng.Intn(len(ci.Exes[ei].Procs)))})
+				}
+				if len(posts) > 0 {
+					idx = append(idx, IndexRow{ID: id, Posts: posts})
+				}
+			}
+			if idx == nil {
+				idx = []IndexRow{}
+			}
+			ci.Index = idx
+		}
+		c.Images = append(c.Images, ci)
+	}
+	return c
+}
+
+func TestCorpusShardRoundTrip(t *testing.T) {
+	models := []*Corpus{testCorpus()}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 8; i++ {
+		models = append(models, randomCorpusModel(rng))
+	}
+	for mi, want := range models {
+		data := mustEncodeShard(t, want, ShardHeader{ShardCount: 1, TotalImages: len(want.Images)})
+		s, err := OpenCorpusShardBytes(data)
+		if err != nil {
+			t.Fatalf("model %d: open: %v", mi, err)
+		}
+		if err := touchShard(s); err != nil {
+			t.Fatalf("model %d: touch: %v", mi, err)
+		}
+		got := shardToCorpus(t, s)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("model %d: round trip mismatch:\n got %+v\nwant %+v", mi, got, want)
+		}
+	}
+}
+
+func TestCorpusShardHeaderRoundTrip(t *testing.T) {
+	hdr := ShardHeader{ShardIndex: 3, ShardCount: 7, ImageBase: 12, TotalImages: 40}
+	s, err := OpenCorpusShardBytes(mustEncodeShard(t, testCorpus(), hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Header(); got != hdr {
+		t.Errorf("header round trip: got %+v want %+v", got, hdr)
+	}
+	if v, err := CorpusVersion(s.data); err != nil || v != CorpusFormatVersionV2 {
+		t.Errorf("CorpusVersion = %d, %v", v, err)
+	}
+}
+
+func TestCorpusShardBadHeader(t *testing.T) {
+	c := testCorpus()
+	for _, hdr := range []ShardHeader{
+		{ShardIndex: -1, ShardCount: 1, TotalImages: 2},
+		{ShardIndex: 1, ShardCount: 1, TotalImages: 2},
+		{ShardCount: 0, TotalImages: 2},
+		{ShardCount: 1, ImageBase: 1, TotalImages: 2},
+		{ShardCount: 1, TotalImages: 1},
+	} {
+		if _, err := EncodeCorpusShard(c, hdr); err == nil {
+			t.Errorf("EncodeCorpusShard accepted invalid header %+v", hdr)
+		}
+	}
+}
+
+func TestCorpusShardSectionAlignment(t *testing.T) {
+	c := randomCorpusModel(rand.New(rand.NewSource(11)))
+	data := mustEncodeShard(t, c, ShardHeader{ShardCount: 1, TotalImages: len(c.Images)})
+	table, err := parseCorpusV2Table(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != v2NumSections {
+		t.Fatalf("section count = %d, want %d", len(table), v2NumSections)
+	}
+	for _, e := range table {
+		if e.length > 0 && e.off%v2Align != 0 {
+			t.Errorf("section %s at offset %d is not %d-byte aligned", v2SectionName(e.tag), e.off, v2Align)
+		}
+	}
+}
+
+// TestCorpusShardBoundaryCorruption flips one byte at the first and
+// last byte of every section (the section-alignment boundaries of the
+// container) and requires the open-plus-walk sequence to surface an
+// error wrapping ErrCorrupt — the per-section CRC must catch every
+// flip on first touch, and nothing may panic.
+func TestCorpusShardBoundaryCorruption(t *testing.T) {
+	c := testCorpus()
+	orig := mustEncodeShard(t, c, ShardHeader{ShardCount: 1, TotalImages: len(c.Images)})
+	table, err := parseCorpusV2Table(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := func(name string, pos uint64) {
+		data := append([]byte(nil), orig...)
+		data[pos] ^= 0x5a
+		s, err := OpenCorpusShardBytes(data)
+		if err == nil {
+			err = touchShard(s)
+		}
+		if err == nil {
+			t.Errorf("%s: flipped byte at %d went undetected", name, pos)
+			return
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error does not wrap ErrCorrupt: %v", name, err)
+		}
+	}
+	for _, e := range table {
+		if e.length == 0 {
+			continue
+		}
+		name := v2SectionName(e.tag)
+		flip(name+"/first", e.off)
+		flip(name+"/last", e.off+e.length-1)
+	}
+	// And the header itself.
+	flip("header/version", 8)
+}
+
+// TestCorpusShardTruncation opens every prefix of a valid shard: each
+// must fail with ErrCorrupt (or, for accessor-time failures, surface
+// it on first touch) and never panic — mapped files can be truncated
+// underneath the reader.
+func TestCorpusShardTruncation(t *testing.T) {
+	c := testCorpus()
+	data := mustEncodeShard(t, c, ShardHeader{ShardCount: 1, TotalImages: len(c.Images)})
+	for k := 0; k < len(data); k++ {
+		s, err := OpenCorpusShardBytes(data[:k])
+		if err == nil {
+			err = touchShard(s)
+		}
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes went undetected", k, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d: error does not wrap ErrCorrupt: %v", k, err)
+		}
+	}
+}
+
+// TestCorpusShardSlabCopyFallback pins the copy path (hosts without
+// unsafe zero-copy casts) to the zero-copy result.
+func TestCorpusShardSlabCopyFallback(t *testing.T) {
+	c := randomCorpusModel(rand.New(rand.NewSource(23)))
+	data := mustEncodeShard(t, c, ShardHeader{ShardCount: 1, TotalImages: len(c.Images)})
+	open := func() *Corpus {
+		s, err := OpenCorpusShardBytes(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return shardToCorpus(t, s)
+	}
+	fast := open()
+	forceSlabCopy = true
+	defer func() { forceSlabCopy = false }()
+	slow := open()
+	if !reflect.DeepEqual(fast, slow) {
+		t.Error("slab copy fallback decodes differently from zero-copy")
+	}
+}
+
+func TestOpenCorpusShardFile(t *testing.T) {
+	c := testCorpus()
+	data := mustEncodeShard(t, c, ShardHeader{ShardCount: 1, TotalImages: len(c.Images)})
+	path := filepath.Join(t.TempDir(), "shard-0000.fwcorp")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenCorpusShardFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := touchShard(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := shardToCorpus(t, s); !reflect.DeepEqual(got, c) {
+		t.Error("file-backed shard decodes differently from the model")
+	}
+	if s.SizeBytes() != int64(len(data)) {
+		t.Errorf("SizeBytes = %d, want %d", s.SizeBytes(), len(data))
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

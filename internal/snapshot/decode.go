@@ -136,6 +136,14 @@ func (r *reader) uvarint() (uint64, error) {
 // count reads a uvarint element count and rejects it when even at
 // minBytes per element it cannot fit in the remaining payload — the
 // guard that keeps attacker-declared lengths from driving allocations.
+//
+// Scale audit: the cap is relative (remaining payload bytes / minBytes),
+// not an absolute constant, so multi-gigabyte corpus sections pass
+// through unchanged — a section holding N bytes can never drive more
+// than N/minBytes elements of allocation, at 12-image and at
+// paper-scale corpora alike. The v2 shard layout (corpusv2.go) goes
+// further: its slab views are casts over the mapped file, sized by the
+// cross-checked section length, and allocate nothing at all.
 func (r *reader) count(what string, minBytes int) (int, error) {
 	v, err := r.uvarint()
 	if err != nil {

@@ -29,18 +29,41 @@ func FuzzSnapshotDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte(magic))
+	// v2 shard containers share the magic with v1 artifacts, so the
+	// same fuzz corpus exercises both decoders; seed it with valid
+	// shards so mutations reach deep into the v2 section layout.
+	tc := testCorpus()
+	for _, hdr := range []ShardHeader{
+		{ShardCount: 1, TotalImages: len(tc.Images)},
+		{ShardIndex: 1, ShardCount: 3, ImageBase: 4, TotalImages: 9},
+	} {
+		data, err := EncodeCorpusShard(tc, hdr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		img, err := Decode(data)
 		if err != nil {
 			if !errors.Is(err, ErrCorrupt) {
 				t.Fatalf("decoder error does not wrap ErrCorrupt: %v", err)
 			}
-			return
-		}
-		// Accepted input must be a valid model: re-encoding applies the
-		// full validation pass and must succeed.
-		if _, err := Encode(img); err != nil {
+		} else if _, err := Encode(img); err != nil {
+			// Accepted input must be a valid model: re-encoding applies
+			// the full validation pass and must succeed.
 			t.Fatalf("decoded image fails re-encoding: %v", err)
+		}
+		// The shard opener must uphold the same contract over the same
+		// bytes: open-plus-walk either succeeds or fails wrapping
+		// ErrCorrupt, and never panics — every accessor is the decode
+		// surface here, since slabs validate lazily on first touch.
+		s, err := OpenCorpusShardBytes(data)
+		if err == nil {
+			err = touchShard(s)
+		}
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("shard opener error does not wrap ErrCorrupt: %v", err)
 		}
 	})
 }

@@ -1,0 +1,24 @@
+//go:build linux
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. Opening a shard this way costs page
+// faults on touch instead of an up-front read: sections the serving
+// process never materializes never leave the page cache. Falls back to
+// the portable read-all path when mmap itself fails (size 0, exotic
+// filesystems).
+func mapFile(f *os.File, size int64) (data []byte, closer func() error, mapped bool, err error) {
+	if size <= 0 || int64(int(size)) != size {
+		return readAllFile(f, size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readAllFile(f, size)
+	}
+	return b, func() error { return syscall.Munmap(b) }, true, nil
+}

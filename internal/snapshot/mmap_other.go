@@ -1,0 +1,11 @@
+//go:build !linux
+
+package snapshot
+
+import "os"
+
+// mapFile on platforms without wired-up mmap support reads the whole
+// file into memory. Same contract, no zero-copy benefit.
+func mapFile(f *os.File, size int64) (data []byte, closer func() error, mapped bool, err error) {
+	return readAllFile(f, size)
+}

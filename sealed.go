@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 
 	"firmup/internal/cfg"
 	"firmup/internal/core"
@@ -31,9 +32,20 @@ import (
 type SealedCorpus struct {
 	frozen *corpusindex.Frozen
 	images []*SealedImage
+
+	// shards is non-empty only for corpora opened from FWCORP v2 shard
+	// files (OpenSealedCorpus / OpenSealedCorpusDir); it drives the
+	// per-shard fan-out of corpus-wide searches and Close.
+	shards []*sealedShardRef
 }
 
 // SealedImage is one firmware image of a sealed corpus.
+//
+// In-RAM images (Seal, LoadSealedCorpus) carry all executables in
+// Exes. Store-backed images (OpenSealedCorpus) leave Exes nil until a
+// search needs every executable: individual executables materialize
+// from the mapped shard on demand, so access Exes only through
+// Executable / search APIs, which fault them in as needed.
 type SealedImage struct {
 	Vendor  string
 	Device  string
@@ -44,11 +56,25 @@ type SealedImage struct {
 
 	index   *corpusindex.FrozenIndex
 	targets []*sim.Exe
+
+	// Store-backed state (nil/zero for in-RAM images).
+	store    *sealedStore
+	storeImg int // image index within the shard
+	nExes    int
+	lazy     []lazyExe
+	idxOnce  sync.Once
+	idxErr   error
+	allOnce  sync.Once
+	allErr   error
 }
 
 // Executable returns the sealed executable with the given in-image
-// path, or nil.
+// path, or nil. On a store-backed image this materializes the whole
+// image; nil is also returned if the shard fails to decode.
 func (im *SealedImage) Executable(path string) *Executable {
+	if err := im.ensureAll(); err != nil {
+		return nil
+	}
 	for _, e := range im.Exes {
 		if e.Path == path {
 			return e
@@ -58,8 +84,12 @@ func (im *SealedImage) Executable(path string) *Executable {
 }
 
 // IndexedStrands reports the number of postings in the image's sealed
-// search index, or 0 when the image was sealed without one.
+// search index, or 0 when the image was sealed without one (or its
+// shard index fails to decode).
 func (im *SealedImage) IndexedStrands() int {
+	if err := im.ensureIndex(); err != nil {
+		return 0
+	}
 	if im.index == nil {
 		return 0
 	}
@@ -92,6 +122,7 @@ func (a *Analyzer) Seal(images ...*Image) (*SealedCorpus, error) {
 			}
 			si.Exes = append(si.Exes, &Executable{Path: e.Path, exe: e.exe.Rebound(frozen), rec: e.rec})
 		}
+		si.nExes = len(si.Exes)
 		si.targets = make([]*sim.Exe, len(si.Exes))
 		for i, e := range si.Exes {
 			si.targets[i] = e.exe
@@ -116,10 +147,12 @@ func (sc *SealedCorpus) Images() []*SealedImage { return sc.images }
 func (sc *SealedCorpus) UniqueStrands() int { return sc.frozen.Size() }
 
 // Executables reports the total executable count across all images.
+// Cheap even when store-backed: counts come from shard metadata, not
+// materialization.
 func (sc *SealedCorpus) Executables() int {
 	n := 0
 	for _, im := range sc.images {
-		n += len(im.Exes)
+		n += im.nExes
 	}
 	return n
 }
@@ -183,6 +216,16 @@ func (sc *SealedCorpus) SearchImageDetailed(query *Executable, procedure string,
 	if qi < 0 {
 		return nil, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
 	}
+	return sc.searchImageIdx(query, qi, img, opt)
+}
+
+// searchImageIdx runs one resolved query procedure against one image,
+// dispatching between the in-RAM view path and the store-backed lazy
+// path. Both produce byte-identical results.
+func (sc *SealedCorpus) searchImageIdx(query *Executable, qi int, img *SealedImage, opt *Options) (*SearchResult, error) {
+	if img.store != nil {
+		return sc.storeSearch(query, qi, img, opt)
+	}
 	s := opt.search()
 	v := sealedView{
 		img:        img,
@@ -202,6 +245,15 @@ func (sc *SealedCorpus) SearchBatch(queries []BatchQuery, img *SealedImage, opt 
 	cqs, err := coreBatch(queries)
 	if err != nil {
 		return nil, err
+	}
+	return sc.searchBatchCore(cqs, img, opt)
+}
+
+// searchBatchCore is SearchBatch after query resolution, shared with
+// the corpus-wide fan-out so resolution runs once per corpus pass.
+func (sc *SealedCorpus) searchBatchCore(cqs []core.BatchQuery, img *SealedImage, opt *Options) ([]*SearchResult, error) {
+	if img.store != nil {
+		return sc.storeSearchBatch(cqs, img, opt)
 	}
 	s := opt.search()
 	v := sealedView{
@@ -238,23 +290,77 @@ type ImageFindings struct {
 }
 
 // SearchAll runs the query against every image of the corpus in seal
-// order.
+// order. On a sharded corpus the shards are searched in parallel; the
+// merged result is index-for-index identical to the sequential pass —
+// per-image searches share no mutable state, so fan-out order cannot
+// influence findings, examined counts or step histograms.
 func (sc *SealedCorpus) SearchAll(query *Executable, procedure string, opt *Options) ([]ImageFindings, error) {
-	out := make([]ImageFindings, 0, len(sc.images))
-	for _, img := range sc.images {
-		res, err := sc.SearchImageDetailed(query, procedure, img, opt)
+	qi := query.exe.ProcByName(procedure)
+	if qi < 0 {
+		return nil, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
+	}
+	out := make([]ImageFindings, len(sc.images))
+	err := sc.fanOut(func(i int) error {
+		img := sc.images[i]
+		res, err := sc.searchImageIdx(query, qi, img, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, ImageFindings{
+		out[i] = ImageFindings{
 			Vendor:   img.Vendor,
 			Device:   img.Device,
 			Version:  img.Version,
 			Findings: res.Findings,
 			Examined: res.Examined,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// fanOut fills per-image results for every image of the corpus: one
+// sequential pass when the corpus is a single range (in-RAM), one
+// goroutine per shard otherwise, merged by global image index. The
+// first error in shard order wins.
+func (sc *SealedCorpus) fanOut(fill func(i int) error) error {
+	ranges := sc.shardRanges()
+	if len(ranges) == 1 {
+		r := ranges[0]
+		for i := r[0]; i < r[0]+r[1]; i++ {
+			if err := fill(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := min(len(ranges), runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for ri, r := range ranges {
+		wg.Add(1)
+		go func(ri int, r [2]int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for i := r[0]; i < r[0]+r[1]; i++ {
+				if err := fill(i); err != nil {
+					errs[ri] = err
+					return
+				}
+			}
+		}(ri, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SearchAllBatch runs every batch query against every image of the
@@ -265,24 +371,33 @@ func (sc *SealedCorpus) SearchAll(query *Executable, procedure string, opt *Opti
 // requests against one corpus share each image's target pass instead of
 // replaying it per request.
 func (sc *SealedCorpus) SearchAllBatch(queries []BatchQuery, opt *Options) ([][]ImageFindings, error) {
+	cqs, err := coreBatch(queries)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]ImageFindings, len(queries))
 	for qx := range queries {
-		out[qx] = make([]ImageFindings, 0, len(sc.images))
+		out[qx] = make([]ImageFindings, len(sc.images))
 	}
-	for _, img := range sc.images {
-		res, err := sc.SearchBatch(queries, img, opt)
+	err = sc.fanOut(func(i int) error {
+		img := sc.images[i]
+		res, err := sc.searchBatchCore(cqs, img, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for qx, r := range res {
-			out[qx] = append(out[qx], ImageFindings{
+			out[qx][i] = ImageFindings{
 				Vendor:   img.Vendor,
 				Device:   img.Device,
 				Version:  img.Version,
 				Findings: r.Findings,
 				Examined: r.Examined,
-			})
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -314,20 +429,10 @@ func (sc *SealedCorpus) MatchProcedureTraced(query *Executable, procedure string
 // re-analyzing firmware.
 func (sc *SealedCorpus) Save() ([]byte, error) {
 	c := &snapshot.Corpus{Interner: sc.frozen.Vocab()}
-	for _, im := range sc.images {
-		ci := snapshot.CorpusImage{Vendor: im.Vendor, Device: im.Device, Version: im.Version}
-		for _, s := range im.Skipped {
-			ci.Skipped = append(ci.Skipped, snapshot.Skip{Path: s.Path, Err: s.Err.Error()})
-		}
-		for _, e := range im.Exes {
-			ci.Exes = append(ci.Exes, exeToModel(e.Path, e.exe))
-		}
-		if im.index != nil {
-			rows := im.index.Rows()
-			ci.Index = make([]snapshot.IndexRow, len(rows))
-			for i, r := range rows {
-				ci.Index[i] = snapshot.IndexRow{ID: r.ID, Posts: postsToModel(r.Posts)}
-			}
+	for i := range sc.images {
+		ci, err := sc.imageModel(i)
+		if err != nil {
+			return nil, err
 		}
 		c.Images = append(c.Images, ci)
 	}
@@ -395,6 +500,7 @@ func LoadSealedCorpus(data []byte) (*SealedCorpus, error) {
 			si.Exes = append(si.Exes, &Executable{Path: se.Path, exe: e})
 			si.targets = append(si.targets, e)
 		}
+		si.nExes = len(si.Exes)
 		if ci.Index != nil {
 			rows := make([]corpusindex.Row, len(ci.Index))
 			for i, r := range ci.Index {

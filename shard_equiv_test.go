@@ -1,0 +1,235 @@
+package firmup_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"firmup"
+	"firmup/internal/corpus"
+	"firmup/internal/uir"
+)
+
+// TestShardedCorpusEquivalence is the sharding soundness test: a
+// sealed corpus split into any number of v2 shards and reopened
+// mmap-backed must answer every search byte-identically to the in-RAM
+// corpus it was written from — findings, examined counts and step
+// histograms, across sequential, batched and exhaustive paths, and
+// under concurrent readers (exercised with -race in CI).
+func TestShardedCorpusEquivalence(t *testing.T) {
+	s := buildSealedScenario(t, corpus.DefaultScale())
+	cve := corpus.CVEByID("CVE-2014-4877")
+	qb := queryBytesFor(t, cve, uir.ArchMIPS32)
+	cve2 := corpus.CVEByID("CVE-2013-1944")
+	qb2 := queryBytesFor(t, cve2, uir.ArchARM32)
+
+	baseQ, err := s.sealed.AnalyzeQuery(qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseQ2, err := s.sealed.AnalyzeQuery(qb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []*firmup.Options{nil, {MinScore: 3, MinRatio: 0.2}, {Exhaustive: true}}
+	type baseline struct {
+		all   []firmup.ImageFindings
+		batch [][]firmup.ImageFindings
+	}
+	var want []baseline
+	total := 0
+	for _, opt := range opts {
+		all, err := s.sealed.SearchAll(baseQ, cve.Procedure, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := s.sealed.SearchAllBatch([]firmup.BatchQuery{
+			{Query: baseQ, Procedure: cve.Procedure},
+			{Query: baseQ2, Procedure: cve2.Procedure},
+		}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, baseline{all: all, batch: batch})
+		for _, im := range all {
+			total += len(im.Findings)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no findings in the unsharded baseline; equivalence would be vacuous")
+	}
+
+	for _, nShards := range []int{1, 2, 7} {
+		t.Run(fmt.Sprintf("shards=%d", nShards), func(t *testing.T) {
+			dir := t.TempDir()
+			paths, err := s.sealed.WriteShards(dir, nShards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(paths) != nShards {
+				t.Fatalf("WriteShards returned %d paths, want %d", len(paths), nShards)
+			}
+			sc, err := firmup.OpenSealedCorpusDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sc.Close()
+			if got := len(sc.Shards()); got != nShards {
+				t.Errorf("Shards() reports %d shards, want %d", got, nShards)
+			}
+			if sc.Executables() != s.sealed.Executables() || sc.UniqueStrands() != s.sealed.UniqueStrands() {
+				t.Errorf("corpus shape diverges: %d/%d executables, %d/%d strands",
+					sc.Executables(), s.sealed.Executables(), sc.UniqueStrands(), s.sealed.UniqueStrands())
+			}
+
+			q, err := sc.AnalyzeQuery(qb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q2, err := sc.AnalyzeQuery(qb2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for oi, opt := range opts {
+				all, err := sc.SearchAll(q, cve.Procedure, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(all, want[oi].all) {
+					t.Errorf("opt[%d]: SearchAll diverges from unsharded corpus", oi)
+				}
+				batch, err := sc.SearchAllBatch([]firmup.BatchQuery{
+					{Query: q, Procedure: cve.Procedure},
+					{Query: q2, Procedure: cve2.Procedure},
+				}, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(batch, want[oi].batch) {
+					t.Errorf("opt[%d]: SearchAllBatch diverges from unsharded corpus", oi)
+				}
+				// Per-image detailed results pin the step histograms too.
+				for i, img := range sc.Images() {
+					res, err := sc.SearchImageDetailed(q, cve.Procedure, img, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					baseRes, err := s.sealed.SearchImageDetailed(baseQ, cve.Procedure, s.sealed.Images()[i], opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(res, baseRes) {
+						t.Errorf("opt[%d] image %d: detailed result diverges:\nsharded:   %+v\nunsharded: %+v",
+							oi, i, res, baseRes)
+					}
+				}
+			}
+
+			// Concurrent readers race lazy materialization and the
+			// first-touch CRC passes; every reader must still see the
+			// baseline result exactly.
+			var wg sync.WaitGroup
+			errs := make(chan error, 8)
+			for r := 0; r < 8; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					opt := opts[r%len(opts)]
+					all, err := sc.SearchAll(q, cve.Procedure, opt)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(all, want[r%len(opts)].all) {
+						errs <- fmt.Errorf("reader %d: concurrent SearchAll diverges", r)
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestOpenSealedCorpusForms pins the OpenSealedCorpus dispatch: a v1
+// artifact, a single-shard v2 file and a shard directory all open into
+// equivalent corpora, and a multi-shard member opened as a lone file
+// is rejected with a pointer to the directory form.
+func TestOpenSealedCorpusForms(t *testing.T) {
+	s := buildSealedScenario(t, corpus.DefaultScale())
+	cve := corpus.CVEByID("CVE-2014-4877")
+	qb := queryBytesFor(t, cve, uir.ArchMIPS32)
+	baseQ, err := s.sealed.AnalyzeQuery(qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.sealed.SearchAll(baseQ, cve.Procedure, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	v1Path := filepath.Join(dir, "corpus.v1")
+	blob, err := s.sealed.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v1Path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oneDir := filepath.Join(dir, "one")
+	onePaths, err := s.sealed.WriteShards(oneDir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manyDir := filepath.Join(dir, "many")
+	manyPaths, err := s.sealed.WriteShards(manyDir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name, path string
+	}{
+		{"v1-file", v1Path},
+		{"v2-single-file", onePaths[0]},
+		{"v2-dir", manyDir},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := firmup.OpenSealedCorpus(tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sc.Close()
+			q, err := sc.AnalyzeQuery(qb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sc.SearchAll(q, cve.Procedure, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Error("opened corpus answers differently from the sealed original")
+			}
+		})
+	}
+
+	if _, err := firmup.OpenSealedCorpus(manyPaths[1]); err == nil {
+		t.Error("opening one shard of a 3-shard corpus as a file succeeded; want an error directing to the directory")
+	}
+
+	// A shard set with a member missing must be rejected at open.
+	if err := os.Remove(manyPaths[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := firmup.OpenSealedCorpusDir(manyDir); err == nil {
+		t.Error("opening an incomplete shard set succeeded")
+	}
+}
