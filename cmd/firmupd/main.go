@@ -45,6 +45,7 @@ func main() {
 		queryWorkers    = flag.Int("query-workers", 0, "per-request query-analysis worker budget (0 = GOMAXPROCS)")
 		searchWorkers   = flag.Int("search-workers", 0, "per-request search worker budget (0 = GOMAXPROCS)")
 		allowSwap       = flag.Bool("allow-swap", false, "enable POST /swap?path=... corpus hot-swap")
+		approx          = flag.Bool("approx", false, "default /search to the approximate LSH candidate tier (per-request approx=0/1 overrides)")
 		batchWindow     = flag.Duration("batch-window", 0, "coalesce concurrent same-target searches into one batched pass, waiting this long for followers (0 = off)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown grace period")
 	)
@@ -55,19 +56,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	cs, err := loadCorpus(*corpusPath)
+	reg := telemetry.New()
+	cs, err := loadCorpus(*corpusPath, reg)
 	if err != nil {
 		log.Fatalf("firmupd: %v", err)
 	}
 	log.Printf("firmupd: loaded %s: %d images, %d executables, %d unique strands",
 		cs.Name, len(cs.Sealed.Images()), cs.Sealed.Executables(), cs.Sealed.UniqueStrands())
 
-	reg := telemetry.New()
 	srv := serve.New(cs, &serve.Config{
 		MaxInFlight:   *maxInFlight,
 		RetryAfter:    *retryAfter,
 		QueryWorkers:  *queryWorkers,
 		SearchWorkers: *searchWorkers,
+		Approx:        *approx,
 		BatchWindow:   *batchWindow,
 		Registry:      reg,
 	})
@@ -85,7 +87,7 @@ func main() {
 				http.Error(w, "missing required query parameter: path", http.StatusBadRequest)
 				return
 			}
-			next, err := loadCorpus(path)
+			next, err := loadCorpus(path, reg)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
@@ -117,9 +119,10 @@ func main() {
 }
 
 // loadCorpus opens one sealed corpus: a v1 artifact (decoded into
-// RAM), a single v2 shard file, or a directory of v2 shards (both
-// mmap-backed and lazily materialized).
-func loadCorpus(path string) (*serve.Corpus, error) {
+// RAM), a single shard file, or a directory of shards (both
+// mmap-backed and lazily materialized). Prefilter telemetry (index.*
+// and lsh.* metrics) is attached to the corpus before it serves.
+func loadCorpus(path string, reg *telemetry.Registry) (*serve.Corpus, error) {
 	sc, err := firmup.OpenSealedCorpus(path)
 	if err != nil {
 		if errors.Is(err, firmup.ErrSnapshotCorrupt) {
@@ -127,6 +130,7 @@ func loadCorpus(path string) (*serve.Corpus, error) {
 		}
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	sc.SetTelemetry(reg)
 	if shards := sc.Shards(); shards != nil {
 		mapped := 0
 		for _, sh := range shards {

@@ -44,18 +44,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, game, analyze, telemetry, serve, scale, all")
+	exp := flag.String("exp", "all", "experiment: table2, fig6, fig8, fig9, ablation, fig5, table1, demo, snapshot, game, analyze, telemetry, serve, scale, lsh, all")
 	scale := flag.String("scale", "default", "corpus scale: default, eval or paper (paper selects -exp scale)")
-	jsonOut := flag.Bool("json", false, "write machine-readable results of the game/analyze/telemetry/serve/scale experiments to BENCH_<exp>.json")
-	images := flag.Int("images", 32, "scale experiment: generated image count")
-	shards := flag.Int("shards", 4, "scale experiment: v2 shard count")
+	jsonOut := flag.Bool("json", false, "write machine-readable results of the game/analyze/telemetry/serve/scale/lsh experiments to BENCH_<exp>.json")
+	images := flag.Int("images", 32, "scale/lsh experiments: generated image count")
+	shards := flag.Int("shards", 4, "scale/lsh experiments: v2 shard count")
 	maxRSS := flag.Int64("max-rss-bytes", 0, "scale experiment: exit 1 if peak RSS exceeds this budget (0 = unenforced)")
+	compareV1 := flag.Bool("compare-v1", true, "scale experiment: also save/decode/probe the corpus as one v1 artifact (auto-off above 128 images unless set explicitly)")
 	flag.Parse()
 
 	valid := map[string]bool{"all": true, "table2": true, "fig6": true, "fig8": true,
 		"fig9": true, "ablation": true, "fig5": true, "table1": true, "demo": true,
 		"snapshot": true, "game": true, "analyze": true, "telemetry": true, "serve": true,
-		"scale": true}
+		"scale": true, "lsh": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "fwbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -67,7 +68,26 @@ func main() {
 		*exp = "scale"
 	}
 	if *exp == "scale" {
-		scaleBench(*scale, *images, *shards, *maxRSS, *jsonOut)
+		// The eager v1 decode dominates wall clock and RSS at large image
+		// counts; above 128 images it stays off unless asked for by name.
+		if *images > 128 {
+			explicit := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "compare-v1" {
+					explicit = true
+				}
+			})
+			if !explicit && *compareV1 {
+				*compareV1 = false
+				fmt.Fprintln(os.Stderr, "fwbench: scale: -compare-v1 auto-disabled above 128 images (pass -compare-v1 to force)")
+			}
+		}
+		scaleBench(*scale, *images, *shards, *maxRSS, *jsonOut, *compareV1)
+		return
+	}
+	// -exp lsh builds its own streamed corpus like the scale experiment.
+	if *exp == "lsh" {
+		lshBench(*images, *shards, *jsonOut)
 		return
 	}
 	if *scale == "paper" {
@@ -493,9 +513,9 @@ type multiQueryReport struct {
 	BatchedNsPerOp    float64 `json:"batched_ns_per_op"`
 	// PrefilterNsPerOp isolates the candidate-narrowing phase (identical
 	// in both paths); the game-phase costs are the remainders.
-	PrefilterNsPerOp   float64 `json:"prefilter_ns_per_op"`
-	SequentialGameNs   float64 `json:"sequential_game_ns_per_op"`
-	BatchedGameNs      float64 `json:"batched_game_ns_per_op"`
+	PrefilterNsPerOp     float64 `json:"prefilter_ns_per_op"`
+	SequentialGameNs     float64 `json:"sequential_game_ns_per_op"`
+	BatchedGameNs        float64 `json:"batched_game_ns_per_op"`
 	NsPerQuerySequential float64 `json:"ns_per_query_sequential"`
 	NsPerQueryBatched    float64 `json:"ns_per_query_batched"`
 	// SpeedupNsPerQuery is sequential over batched ns/query (>1 means

@@ -30,7 +30,8 @@ func main() {
 	compress := flag.Bool("compress", true, "zlib-compress images")
 	snap := flag.Bool("snapshot", false, "analyze each image and write a <name>.fwsnap sidecar snapshot")
 	sealed := flag.Bool("sealed", false, "analyze every image under one shared session and write a sealed corpus.fwcorp artifact for firmupd")
-	shards := flag.Int("shards", 0, "with -sealed: write the corpus as N mmap-ready FWCORP v2 shards under corpus.fwcorp.d/ instead of one v1 artifact")
+	shards := flag.Int("shards", 0, "with -sealed: write the corpus as N mmap-ready FWCORP shards under corpus.fwcorp.d/ instead of one v1 artifact")
+	noSigs := flag.Bool("no-sigs", false, "with -shards: omit the MinHash signature slab (pre-LSH v2 layout readable by older firmupd builds; served corpora fall back to the exact prefilter)")
 	reportPath := flag.String("report", "", "write a structured JSON run report (stage timings, counters) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -140,7 +141,11 @@ func main() {
 		}
 		if *shards > 0 {
 			shardDir := filepath.Join(*out, "corpus.fwcorp.d")
-			paths, err := scorp.WriteShards(shardDir, *shards)
+			write := scorp.WriteShards
+			if *noSigs {
+				write = scorp.WriteShardsNoSigs
+			}
+			paths, err := write(shardDir, *shards)
 			if err != nil {
 				fatal(err)
 			}

@@ -191,9 +191,12 @@ func newSessionMetrics(r *telemetry.Registry) *sessionMetrics {
 			BatchQueriesPerTarget: r.Histogram("batch.queries_per_target"),
 		},
 		idx: &corpusindex.Telemetry{
-			Queries:   r.Counter("index.queries"),
-			Fallbacks: r.Counter("index.fallbacks"),
-			Fanout:    r.Histogram("index.fanout"),
+			Queries:       r.Counter("index.queries"),
+			Fallbacks:     r.Counter("index.fallbacks"),
+			Fanout:        r.Histogram("index.fanout"),
+			LSHProbes:     r.Counter("lsh.probes"),
+			LSHFallbacks:  r.Counter("lsh.fallbacks"),
+			LSHCandidates: r.Histogram("lsh.candidates"),
 		},
 		imageOpen:     r.Stage("image.open"),
 		imageUnpack:   r.Stage("image.unpack"),
@@ -550,6 +553,17 @@ type Options struct {
 	// search: every executable is examined. Findings are identical; only
 	// the work done differs.
 	Exhaustive bool
+	// Approx gates the candidate set by the MinHash/LSH band buckets
+	// instead of only ordering it: a candidate passing the exact
+	// prefilter floors is examined only if it also shares at least one
+	// signature band with the query procedure, so the expensive game
+	// stage (and, for store-backed corpora, executable materialization)
+	// runs on a strict subset of the exact candidates. Findings become
+	// a subset of the exact search's — only false negatives are
+	// possible, and measured recall on the evaluation corpus stays
+	// ≥ 0.95. Ignored where no signatures are available (the search
+	// silently stays exact), and by Exhaustive.
+	Approx bool
 }
 
 func (o *Options) search() *core.SearchOptions {
@@ -649,8 +663,17 @@ func (a *Analyzer) imageSearchOptions(img *Image, opt *Options) *core.SearchOpti
 		// facade sets no strand weigher), so both floors prune soundly.
 		minScore, minRatio := s.MinScore, s.MinRatio
 		idx := img.index
-		s.Prefilter = func(q *sim.Exe, qpi int, _ []*sim.Exe) ([]int, bool) {
-			return idx.CandidateIndices(q.Procs[qpi].Set, minScore, minRatio, nil)
+		if opt != nil && opt.Approx {
+			s.Prefilter = func(q *sim.Exe, qpi int, _ []*sim.Exe) ([]int, bool) {
+				return idx.CandidateIndicesLSH(q.Procs[qpi].Set, minScore, minRatio, true, nil)
+			}
+		} else {
+			// The default live path stays on the plain exact prefilter:
+			// it is the baseline the LSH equivalence suites compare the
+			// sealed tiers against.
+			s.Prefilter = func(q *sim.Exe, qpi int, _ []*sim.Exe) ([]int, bool) {
+				return idx.CandidateIndices(q.Procs[qpi].Set, minScore, minRatio, nil)
+			}
 		}
 	}
 	return s

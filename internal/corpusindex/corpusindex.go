@@ -33,6 +33,17 @@ type Telemetry struct {
 	// Fanout observes the number of candidate executables each answered
 	// query kept after the score floors.
 	Fanout *telemetry.Histogram
+	// LSHProbes counts queries that consulted the MinHash/LSH signature
+	// tier (exact probe-order ranking and approximate bounding alike).
+	LSHProbes *telemetry.Counter
+	// LSHFallbacks counts approximate queries served by the exact
+	// prefilter because the index holds no signature data (e.g. a
+	// pre-signature v2 shard).
+	LSHFallbacks *telemetry.Counter
+	// LSHCandidates observes the LSH-bounded candidate count of each
+	// approximate query — the executables actually examined instead of
+	// the full posting-scan fanout.
+	LSHCandidates *telemetry.Histogram
 }
 
 // Interner assigns dense uint32 IDs to 64-bit strand hashes, first come
@@ -155,11 +166,24 @@ type Index struct {
 	// on the search hot path and must not allocate per query.
 	scratch sync.Pool
 
+	// Per-procedure MinHash signatures in dense-slot order, appended
+	// incrementally by Add (sentinel blocks for un-interned executables)
+	// and consumed by the LSH tier (see lsh.go). The bucket structure is
+	// rebuilt lazily when executables were added since the last build;
+	// lshMu serializes slab repair and bucket builds under the read lock.
+	sigs    []uint32
+	lshMu   sync.Mutex
+	lsh     *lshIndex
+	lshExes int
+
 	// telemetry handles; the struct fields are individually nil-safe, so
 	// recording is unconditional once copied here.
-	telQueries   *telemetry.Counter
-	telFallbacks *telemetry.Counter
-	telFanout    *telemetry.Histogram
+	telQueries       *telemetry.Counter
+	telFallbacks     *telemetry.Counter
+	telFanout        *telemetry.Histogram
+	telLSHProbes     *telemetry.Counter
+	telLSHFallbacks  *telemetry.Counter
+	telLSHCandidates *telemetry.Histogram
 }
 
 // SetTelemetry attaches metric handles to the index. Call it before
@@ -168,11 +192,15 @@ type Index struct {
 func (x *Index) SetTelemetry(tel *Telemetry) {
 	if tel == nil {
 		x.telQueries, x.telFallbacks, x.telFanout = nil, nil, nil
+		x.telLSHProbes, x.telLSHFallbacks, x.telLSHCandidates = nil, nil, nil
 		return
 	}
 	x.telQueries = tel.Queries
 	x.telFallbacks = tel.Fallbacks
 	x.telFanout = tel.Fanout
+	x.telLSHProbes = tel.LSHProbes
+	x.telLSHFallbacks = tel.LSHFallbacks
+	x.telLSHCandidates = tel.LSHCandidates
 }
 
 // NewIndex returns an empty index over the session's interner.
@@ -194,6 +222,18 @@ func (x *Index) Add(e *sim.Exe) int {
 	ei := len(x.exes)
 	x.exes = append(x.exes, e)
 	x.procOff = append(x.procOff, x.procOff[ei]+int32(len(e.Procs)))
+	// Signatures build incrementally with the corpus; the slab stays in
+	// lockstep with procOff so Seal/WriteShards can persist it verbatim.
+	// Un-interned executables contribute sentinel blocks: their foreign
+	// IDs would hash into meaningless buckets, and they are always
+	// candidates anyway.
+	if len(x.sigs) == int(x.procOff[ei])*strand.SigWords {
+		if interned(x.it, e) {
+			x.sigs = append(x.sigs, e.Signatures()...)
+		} else {
+			x.sigs = appendEmptySigs(x.sigs, len(e.Procs))
+		}
+	}
 	for pi, p := range e.Procs {
 		if p.Set.It != strand.Interner(x.it) {
 			continue
@@ -297,6 +337,12 @@ type queryScratch struct {
 	touched []int32     // dense slots bumped by this query
 	exes    []int32     // exe IDs with maxSim > 0 this query
 	cands   []Candidate // the ranked result, reused across queries
+	// LSH probe state (see lsh.go): per-exe band-collision counts with
+	// the same zero-between-queries invariant, the exes touched by the
+	// probe, and the query signature buffer.
+	bandCnt  []int32
+	bandExes []int32
+	qsig     []uint32
 }
 
 // getScratch draws a scratch sized for the current corpus layout. The
@@ -313,6 +359,12 @@ func (x *Index) getScratch() *queryScratch {
 	if len(s.maxSim) < len(x.exes) {
 		s.maxSim = make([]int32, len(x.exes))
 	}
+	if len(s.bandCnt) < len(x.exes) {
+		s.bandCnt = make([]int32, len(x.exes))
+	}
+	if len(s.qsig) < strand.SigWords {
+		s.qsig = make([]uint32, strand.SigWords)
+	}
 	return s
 }
 
@@ -323,8 +375,12 @@ func (x *Index) putScratch(s *queryScratch) {
 	for _, ei := range s.exes {
 		s.maxSim[ei] = 0
 	}
+	for _, ei := range s.bandExes {
+		s.bandCnt[ei] = 0
+	}
 	s.touched = s.touched[:0]
 	s.exes = s.exes[:0]
+	s.bandExes = s.bandExes[:0]
 	s.cands = s.cands[:0]
 	x.scratch.Put(s)
 }
@@ -337,6 +393,14 @@ func (x *Index) accumulate(q strand.Set, minScore int, ratioFloor float64) (*que
 		return nil, false
 	}
 	s := x.getScratch()
+	x.accumulateInto(s, q, minScore, ratioFloor)
+	return s, true
+}
+
+// accumulateInto is accumulate's body over caller-held scratch, so the
+// LSH path can run the posting scan after its bucket probe without a
+// second scratch round-trip. Compatibility is the caller's check.
+func (x *Index) accumulateInto(s *queryScratch, q strand.Set, minScore int, ratioFloor float64) {
 	// Count shared strands per (exe, proc) dense slot; the per-exe
 	// maximum over procedures is the bound the floors apply to.
 	for _, id := range q.IDs {
@@ -385,7 +449,6 @@ func (x *Index) accumulate(q strand.Set, minScore int, ratioFloor float64) (*que
 		}
 		return a.Exe - b.Exe
 	})
-	return s, true
 }
 
 // Rows returns the index's non-empty posting rows ordered by strictly

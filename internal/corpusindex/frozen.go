@@ -241,9 +241,22 @@ type FrozenIndex struct {
 
 	scratch sync.Pool
 
-	telQueries   *telemetry.Counter
-	telFallbacks *telemetry.Counter
-	telFanout    *telemetry.Histogram
+	// Per-procedure MinHash signature slab (dense-slot order) and the
+	// banded bucket structure built over it on first LSH query. sigs is
+	// attached by SetSignatures (Seal, or a mapped corpus-sigs shard
+	// section) or derived lazily from in-RAM executables; a foreign
+	// index without a slab has no LSH tier (lsh stays nil) and serves
+	// exact rankings only.
+	sigs    []uint32
+	lshOnce sync.Once
+	lsh     *lshIndex
+
+	telQueries       *telemetry.Counter
+	telFallbacks     *telemetry.Counter
+	telFanout        *telemetry.Histogram
+	telLSHProbes     *telemetry.Counter
+	telLSHFallbacks  *telemetry.Counter
+	telLSHCandidates *telemetry.Histogram
 }
 
 // NewFrozenIndex builds a sealed index over the frozen vocabulary from
@@ -350,11 +363,15 @@ func NewFrozenIndexForeign(it *Frozen, procCounts []int32, rowIDs, rowEnds []uin
 func (x *FrozenIndex) SetTelemetry(tel *Telemetry) {
 	if tel == nil {
 		x.telQueries, x.telFallbacks, x.telFanout = nil, nil, nil
+		x.telLSHProbes, x.telLSHFallbacks, x.telLSHCandidates = nil, nil, nil
 		return
 	}
 	x.telQueries = tel.Queries
 	x.telFallbacks = tel.Fallbacks
 	x.telFanout = tel.Fanout
+	x.telLSHProbes = tel.LSHProbes
+	x.telLSHFallbacks = tel.LSHFallbacks
+	x.telLSHCandidates = tel.LSHCandidates
 }
 
 // Interner returns the frozen vocabulary the index is keyed by.
@@ -432,6 +449,12 @@ func (x *FrozenIndex) getScratch() *queryScratch {
 	if len(s.maxSim) < x.nexes {
 		s.maxSim = make([]int32, x.nexes)
 	}
+	if len(s.bandCnt) < x.nexes {
+		s.bandCnt = make([]int32, x.nexes)
+	}
+	if len(s.qsig) < strand.SigWords {
+		s.qsig = make([]uint32, strand.SigWords)
+	}
 	return s
 }
 
@@ -442,8 +465,12 @@ func (x *FrozenIndex) putScratch(s *queryScratch) {
 	for _, ei := range s.exes {
 		s.maxSim[ei] = 0
 	}
+	for _, ei := range s.bandExes {
+		s.bandCnt[ei] = 0
+	}
 	s.touched = s.touched[:0]
 	s.exes = s.exes[:0]
+	s.bandExes = s.bandExes[:0]
 	s.cands = s.cands[:0]
 	x.scratch.Put(s)
 }
@@ -477,6 +504,13 @@ func (x *FrozenIndex) accumulate(q strand.Set, minScore int, ratioFloor float64)
 		return nil, false
 	}
 	s := x.getScratch()
+	x.accumulateInto(s, q, minScore, ratioFloor)
+	return s, true
+}
+
+// accumulateInto is accumulate's body over caller-held scratch (see
+// Index.accumulateInto). Compatibility is the caller's check.
+func (x *FrozenIndex) accumulateInto(s *queryScratch, q strand.Set, minScore int, ratioFloor float64) {
 	if x.rowStart == nil {
 		// Sparse CSR: both q.IDs and rowIDs are strictly increasing, so
 		// one forward binary-search cursor visits each matching row once.
@@ -525,5 +559,4 @@ func (x *FrozenIndex) accumulate(q strand.Set, minScore int, ratioFloor float64)
 		}
 		return a.Exe - b.Exe
 	})
-	return s, true
 }

@@ -1,0 +1,353 @@
+package corpusindex
+
+import (
+	"fmt"
+	"slices"
+
+	"firmup/internal/strand"
+)
+
+// The MinHash/LSH candidate tier: per-procedure MinHash signatures
+// (strand.SigWords words, see internal/strand/minhash.go) banded into
+// lshBands buckets of lshRows words each. Two procedures land in the
+// same bucket of band b exactly when their signatures agree on all
+// lshRows words of that band, which for Jaccard similarity j happens
+// with probability j^lshRows per band — the classic banding S-curve
+// 1-(1-j^lshRows)^lshBands. The 32x2 split is tuned for the
+// cross-toolchain setting, where a true match's strand sets overlap
+// far less than a byte-identical clone's: a 0.3-similar pair still
+// collides in ≥1 band with probability 1-(1-0.3²)³² ≈ 0.95, while an
+// unrelated 0.05-similar pair stays below 0.08 (and pairs sharing no
+// strand at all collide only by 64-bit hash accident).
+//
+// The tier serves two modes. In exact mode the band-collision counts
+// only *rank* the exact candidate set (most-colliding executables are
+// probed first); the set itself still comes from the exact posting
+// scan, so findings are byte-identical to the plain prefilter. In
+// approximate mode the buckets *gate* that set: a candidate that
+// passed the exact floors is examined only if it also shares at least
+// one band with the query, so the expensive downstream work — game
+// playing, and for store-backed corpora the executable
+// materialization — runs on a strict subset of the exact candidates.
+// Findings are therefore one-sided (always a subset of exact mode's),
+// a bounded-recall trade measured by internal/eval. Gating, rather
+// than replacing the exact set with the raw bucket contents, is what
+// keeps the approximate candidate count *below* the exact one: on
+// corpora where distinct procedures still share library/runtime
+// strands, nearly every executable collides with the query in some
+// band, so the ungated bucket set is far larger than the floor-gated
+// one.
+const (
+	lshBands = 32
+	lshRows  = strand.SigWords / lshBands
+)
+
+// lshIndex is the banded bucket structure over one index's procedures,
+// immutable once built. Buckets store executable IDs (deduplicated per
+// band), so a probe counts each executable at most once per band and
+// collision counts are bounded by lshBands.
+type lshIndex struct {
+	buckets [lshBands]map[uint64][]int32
+}
+
+// buildLSH banding-hashes every procedure signature in the flat slab
+// (stride strand.SigWords, dense slots procOff[e]..procOff[e+1] per
+// executable e). Sentinel (empty-set) signatures are skipped so empty
+// procedures never collide with each other.
+func buildLSH(sigs []uint32, procOff []int32, nexes int) *lshIndex {
+	l := &lshIndex{}
+	for b := range l.buckets {
+		l.buckets[b] = map[uint64][]int32{}
+	}
+	for ei := 0; ei < nexes; ei++ {
+		for di := procOff[ei]; di < procOff[ei+1]; di++ {
+			sig := sigs[int(di)*strand.SigWords : (int(di)+1)*strand.SigWords]
+			if strand.SigEmpty(sig) {
+				continue
+			}
+			for b := 0; b < lshBands; b++ {
+				key := bandKey(sig, b)
+				lst := l.buckets[b][key]
+				// Procedures iterate grouped by executable, so per-bucket
+				// dedup only needs to compare against the last entry.
+				if n := len(lst); n > 0 && lst[n-1] == int32(ei) {
+					continue
+				}
+				l.buckets[b][key] = append(lst, int32(ei))
+			}
+		}
+	}
+	return l
+}
+
+// bandKey hashes band b of a signature (FNV-1a over the band's rows,
+// seeded with the band index so identical row values in different
+// bands key different buckets).
+func bandKey(sig []uint32, b int) uint64 {
+	h := uint64(14695981039346656037) ^ (uint64(b) * 0x100000001b3)
+	for _, w := range sig[b*lshRows : (b+1)*lshRows] {
+		h ^= uint64(w)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// probe accumulates the query signature's band collisions into the
+// scratch counters: bandCnt[e] is the number of bands executable e
+// shares with the query, bandExes the executables with ≥1 collision.
+func (l *lshIndex) probe(qsig []uint32, s *queryScratch) {
+	if strand.SigEmpty(qsig) {
+		return
+	}
+	for b := 0; b < lshBands; b++ {
+		for _, ei := range l.buckets[b][bandKey(qsig, b)] {
+			c := s.bandCnt[ei] + 1
+			s.bandCnt[ei] = c
+			if c == 1 {
+				s.bandExes = append(s.bandExes, ei)
+			}
+		}
+	}
+}
+
+// lshRank reorders an exact candidate ranking by LSH affinity: band
+// collisions descending, then the exact MaxSim ordering as tiebreak.
+// Only the order changes — the candidate set, and therefore every
+// downstream finding and examined count, is untouched.
+func lshRank(s *queryScratch) {
+	slices.SortFunc(s.cands, func(a, b Candidate) int {
+		if ca, cb := s.bandCnt[a.Exe], s.bandCnt[b.Exe]; ca != cb {
+			return int(cb - ca)
+		}
+		if a.MaxSim != b.MaxSim {
+			return b.MaxSim - a.MaxSim
+		}
+		return a.Exe - b.Exe
+	})
+}
+
+// lshApproxCands prunes the exact candidate ranking (already
+// accumulated into s.cands) down to the executables the buckets
+// corroborate: a candidate survives only if it collided with the query
+// in at least one band, or the index holds no signature for it (an
+// extra — un-interned, so the buckets cannot rule it out). The
+// survivors keep the exact-mode LSH ordering: collisions descending,
+// MaxSim descending, executable ID ascending.
+func lshApproxCands(s *queryScratch, extra []int) {
+	kept := s.cands[:0]
+	for _, c := range s.cands {
+		if s.bandCnt[c.Exe] > 0 || slices.Contains(extra, c.Exe) {
+			kept = append(kept, c)
+		}
+	}
+	s.cands = kept
+	lshRank(s)
+}
+
+// appendEmptySigs appends n sentinel (empty-set) signatures.
+func appendEmptySigs(sigs []uint32, n int) []uint32 {
+	for i := 0; i < n*strand.SigWords; i++ {
+		sigs = append(sigs, strand.SigEmptyWord)
+	}
+	return sigs
+}
+
+// --- live Index integration -------------------------------------------------
+
+// ensureSigsLocked brings the incremental signature slab in sync with
+// the executable list. Add keeps it in sync on the normal path; an
+// index reconstructed by RestoreIndex starts with an empty slab and is
+// rebuilt here on first use. Callers hold lshMu (and at least a read
+// lock on the index).
+func (x *Index) ensureSigsLocked() {
+	want := int(x.procOff[len(x.exes)]) * strand.SigWords
+	if len(x.sigs) == want {
+		return
+	}
+	sigs := make([]uint32, 0, want)
+	for _, e := range x.exes {
+		if interned(x.it, e) {
+			sigs = append(sigs, e.Signatures()...)
+		} else {
+			sigs = appendEmptySigs(sigs, len(e.Procs))
+		}
+	}
+	x.sigs = sigs
+}
+
+// ensureLSH returns the bucket structure over the current executables,
+// rebuilding it when executables were added since the last build.
+// Callers hold at least a read lock on the index; lshMu serializes the
+// build itself.
+func (x *Index) ensureLSH() *lshIndex {
+	x.lshMu.Lock()
+	defer x.lshMu.Unlock()
+	if x.lsh == nil || x.lshExes != len(x.exes) {
+		x.ensureSigsLocked()
+		x.lsh = buildLSH(x.sigs, x.procOff, len(x.exes))
+		x.lshExes = len(x.exes)
+	}
+	return x.lsh
+}
+
+// Signatures returns the flat per-procedure MinHash signature slab the
+// index built incrementally (strand.SigWords words per procedure, in
+// dense-slot order; sentinel signatures for executables interned under
+// a foreign session). The slab is what Analyzer.Seal hands to the
+// frozen index and WriteShards persists. Read-only for callers.
+func (x *Index) Signatures() []uint32 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	x.lshMu.Lock()
+	defer x.lshMu.Unlock()
+	x.ensureSigsLocked()
+	return x.sigs
+}
+
+// CandidateIndicesLSH is CandidateIndices with the MinHash/LSH
+// signature tier engaged. In exact mode (approx false) the returned
+// candidate *set* is identical to CandidateIndices — floors and
+// postings remain the exact gate — but the probe order puts the
+// executables most band-similar to the query first. With approx true
+// the LSH buckets additionally gate the set: only the exact candidates
+// sharing at least one signature band with the query (plus un-interned
+// executables, which the index cannot rule out) are returned — a
+// strict subset of the exact candidates. The second return is false
+// when the query set was not interned under this session (caller falls
+// back to exhaustive examination, as with CandidateIndices).
+func (x *Index) CandidateIndicesLSH(q strand.Set, minScore int, ratioFloor float64, approx bool, buf []int) ([]int, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if !strand.Compatible(q.It, x.it) {
+		x.telFallbacks.Inc()
+		return nil, false
+	}
+	l := x.ensureLSH()
+	s := x.getScratch()
+	strand.MinHashInto(s.qsig, q.IDs)
+	l.probe(s.qsig, s)
+	x.telLSHProbes.Inc()
+	x.accumulateInto(s, q, minScore, ratioFloor)
+	if approx {
+		lshApproxCands(s, x.liveExtra())
+		x.telLSHCandidates.Observe(int64(len(s.cands)))
+	} else {
+		lshRank(s)
+	}
+	x.telQueries.Inc()
+	x.telFanout.Observe(int64(len(s.cands)))
+	for _, c := range s.cands {
+		buf = append(buf, c.Exe)
+	}
+	x.putScratch(s)
+	return buf, true
+}
+
+// liveExtra lists the executables registered without postings (not
+// interned under this session) — always candidates, exactly as in
+// accumulate.
+func (x *Index) liveExtra() []int {
+	var extra []int
+	for ei, e := range x.exes {
+		if !interned(x.it, e) {
+			extra = append(extra, ei)
+		}
+	}
+	return extra
+}
+
+// --- FrozenIndex integration ------------------------------------------------
+
+// SetSignatures attaches the per-procedure MinHash signature slab to a
+// sealed index: strand.SigWords words per procedure in dense-slot
+// order, either the live index's incrementally built slab (Seal) or a
+// mapped corpus-sigs shard section (store-backed open). The slice is
+// aliased, not copied, and must stay valid for the index's lifetime.
+// Call before the first query; it is not synchronized against
+// concurrent Candidates calls. Without a slab (and without in-RAM
+// executables to derive one from) the LSH tier is unavailable and
+// approximate queries fall back to the exact prefilter.
+func (x *FrozenIndex) SetSignatures(sigs []uint32) error {
+	if want := int(x.procOff[x.nexes]) * strand.SigWords; len(sigs) != want {
+		return fmt.Errorf("corpusindex: signature slab holds %d words for %d procedures, want %d", len(sigs), x.procOff[x.nexes], want)
+	}
+	x.sigs = sigs
+	return nil
+}
+
+// ensureLSH lazily builds the bucket structure on first use. A dense
+// index without an attached slab derives signatures from its in-RAM
+// executables (pure function of their interned IDs, so the result is
+// identical to the persisted slab); a foreign index without a slab —
+// a pre-signature v2 shard — has no tier and returns nil.
+func (x *FrozenIndex) ensureLSH() *lshIndex {
+	x.lshOnce.Do(func() {
+		sigs := x.sigs
+		if sigs == nil {
+			if x.exes == nil {
+				return
+			}
+			sigs = make([]uint32, 0, int(x.procOff[x.nexes])*strand.SigWords)
+			for i, e := range x.exes {
+				if slices.Contains(x.extra, i) {
+					sigs = appendEmptySigs(sigs, len(e.Procs))
+				} else {
+					sigs = append(sigs, e.Signatures()...)
+				}
+			}
+			x.sigs = sigs
+		}
+		x.lsh = buildLSH(sigs, x.procOff, x.nexes)
+	})
+	return x.lsh
+}
+
+// HasSignatures reports whether the LSH tier is available: a signature
+// slab is attached or derivable. Approximate queries on an index
+// without signatures serve the exact prefilter instead.
+func (x *FrozenIndex) HasSignatures() bool { return x.ensureLSH() != nil }
+
+// Signatures returns the index's signature slab (building it from the
+// in-RAM executables if it was never attached), or nil when the index
+// has no signature data. Read-only for callers.
+func (x *FrozenIndex) Signatures() []uint32 {
+	x.ensureLSH()
+	return x.sigs
+}
+
+// CandidateIndicesLSH is Index.CandidateIndicesLSH over the sealed
+// postings: identical semantics, no locks. On an index without
+// signature data both modes serve the plain exact ranking (approximate
+// requests additionally count an lsh fallback).
+func (x *FrozenIndex) CandidateIndicesLSH(q strand.Set, minScore int, ratioFloor float64, approx bool, buf []int) ([]int, bool) {
+	if !strand.Compatible(q.It, x.it) {
+		x.telFallbacks.Inc()
+		return nil, false
+	}
+	l := x.ensureLSH()
+	s := x.getScratch()
+	if l == nil {
+		if approx {
+			x.telLSHFallbacks.Inc()
+		}
+		x.accumulateInto(s, q, minScore, ratioFloor)
+	} else {
+		strand.MinHashInto(s.qsig, q.IDs)
+		l.probe(s.qsig, s)
+		x.telLSHProbes.Inc()
+		x.accumulateInto(s, q, minScore, ratioFloor)
+		if approx {
+			lshApproxCands(s, x.extra)
+			x.telLSHCandidates.Observe(int64(len(s.cands)))
+		} else {
+			lshRank(s)
+		}
+	}
+	x.telQueries.Inc()
+	x.telFanout.Observe(int64(len(s.cands)))
+	for _, c := range s.cands {
+		buf = append(buf, c.Exe)
+	}
+	x.putScratch(s)
+	return buf, true
+}

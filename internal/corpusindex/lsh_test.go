@@ -1,0 +1,238 @@
+package corpusindex
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"firmup/internal/sim"
+	"firmup/internal/strand"
+)
+
+// randCorpus builds a randomized session corpus: nexes executables with
+// 1–4 procedures each, drawing strand hashes from a small universe so
+// queries overlap targets at varied similarities.
+func randCorpus(rng *rand.Rand, nexes int) (*Interner, *Index, []*sim.Exe) {
+	it := NewInterner()
+	x := NewIndex(it)
+	var exes []*sim.Exe
+	for e := 0; e < nexes; e++ {
+		var procs []*sim.Proc
+		for p := 0; p < 1+rng.Intn(4); p++ {
+			n := rng.Intn(12)
+			hs := map[uint64]bool{}
+			for len(hs) < n {
+				hs[uint64(1 + rng.Intn(60))] = true
+			}
+			var hashes []uint64
+			for h := range hs {
+				hashes = append(hashes, h)
+			}
+			procs = append(procs, &sim.Proc{Name: fmt.Sprintf("p%d_%d", e, p), Set: set(hashes...)})
+		}
+		exe := sim.FromProcsSession(fmt.Sprintf("exe%d", e), procs, it)
+		exes = append(exes, exe)
+		x.Add(exe)
+	}
+	return it, x, exes
+}
+
+// TestLSHExactSetEquivalence is the exact-mode soundness test at the
+// index layer: across randomized corpora, queries and floors, the
+// LSH-ranked candidate list must contain exactly the same executables
+// as the plain exact prefilter — only the probe order may differ.
+func TestLSHExactSetEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		it, x, _ := randCorpus(rng, 2+rng.Intn(10))
+		f := it.Freeze()
+		rebound := make([]*sim.Exe, len(x.exes))
+		for i, e := range x.exes {
+			rebound[i] = e.Rebound(f)
+		}
+		fx, err := NewFrozenIndex(f, rebound, x.Rows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fx.SetSignatures(x.Signatures()); err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < 10; qi++ {
+			n := rng.Intn(10)
+			var hashes []uint64
+			for len(hashes) < n {
+				h := uint64(1 + rng.Intn(60))
+				if !slices.Contains(hashes, h) {
+					hashes = append(hashes, h)
+				}
+			}
+			q := set(hashes...).Interned(it)
+			minScore := 1 + rng.Intn(3)
+			ratio := float64(rng.Intn(3)) * 0.2
+			plain, ok1 := x.CandidateIndices(q, minScore, ratio, nil)
+			ranked, ok2 := x.CandidateIndicesLSH(q, minScore, ratio, false, nil)
+			if ok1 != ok2 {
+				t.Fatalf("seed %d query %d: ok diverges (%v vs %v)", seed, qi, ok1, ok2)
+			}
+			sp := slices.Clone(plain)
+			sr := slices.Clone(ranked)
+			slices.Sort(sp)
+			slices.Sort(sr)
+			if !slices.Equal(sp, sr) {
+				t.Fatalf("seed %d query %d: live LSH candidate set %v != plain %v", seed, qi, sr, sp)
+			}
+			// The frozen index must agree with the live one under the
+			// overlay interner too.
+			qf := strand.Set{Hashes: q.Hashes}.Interned(NewQueryInterner(f))
+			fplain, _ := fx.CandidateIndices(qf, minScore, ratio, nil)
+			franked, _ := fx.CandidateIndicesLSH(qf, minScore, ratio, false, nil)
+			sfp := slices.Clone(fplain)
+			sfr := slices.Clone(franked)
+			slices.Sort(sfp)
+			slices.Sort(sfr)
+			if !slices.Equal(sfp, sfr) {
+				t.Fatalf("seed %d query %d: frozen LSH candidate set %v != plain %v", seed, qi, sfr, sfp)
+			}
+			if !slices.Equal(sfp, sp) {
+				t.Fatalf("seed %d query %d: frozen set %v != live set %v", seed, qi, sfp, sp)
+			}
+			// Repeat calls must be byte-identical (pooled scratch reuse).
+			again, _ := x.CandidateIndicesLSH(q, minScore, ratio, false, nil)
+			if !slices.Equal(again, ranked) {
+				t.Fatalf("seed %d query %d: ranked order not deterministic", seed, qi)
+			}
+		}
+	}
+}
+
+// TestLSHApproxProperties pins the approximate mode's guarantees: an
+// executable containing the query set verbatim always survives the
+// bounding (identical sets collide in every band), un-interned
+// executables are always candidates, and repeat probes are
+// deterministic.
+func TestLSHApproxProperties(t *testing.T) {
+	it := NewInterner()
+	x := NewIndex(it)
+	target := sim.FromProcsSession("target", []*sim.Proc{
+		{Name: "hit", Set: set(1, 2, 3, 4, 5, 6, 7, 8)},
+	}, it)
+	x.Add(target)
+	x.Add(sim.FromProcsSession("other", []*sim.Proc{
+		{Name: "miss", Set: set(40, 41, 42)},
+	}, it))
+	foreign := sim.FromProcs("foreign", []*sim.Proc{{Name: "f0", Set: set(1, 2, 3)}})
+	fi := x.Add(foreign)
+
+	q := set(1, 2, 3, 4, 5, 6, 7, 8).Interned(it)
+	cands, ok := x.CandidateIndicesLSH(q, 1, 0, true, nil)
+	if !ok {
+		t.Fatal("same-session query must be filterable")
+	}
+	if !slices.Contains(cands, 0) {
+		t.Errorf("approx candidates %v miss the verbatim-identical executable", cands)
+	}
+	if !slices.Contains(cands, fi) {
+		t.Errorf("approx candidates %v miss the un-interned executable", cands)
+	}
+	again, _ := x.CandidateIndicesLSH(q, 1, 0, true, nil)
+	if !slices.Equal(again, cands) {
+		t.Errorf("approx candidates not deterministic: %v vs %v", again, cands)
+	}
+
+	// An empty query signature probes nothing: only the un-interned
+	// executable remains.
+	empty := strand.Set{It: it}
+	ecands, ok := x.CandidateIndicesLSH(empty, 1, 0, true, nil)
+	if !ok {
+		t.Fatal("empty same-session query must be filterable")
+	}
+	if !slices.Equal(ecands, []int{fi}) {
+		t.Errorf("empty-query approx candidates = %v, want just the un-interned %d", ecands, fi)
+	}
+}
+
+// TestLSHFrozenFallback pins that a frozen index without signature data
+// (foreign CSR slabs, no corpus-sigs section) serves both modes through
+// the exact prefilter.
+func TestLSHFrozenFallback(t *testing.T) {
+	it, x, _ := randCorpus(rand.New(rand.NewSource(7)), 5)
+	f := it.Freeze()
+	rows := x.Rows()
+	var rowIDs, rowEnds []uint32
+	var posts []Posting
+	for _, r := range rows {
+		rowIDs = append(rowIDs, r.ID)
+		posts = append(posts, r.Posts...)
+		rowEnds = append(rowEnds, uint32(len(posts)))
+	}
+	procCounts := make([]int32, len(x.exes))
+	for i, e := range x.exes {
+		procCounts[i] = int32(len(e.Procs))
+	}
+	fx, err := NewFrozenIndexForeign(f, procCounts, rowIDs, rowEnds, posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx.HasSignatures() {
+		t.Fatal("foreign index without a slab claims signatures")
+	}
+	q := set(1, 2, 3).Interned(NewQueryInterner(f))
+	plain, _ := fx.CandidateIndices(q, 1, 0, nil)
+	for _, approx := range []bool{false, true} {
+		got, ok := fx.CandidateIndicesLSH(q, 1, 0, approx, nil)
+		if !ok {
+			t.Fatalf("approx=%v: compatible query rejected", approx)
+		}
+		if !slices.Equal(got, plain) {
+			t.Errorf("approx=%v: fallback ranking %v != exact %v", approx, got, plain)
+		}
+	}
+}
+
+// TestSetSignaturesValidation pins the slab length check.
+func TestSetSignaturesValidation(t *testing.T) {
+	it, x, _ := randCorpus(rand.New(rand.NewSource(3)), 3)
+	f := it.Freeze()
+	rebound := make([]*sim.Exe, len(x.exes))
+	for i, e := range x.exes {
+		rebound[i] = e.Rebound(f)
+	}
+	fx, err := NewFrozenIndex(f, rebound, x.Rows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.SetSignatures(make([]uint32, 7)); err == nil {
+		t.Error("truncated signature slab accepted")
+	}
+	if err := fx.SetSignatures(x.Signatures()); err != nil {
+		t.Errorf("well-formed slab rejected: %v", err)
+	}
+}
+
+// TestIndexSignaturesIncremental pins that the live slab built by Add
+// matches a from-scratch rebuild and carries sentinel blocks for
+// un-interned executables.
+func TestIndexSignaturesIncremental(t *testing.T) {
+	it := NewInterner()
+	x := NewIndex(it)
+	e1 := sim.FromProcsSession("a", []*sim.Proc{{Name: "a0", Set: set(1, 2, 3)}}, it)
+	x.Add(e1)
+	foreign := sim.FromProcs("f", []*sim.Proc{{Name: "f0", Set: set(1, 2)}})
+	x.Add(foreign)
+	sigs := x.Signatures()
+	if want := 2 * strand.SigWords; len(sigs) != want {
+		t.Fatalf("slab holds %d words, want %d", len(sigs), want)
+	}
+	if !slices.Equal(sigs[:strand.SigWords], e1.Signatures()) {
+		t.Error("first block diverges from the executable's own signature")
+	}
+	if !strand.SigEmpty(sigs[strand.SigWords:]) {
+		t.Error("un-interned executable's block is not the sentinel")
+	}
+	// RestoreIndex starts without a slab; Signatures must rebuild it.
+	r := RestoreIndex(it, x.exes, x.Rows())
+	if !slices.Equal(r.Signatures(), sigs) {
+		t.Error("restored index rebuilds a different slab")
+	}
+}

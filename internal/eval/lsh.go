@@ -1,0 +1,49 @@
+package eval
+
+// Recall accounting for the approximate LSH candidate tier. The exact
+// search's findings are the reference set: approximate mode can only
+// lose findings (band non-collision skips a candidate before the game
+// plays), never invent them, so recall — the fraction of exact
+// findings the approximate search reproduces — is the single number
+// that bounds its loss. The types here are tool-agnostic (plain finding
+// keys, no dependency on the facade's result structs) so both the
+// fwbench lsh experiment and the firmup-level recall-floor test can
+// feed them.
+
+// FindingKey identifies one finding location for recall accounting:
+// the corpus image, the containing executable, and the matched
+// procedure's entry address.
+type FindingKey struct {
+	Image    int
+	ExePath  string
+	ProcAddr uint32
+}
+
+// RecallStats accumulates approximate-search recall against exact
+// reference sets, across any number of queries.
+type RecallStats struct {
+	// Expected counts reference findings observed so far.
+	Expected int
+	// Found counts reference findings the approximate search reproduced.
+	Found int
+}
+
+// Observe scores one query's approximate finding set against its exact
+// reference set.
+func (r *RecallStats) Observe(exact, approx map[FindingKey]bool) {
+	for k := range exact {
+		r.Expected++
+		if approx[k] {
+			r.Found++
+		}
+	}
+}
+
+// Recall returns Found/Expected, or 1 when nothing was expected — an
+// empty reference set is perfectly reproduced by an empty answer.
+func (r *RecallStats) Recall() float64 {
+	if r.Expected == 0 {
+		return 1
+	}
+	return float64(r.Found) / float64(r.Expected)
+}

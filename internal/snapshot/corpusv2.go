@@ -50,10 +50,24 @@ import (
 //	corpus-index-table  nImages x 32 B        per-image CSR extents
 //	corpus-index-rows   rows x u32 row IDs, then rows x u32 row ends
 //	corpus-index-posts  posts x (exe u32 | proc u32)
+//	corpus-sigs         totalProcs x CorpusSigWords x u32   (v3 only)
 
 // CorpusFormatVersionV2 is the sharded mmap-friendly sealed-corpus
 // layout version.
 const CorpusFormatVersionV2 = 2
+
+// CorpusFormatVersionV3 is v2 plus the corpus-sigs section: one
+// fixed-width MinHash signature per procedure, served zero-copy like
+// the CSR postings so the LSH candidate tier needs no materialization.
+// The opener reads both versions; a v2 shard simply has no signatures
+// and sealed corpora built from it fall back to the exact prefilter.
+const CorpusFormatVersionV3 = 3
+
+// CorpusSigWords is the per-procedure signature width of the
+// corpus-sigs slab, in uint32 words. It must equal strand.SigWords
+// (compile-time asserted at the consumer); changing either is a format
+// break requiring a version bump.
+const CorpusSigWords = 64
 
 // v2Align is the section payload alignment: one cache line, and enough
 // for any slab element type, so zero-copy casts are always aligned.
@@ -78,6 +92,7 @@ const (
 	secV2IdxTab      = 25
 	secV2IdxRows     = 26
 	secV2IdxPosts    = 27
+	secV2Sigs        = 28 // v3 only
 )
 
 // Fixed record sizes.
@@ -119,17 +134,32 @@ func v2SectionName(tag uint32) string {
 		return "corpus-index-rows"
 	case secV2IdxPosts:
 		return "corpus-index-posts"
+	case secV2Sigs:
+		return "corpus-sigs"
 	}
 	return fmt.Sprintf("unknown(%d)", tag)
 }
 
-// v2NumSections is the number of sections every v2 shard carries.
-const v2NumSections = 12
+// v2NumSections is the section-slot count of an open shard — the full
+// v3 tag range; a v2 shard leaves the corpus-sigs slot empty.
+const v2NumSections = 13
 
 var v2SectionTags = []uint32{
 	secV2Meta, secV2Vocab, secV2VocabSorted, secV2Strs,
 	secV2ExeTab, secV2ProcTab, secV2IDs, secV2Markers, secV2Calls,
 	secV2IdxTab, secV2IdxRows, secV2IdxPosts,
+}
+
+var v3SectionTags = append(append([]uint32(nil), v2SectionTags...), secV2Sigs)
+
+// sectionTagsFor returns the exact required (and allowed) tag set of a
+// format version: a v2 shard carrying a corpus-sigs section is as
+// corrupt as a v3 shard missing one.
+func sectionTagsFor(version uint32) []uint32 {
+	if version == CorpusFormatVersionV3 {
+		return v3SectionTags
+	}
+	return v2SectionTags
 }
 
 // ShardHeader locates one shard inside a sharded sealed corpus.
@@ -385,6 +415,21 @@ func EncodeCorpusShard(c *Corpus, hdr ShardHeader) ([]byte, error) {
 		{secV2IdxRows, append(rowIDsB, rowEndsB...)},
 		{secV2IdxPosts, postsB},
 	}
+	// A model carrying signatures writes the v3 layout; without them the
+	// shard stays bit-identical to the pre-signature v2 format, so older
+	// readers (and the exact-only open path) keep working.
+	version := uint32(CorpusFormatVersionV2)
+	if c.Sigs != nil {
+		if uint64(len(c.Sigs)) != nProcs*CorpusSigWords {
+			return nil, fmt.Errorf("snapshot: encode: signature slab holds %d words for %d procedures, want %d", len(c.Sigs), nProcs, nProcs*CorpusSigWords)
+		}
+		sigsB := make([]byte, 0, 4*len(c.Sigs))
+		for _, w := range c.Sigs {
+			sigsB = le.AppendUint32(sigsB, w)
+		}
+		sections = append(sections, section{secV2Sigs, sigsB})
+		version = CorpusFormatVersionV3
+	}
 
 	offs := make([]uint64, len(sections))
 	off := alignUp(uint64(headerSize+len(sections)*tableEntrySize), v2Align)
@@ -397,7 +442,7 @@ func EncodeCorpusShard(c *Corpus, hdr ShardHeader) ([]byte, error) {
 
 	out := make([]byte, total)
 	copy(out, corpusMagic)
-	le.PutUint32(out[len(corpusMagic):], CorpusFormatVersionV2)
+	le.PutUint32(out[len(corpusMagic):], version)
 	le.PutUint32(out[len(corpusMagic)+4:], uint32(len(sections)))
 	p := headerSize
 	for i, s := range sections {
@@ -413,27 +458,29 @@ func EncodeCorpusShard(c *Corpus, hdr ShardHeader) ([]byte, error) {
 	return out, nil
 }
 
-// parseCorpusV2Table validates the v2 header and section table: magic,
-// version, all twelve sections present exactly once, every declared
-// range inside the input and 64-byte aligned. Checksums are NOT
-// verified here — that is per-section, on first touch.
-func parseCorpusV2Table(data []byte) ([]tableEntry, error) {
+// parseCorpusV2Table validates the shard header and section table:
+// magic, version (2 or 3), exactly the version's section set present
+// exactly once, every declared range inside the input and 64-byte
+// aligned. Checksums are NOT verified here — that is per-section, on
+// first touch. Returns the entries and the format version.
+func parseCorpusV2Table(data []byte) ([]tableEntry, uint32, error) {
 	if len(data) < headerSize {
-		return nil, corrupt("header", "truncated: %d bytes, need at least %d", len(data), headerSize)
+		return nil, 0, corrupt("header", "truncated: %d bytes, need at least %d", len(data), headerSize)
 	}
 	if string(data[:len(corpusMagic)]) != corpusMagic {
-		return nil, corrupt("header", "bad corpus magic")
+		return nil, 0, corrupt("header", "bad corpus magic")
 	}
 	version := binary.LittleEndian.Uint32(data[len(corpusMagic):])
-	if version != CorpusFormatVersionV2 {
-		return nil, corrupt("header", "unsupported corpus format version %d (this opener reads version %d)", version, CorpusFormatVersionV2)
+	if version != CorpusFormatVersionV2 && version != CorpusFormatVersionV3 {
+		return nil, 0, corrupt("header", "unsupported corpus format version %d (this opener reads versions %d and %d)", version, CorpusFormatVersionV2, CorpusFormatVersionV3)
 	}
+	tags := sectionTagsFor(version)
 	n := binary.LittleEndian.Uint32(data[len(corpusMagic)+4:])
 	if n == 0 || n > maxSectionsV2 {
-		return nil, corrupt("header", "unreasonable section count %d", n)
+		return nil, 0, corrupt("header", "unreasonable section count %d", n)
 	}
 	if uint64(len(data)) < uint64(headerSize)+uint64(n)*tableEntrySize {
-		return nil, corrupt("table", "truncated: %d sections declared but table does not fit in %d bytes", n, len(data))
+		return nil, 0, corrupt("table", "truncated: %d sections declared but table does not fit in %d bytes", n, len(data))
 	}
 	entries := make([]tableEntry, n)
 	seen := map[uint32]bool{}
@@ -447,33 +494,33 @@ func parseCorpusV2Table(data []byte) ([]tableEntry, error) {
 		}
 		name := v2SectionName(e.tag)
 		known := false
-		for _, tag := range v2SectionTags {
+		for _, tag := range tags {
 			if e.tag == tag {
 				known = true
 				break
 			}
 		}
 		if !known {
-			return nil, corrupt("table", "unknown section tag %d", e.tag)
+			return nil, 0, corrupt("table", "unknown section tag %d for format version %d", e.tag, version)
 		}
 		if seen[e.tag] {
-			return nil, corrupt("table", "duplicate %s section", name)
+			return nil, 0, corrupt("table", "duplicate %s section", name)
 		}
 		seen[e.tag] = true
 		if e.off > uint64(len(data)) || e.length > uint64(len(data))-e.off {
-			return nil, corrupt(name, "declared range [%d, %d+%d) exceeds the %d-byte input", e.off, e.off, e.length, len(data))
+			return nil, 0, corrupt(name, "declared range [%d, %d+%d) exceeds the %d-byte input", e.off, e.off, e.length, len(data))
 		}
 		if e.length > 0 && e.off%v2Align != 0 {
-			return nil, corrupt(name, "section offset %d is not %d-byte aligned", e.off, v2Align)
+			return nil, 0, corrupt(name, "section offset %d is not %d-byte aligned", e.off, v2Align)
 		}
 		entries[i] = e
 	}
-	for _, tag := range v2SectionTags {
+	for _, tag := range tags {
 		if !seen[tag] {
-			return nil, corrupt("table", "missing required %s section", v2SectionName(tag))
+			return nil, 0, corrupt("table", "missing required %s section", v2SectionName(tag))
 		}
 	}
-	return entries, nil
+	return entries, version, nil
 }
 
 // shardSection is one section of an open shard: CRC-verified at most
@@ -567,6 +614,7 @@ type CorpusShard struct {
 	closeOnce sync.Once
 
 	hdr      ShardHeader
+	version  uint32
 	totals   v2Totals
 	images   []v2Image
 	exeStart []uint32 // per-image prefix sums into the exe table, len(images)+1
@@ -580,6 +628,7 @@ type CorpusShard struct {
 	callSlabL lazySlab[[]uint32]
 	rowsL     lazySlab[rowSlabs]
 	postsL    lazySlab[[]Posting]
+	sigsL     lazySlab[[]uint32]
 }
 
 type sortedVocab struct {
@@ -636,11 +685,11 @@ func openCorpusShard(data []byte, closer func() error, mapped bool) (*CorpusShar
 		}
 		return nil, err
 	}
-	entries, err := parseCorpusV2Table(data)
+	entries, version, err := parseCorpusV2Table(data)
 	if err != nil {
 		return fail(err)
 	}
-	s := &CorpusShard{data: data, closer: closer, mapped: mapped}
+	s := &CorpusShard{data: data, closer: closer, mapped: mapped, version: version}
 	for _, e := range entries {
 		s.secs[e.tag-secV2Meta].entry = e
 	}
@@ -812,6 +861,12 @@ func (s *CorpusShard) checkLengths() error {
 			return corrupt(v2SectionName(c.tag), "section holds %d bytes, meta requires %d", got, c.want)
 		}
 	}
+	if s.version >= CorpusFormatVersionV3 {
+		want := t.procs * CorpusSigWords * 4
+		if got := s.secs[secV2Sigs-secV2Meta].entry.length; got != want {
+			return corrupt("corpus-sigs", "section holds %d bytes, meta requires %d", got, want)
+		}
+	}
 	return nil
 }
 
@@ -924,6 +979,64 @@ func (s *CorpusShard) postsSlab() ([]Posting, error) {
 		}
 		return castPostings(b), nil
 	})
+}
+
+// Version returns the shard's format version (2 or 3).
+func (s *CorpusShard) Version() int { return int(s.version) }
+
+// HasSignatures reports whether the shard carries the v3 corpus-sigs
+// section. Without it the LSH tier is unavailable for this shard and
+// searches use the exact prefilter.
+func (s *CorpusShard) HasSignatures() bool { return s.version >= CorpusFormatVersionV3 }
+
+// SigSlab returns the whole per-procedure MinHash signature slab
+// (CorpusSigWords words per procedure, dense order across the shard's
+// images), aliasing the mapping. Nil with no error on a pre-signature
+// v2 shard.
+func (s *CorpusShard) SigSlab() ([]uint32, error) {
+	if !s.HasSignatures() {
+		return nil, nil
+	}
+	return s.sigsL.get(func() ([]uint32, error) {
+		b, err := s.section(secV2Sigs)
+		if err != nil {
+			return nil, err
+		}
+		return castU32(b), nil
+	})
+}
+
+// ImageSigs returns image img's slice of the signature slab: one
+// CorpusSigWords-word signature per procedure, in the executable/
+// procedure order of the image's dense slots. Nil with no error on a
+// v2 shard or for an image with no executables.
+func (s *CorpusShard) ImageSigs(img int) ([]uint32, error) {
+	if img < 0 || img >= len(s.images) {
+		return nil, fmt.Errorf("snapshot: shard image %d out of range", img)
+	}
+	if !s.HasSignatures() {
+		return nil, nil
+	}
+	lo, hi := int(s.exeStart[img]), int(s.exeStart[img+1])
+	if lo == hi {
+		return nil, nil
+	}
+	exeTab, err := s.section(secV2ExeTab)
+	if err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	start := uint64(le.Uint32(exeTab[lo*v2ExeRecSize+8:]))
+	lastRec := exeTab[(hi-1)*v2ExeRecSize:]
+	end := uint64(le.Uint32(lastRec[8:])) + uint64(le.Uint32(lastRec[12:]))
+	if end < start || end > s.totals.procs {
+		return nil, corrupt("corpus-exe-table", "image %d procedures [%d, %d) exceed the %d-entry table", img, start, end, s.totals.procs)
+	}
+	sigs, err := s.SigSlab()
+	if err != nil {
+		return nil, err
+	}
+	return sigs[start*CorpusSigWords : end*CorpusSigWords : end*CorpusSigWords], nil
 }
 
 // ProcCounts returns the per-executable procedure counts of image img

@@ -1,0 +1,95 @@
+package strand
+
+// MinHash signatures over interned strand-ID sets. A signature is a
+// constant-size sketch of a procedure's strand set: SigWords
+// independent permutations of the ID space, each contributing the
+// minimum permuted value over the set. Two sets' signatures agree in an
+// expected fraction of positions equal to their Jaccard similarity,
+// which is what the corpusindex LSH tier bands on.
+//
+// Signatures are a pure function of the dense IDs and the fixed seed
+// schedule below, so every consumer of one ID space — a live analyzer
+// session, the sealed corpus it freezes into, the FWCORP shards that
+// persist it, and the per-request query overlays layered above it —
+// computes bit-identical signatures without coordination. Query
+// overlays assign private IDs strictly above the frozen vocabulary
+// (strand.Rebased), so a never-sealed query strand can never alias a
+// corpus strand's permuted value source.
+
+// SigWords is the number of hash functions per MinHash signature, and
+// therefore the fixed word count of every signature. Changing it is a
+// snapshot format break (the FWCORP corpus-sigs slab stores raw
+// signatures); bump the corpus format version if it ever changes.
+const SigWords = 64
+
+// sigSeedBase seeds the per-word permutation schedule. It is a fixed
+// protocol constant — NOT derived from any vocabulary contents — so
+// signatures computed while a live session is still interning new
+// strands remain valid verbatim after Seal freezes the vocabulary.
+const sigSeedBase uint64 = 0x46572d4c53482d31 // "FW-LSH-1"
+
+// SigEmptyWord is the signature word of an empty set: no element ever
+// produces it in practice, so consumers can use an all-SigEmptyWord
+// signature as the "no strands / no signature" sentinel and keep such
+// procedures out of LSH buckets.
+const SigEmptyWord uint32 = 0xffffffff
+
+var sigSeeds = func() [SigWords]uint64 {
+	var s [SigWords]uint64
+	x := sigSeedBase
+	for i := range s {
+		// splitmix64: the standard seed-stream generator.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		s[i] = z ^ (z >> 31)
+	}
+	return s
+}()
+
+// sigMix is the per-element permutation: a strong 64-bit finalizer over
+// the ID xor the word seed. Only the low 32 bits are kept — a 1/2^32
+// per-pair collision rate is far below the banding noise floor and
+// halves the slab footprint.
+func sigMix(id uint32, seed uint64) uint64 {
+	z := uint64(id) ^ seed
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	return z ^ (z >> 33)
+}
+
+// MinHashInto writes the SigWords-word MinHash signature of ids into
+// dst (len(dst) must be at least SigWords) and returns dst[:SigWords].
+// An empty ids set yields the all-SigEmptyWord sentinel signature.
+func MinHashInto(dst []uint32, ids []uint32) []uint32 {
+	dst = dst[:SigWords]
+	for k := range dst {
+		dst[k] = SigEmptyWord
+	}
+	for _, id := range ids {
+		for k := 0; k < SigWords; k++ {
+			if v := uint32(sigMix(id, sigSeeds[k])); v < dst[k] {
+				dst[k] = v
+			}
+		}
+	}
+	return dst
+}
+
+// MinHash is MinHashInto with a fresh buffer.
+func MinHash(ids []uint32) []uint32 {
+	return MinHashInto(make([]uint32, SigWords), ids)
+}
+
+// SigEmpty reports whether sig is the empty-set sentinel signature
+// (every word SigEmptyWord). Bucket builders skip such signatures so empty
+// procedures never band-collide with each other.
+func SigEmpty(sig []uint32) bool {
+	for _, w := range sig {
+		if w != SigEmptyWord {
+			return false
+		}
+	}
+	return true
+}

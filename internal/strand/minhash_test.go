@@ -1,0 +1,78 @@
+package strand
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestMinHashDeterminism pins that signatures depend only on the ID
+// multiset, not on element order or call history: the seed schedule is
+// a protocol constant shared by live sessions and sealed shards.
+func TestMinHashDeterminism(t *testing.T) {
+	ids := []uint32{3, 17, 42, 99, 100000, 7}
+	a := MinHash(ids)
+	if len(a) != SigWords {
+		t.Fatalf("signature has %d words, want %d", len(a), SigWords)
+	}
+	shuffled := []uint32{100000, 7, 42, 3, 99, 17}
+	if b := MinHash(shuffled); !reflect.DeepEqual(a, b) {
+		t.Error("signature depends on element order")
+	}
+	// Reusing a dirty buffer must not leak previous minima.
+	buf := make([]uint32, SigWords)
+	for i := range buf {
+		buf[i] = 0
+	}
+	if c := MinHashInto(buf, ids); !reflect.DeepEqual(a, c) {
+		t.Error("MinHashInto leaks previous buffer contents")
+	}
+}
+
+func TestMinHashEmptySentinel(t *testing.T) {
+	e := MinHash(nil)
+	if !SigEmpty(e) {
+		t.Error("empty set signature is not the sentinel")
+	}
+	if SigEmpty(MinHash([]uint32{1})) {
+		t.Error("non-empty signature reported as sentinel")
+	}
+}
+
+// TestMinHashJaccardEstimate checks the defining MinHash property: the
+// fraction of agreeing signature words estimates the Jaccard
+// similarity of the underlying sets. With 64 words the standard error
+// is ~1/8, so the tolerances below are loose but would still catch a
+// broken permutation schedule (which collapses to 0 or 1 agreement).
+func TestMinHashJaccardEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]uint32, 0, 400)
+	seen := map[uint32]bool{}
+	for len(base) < 400 {
+		id := uint32(rng.Intn(1 << 20))
+		if !seen[id] {
+			seen[id] = true
+			base = append(base, id)
+		}
+	}
+	for _, overlap := range []float64{0.2, 0.5, 0.9} {
+		nShared := int(float64(len(base)) * overlap)
+		other := append([]uint32(nil), base[:nShared]...)
+		for len(other) < len(base) {
+			id := uint32(1<<20 + rng.Intn(1<<20)) // disjoint range
+			other = append(other, id)
+		}
+		jaccard := float64(nShared) / float64(2*len(base)-nShared)
+		a, b := MinHash(base), MinHash(other)
+		agree := 0
+		for k := range a {
+			if a[k] == b[k] {
+				agree++
+			}
+		}
+		est := float64(agree) / float64(SigWords)
+		if diff := est - jaccard; diff < -0.2 || diff > 0.2 {
+			t.Errorf("overlap %.1f: signature agreement %.3f vs true Jaccard %.3f", overlap, est, jaccard)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package firmup_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"firmup"
+	"firmup/internal/corpus"
+	"firmup/internal/eval"
+	"firmup/internal/snapshot"
+	"firmup/internal/uir"
+)
+
+// lshTestQueries are the CVE probes every LSH suite replays.
+var lshTestQueries = []struct {
+	cveID string
+	arch  uir.Arch
+}{
+	{"CVE-2014-4877", uir.ArchMIPS32},
+	{"CVE-2013-1944", uir.ArchARM32},
+}
+
+// TestLSHExactEquivalence is the exact-mode soundness suite: with
+// Approx off, the MinHash/LSH tier only reorders probe sequence — the
+// candidate set is still the exact prefilter's, so every corpus form
+// that consults LSH buckets (sealed in-RAM, sharded v3 stores at two
+// shard counts, and signature-less v2 shards that fall back to the
+// plain exact path) must answer byte-identically to the live session
+// baseline: findings, examined counts and step histograms deep-equal.
+// Randomized over corpus seeds; CI runs it under -race.
+func TestLSHExactEquivalence(t *testing.T) {
+	opts := []*firmup.Options{nil, {MinScore: 3, MinRatio: 0.2}, {Exhaustive: true}}
+	for _, seed := range []uint64{3, 11} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := buildSealedScenario(t, corpus.Scale{DevicesPerVendor: 2, MaxReleases: 2, Seed: seed})
+
+			// The store-backed forms: v3 shards (signatures present) at two
+			// shard counts, and v2 shards (no signatures, exact fallback).
+			dir := t.TempDir()
+			type form struct {
+				name string
+				sc   *firmup.SealedCorpus
+			}
+			forms := []form{{"sealed", s.sealed}}
+			for _, nShards := range []int{2, 7} {
+				d := filepath.Join(dir, fmt.Sprintf("v3-%d", nShards))
+				if _, err := s.sealed.WriteShards(d, nShards); err != nil {
+					t.Fatal(err)
+				}
+				sc, err := firmup.OpenSealedCorpusDir(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sc.Close()
+				forms = append(forms, form{fmt.Sprintf("store-v3-%d", nShards), sc})
+			}
+			noSigsDir := filepath.Join(dir, "v2-nosigs")
+			if _, err := s.sealed.WriteShardsNoSigs(noSigsDir, 2); err != nil {
+				t.Fatal(err)
+			}
+			noSigs, err := firmup.OpenSealedCorpusDir(noSigsDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer noSigs.Close()
+			forms = append(forms, form{"store-v2-nosigs", noSigs})
+
+			total := 0
+			for _, q := range lshTestQueries {
+				cve := corpus.CVEByID(q.cveID)
+				if cve == nil {
+					t.Fatalf("unknown CVE %s", q.cveID)
+				}
+				qb := queryBytesFor(t, cve, q.arch)
+				// Live session baseline: the plain exact prefilter, no LSH.
+				liveQ, err := s.analyzer.LoadQueryExecutable(qb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for oi, opt := range opts {
+					var want []*firmup.SearchResult
+					for _, img := range s.live {
+						res, err := s.analyzer.SearchImageDetailed(liveQ, cve.Procedure, img, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want = append(want, res)
+						total += len(res.Findings)
+					}
+					for _, f := range forms {
+						fq, err := f.sc.AnalyzeQuery(qb)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i, img := range f.sc.Images() {
+							got, err := f.sc.SearchImageDetailed(fq, cve.Procedure, img, opt)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !reflect.DeepEqual(got, want[i]) {
+								t.Errorf("%s %s opt[%d] image %d: diverges from live baseline:\nlive: %+v\ngot:  %+v",
+									f.name, cve.ID, oi, i, want[i], got)
+							}
+						}
+					}
+				}
+			}
+			if total == 0 {
+				t.Error("no findings under any options; equivalence vacuous")
+			}
+		})
+	}
+}
+
+// TestLSHApproxSubset pins the approximate tier's one-sided error:
+// with Approx on, band collisions gate the exact candidate set, so the
+// examined count per image can never exceed exact mode's and every
+// approximate finding must also be an exact finding, value for value.
+// Exhaustive mode must ignore Approx entirely.
+func TestLSHApproxSubset(t *testing.T) {
+	s := buildSealedScenario(t, corpus.DefaultScale())
+	shardDir := t.TempDir()
+	if _, err := s.sealed.WriteShards(shardDir, 3); err != nil {
+		t.Fatal(err)
+	}
+	store, err := firmup.OpenSealedCorpusDir(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	for _, form := range []struct {
+		name string
+		sc   *firmup.SealedCorpus
+	}{{"sealed", s.sealed}, {"store", store}} {
+		for _, q := range lshTestQueries {
+			cve := corpus.CVEByID(q.cveID)
+			qb := queryBytesFor(t, cve, q.arch)
+			qe, err := form.sc.AnalyzeQuery(qb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := form.sc.SearchAll(qe, cve.Procedure, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			approx, err := form.sc.SearchAll(qe, cve.Procedure, &firmup.Options{Approx: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(exact) != len(approx) {
+				t.Fatalf("%s %s: image count diverges: %d vs %d", form.name, cve.ID, len(exact), len(approx))
+			}
+			for i := range exact {
+				if approx[i].Examined > exact[i].Examined {
+					t.Errorf("%s %s image %d: approx examined %d > exact %d — the band gate admitted a non-candidate",
+						form.name, cve.ID, i, approx[i].Examined, exact[i].Examined)
+				}
+				set := make(map[firmup.Finding]bool, len(exact[i].Findings))
+				for _, f := range exact[i].Findings {
+					set[f] = true
+				}
+				for _, f := range approx[i].Findings {
+					if !set[f] {
+						t.Errorf("%s %s image %d: approx finding %+v absent from exact results",
+							form.name, cve.ID, i, f)
+					}
+				}
+			}
+			// Exhaustive ignores every prefilter, approximate or exact.
+			exh, err := form.sc.SearchAll(qe, cve.Procedure, &firmup.Options{Exhaustive: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exhA, err := form.sc.SearchAll(qe, cve.Procedure, &firmup.Options{Exhaustive: true, Approx: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(exh, exhA) {
+				t.Errorf("%s %s: Approx changed the exhaustive path", form.name, cve.ID)
+			}
+		}
+	}
+}
+
+// TestApproxRecallFloor measures the approximate tier's recall against
+// exact ground truth over the default corpus and both CVE queries,
+// pooled, and enforces the documented 0.95 floor — the bound the -approx
+// flag and serve's approx= parameter advertise. CI runs this as the
+// recall gate.
+func TestApproxRecallFloor(t *testing.T) {
+	s := buildSealedScenario(t, corpus.DefaultScale())
+	shardDir := t.TempDir()
+	if _, err := s.sealed.WriteShards(shardDir, 4); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := firmup.OpenSealedCorpusDir(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	keys := func(res []firmup.ImageFindings) map[eval.FindingKey]bool {
+		m := make(map[eval.FindingKey]bool)
+		for i, img := range res {
+			for _, f := range img.Findings {
+				m[eval.FindingKey{Image: i, ExePath: f.ExePath, ProcAddr: f.ProcAddr}] = true
+			}
+		}
+		return m
+	}
+	var rs eval.RecallStats
+	for _, q := range lshTestQueries {
+		cve := corpus.CVEByID(q.cveID)
+		qb := queryBytesFor(t, cve, q.arch)
+		qe, err := sc.AnalyzeQuery(qb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := sc.SearchAll(qe, cve.Procedure, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := sc.SearchAll(qe, cve.Procedure, &firmup.Options{Approx: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.Observe(keys(exact), keys(approx))
+	}
+	if rs.Expected == 0 {
+		t.Fatal("no exact findings; recall floor vacuous")
+	}
+	if got := rs.Recall(); got < 0.95 {
+		t.Errorf("approximate recall %.3f (%d/%d) below the 0.95 floor", got, rs.Found, rs.Expected)
+	} else {
+		t.Logf("approximate recall %.3f (%d/%d findings)", got, rs.Found, rs.Expected)
+	}
+}
+
+// TestOpenSealedCorpusDirMixed pins the mixed-generation diagnostic: a
+// v1 artifact dropped into a shard directory must fail the directory
+// open with a MixedCorpusError naming that file.
+func TestOpenSealedCorpusDirMixed(t *testing.T) {
+	s := buildSealedScenario(t, corpus.Scale{DevicesPerVendor: 1, MaxReleases: 1, Seed: 5})
+	dir := t.TempDir()
+	if _, err := s.sealed.WriteShards(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.sealed.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, "old-corpus.fwcorp")
+	if err := os.WriteFile(stray, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = firmup.OpenSealedCorpusDir(dir)
+	if err == nil {
+		t.Fatal("opening a mixed v1/v2 directory succeeded")
+	}
+	var mixed *firmup.MixedCorpusError
+	if !errors.As(err, &mixed) {
+		t.Fatalf("error is %T (%v), want *MixedCorpusError", err, err)
+	}
+	if mixed.Path != stray {
+		t.Errorf("MixedCorpusError.Path = %q, want %q", mixed.Path, stray)
+	}
+	if mixed.Dir != dir {
+		t.Errorf("MixedCorpusError.Dir = %q, want %q", mixed.Dir, dir)
+	}
+	if mixed.Version != 1 {
+		t.Errorf("MixedCorpusError.Version = %d, want 1", mixed.Version)
+	}
+}
+
+// TestWriteShardsDeterminism pins two properties of the parallel shard
+// writer: repeated runs are byte-identical (the worker pool cannot leak
+// scheduling order into the artifacts), and the sigs/no-sigs variants
+// emit the container versions they advertise.
+func TestWriteShardsDeterminism(t *testing.T) {
+	s := buildSealedScenario(t, corpus.Scale{DevicesPerVendor: 2, MaxReleases: 1, Seed: 7})
+	dir := t.TempDir()
+	runA, err := s.sealed.WriteShards(filepath.Join(dir, "a"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runB, err := s.sealed.WriteShards(filepath.Join(dir, "b"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runA) != 5 || len(runB) != 5 {
+		t.Fatalf("WriteShards returned %d/%d paths, want 5", len(runA), len(runB))
+	}
+	for i := range runA {
+		a, err := os.ReadFile(runA[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(runB[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("shard %d differs between two WriteShards runs", i)
+		}
+		if v, err := snapshot.CorpusVersion(a); err != nil || v != snapshot.CorpusFormatVersionV3 {
+			t.Errorf("shard %d: version %d (err %v), want v%d", i, v, err, snapshot.CorpusFormatVersionV3)
+		}
+	}
+	noSigs, err := s.sealed.WriteShardsNoSigs(filepath.Join(dir, "nosigs"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range noSigs {
+		blob, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := snapshot.CorpusVersion(blob); err != nil || v != snapshot.CorpusFormatVersionV2 {
+			t.Errorf("no-sigs shard %d: version %d (err %v), want v%d", i, v, err, snapshot.CorpusFormatVersionV2)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"firmup/internal/sim"
 	"firmup/internal/snapshot"
 	"firmup/internal/strand"
+	"firmup/internal/telemetry"
 	"firmup/internal/uir"
 )
 
@@ -56,6 +57,11 @@ type SealedImage struct {
 
 	index   *corpusindex.FrozenIndex
 	targets []*sim.Exe
+
+	// tel, when non-nil, is applied to the image's frozen index —
+	// immediately for in-RAM images, at first index build for
+	// store-backed ones (see SealedCorpus.SetTelemetry).
+	tel *corpusindex.Telemetry
 
 	// Store-backed state (nil/zero for in-RAM images).
 	store    *sealedStore
@@ -132,6 +138,13 @@ func (a *Analyzer) Seal(images ...*Image) (*SealedCorpus, error) {
 			if err != nil {
 				return nil, fmt.Errorf("firmup: Seal: image %d: %w", ii, err)
 			}
+			// Carry the live index's MinHash slab across the seal: the
+			// signatures are over dense IDs, which Freeze and Rebound
+			// preserve, so the sealed LSH tier agrees with the live one
+			// verbatim.
+			if err := idx.SetSignatures(img.index.Signatures()); err != nil {
+				return nil, fmt.Errorf("firmup: Seal: image %d: %w", ii, err)
+			}
 			si.index = idx
 		}
 		sc.images = append(sc.images, si)
@@ -145,6 +158,32 @@ func (sc *SealedCorpus) Images() []*SealedImage { return sc.images }
 
 // UniqueStrands reports the frozen vocabulary size.
 func (sc *SealedCorpus) UniqueStrands() int { return sc.frozen.Size() }
+
+// SetTelemetry attaches prefilter telemetry to every image index of the
+// corpus: the exact tier's index.queries / index.fallbacks /
+// index.fanout plus the LSH tier's lsh.probes / lsh.fallbacks /
+// lsh.candidates. Call before serving searches — store-backed images
+// apply the handles when their index first builds, in-RAM images
+// immediately. A nil registry detaches.
+func (sc *SealedCorpus) SetTelemetry(r *telemetry.Registry) {
+	var tel *corpusindex.Telemetry
+	if r != nil {
+		tel = &corpusindex.Telemetry{
+			Queries:       r.Counter("index.queries"),
+			Fallbacks:     r.Counter("index.fallbacks"),
+			Fanout:        r.Histogram("index.fanout"),
+			LSHProbes:     r.Counter("lsh.probes"),
+			LSHFallbacks:  r.Counter("lsh.fallbacks"),
+			LSHCandidates: r.Histogram("lsh.candidates"),
+		}
+	}
+	for _, im := range sc.images {
+		im.tel = tel
+		if im.index != nil {
+			im.index.SetTelemetry(tel)
+		}
+	}
+}
 
 // Executables reports the total executable count across all images.
 // Cheap even when store-backed: counts come from shard metadata, not
@@ -196,6 +235,7 @@ type sealedView struct {
 	minScore   int
 	minRatio   float64
 	exhaustive bool
+	approx     bool
 }
 
 func (v sealedView) Targets() []*sim.Exe { return v.img.targets }
@@ -204,7 +244,7 @@ func (v sealedView) Candidates(q *sim.Exe, qi int) ([]int, bool) {
 	if v.img.index == nil || v.exhaustive {
 		return nil, false
 	}
-	return v.img.index.CandidateIndices(q.Procs[qi].Set, v.minScore, v.minRatio, nil)
+	return v.img.index.CandidateIndicesLSH(q.Procs[qi].Set, v.minScore, v.minRatio, v.approx, nil)
 }
 
 // SearchImageDetailed looks for the query executable's procedure in
@@ -232,6 +272,7 @@ func (sc *SealedCorpus) searchImageIdx(query *Executable, qi int, img *SealedIma
 		minScore:   s.MinScore,
 		minRatio:   s.MinRatio,
 		exhaustive: opt != nil && opt.Exhaustive,
+		approx:     opt != nil && opt.Approx,
 	}
 	return searchResultFromCore(core.SearchView(query.exe, qi, v, s)), nil
 }
@@ -261,6 +302,7 @@ func (sc *SealedCorpus) searchBatchCore(cqs []core.BatchQuery, img *SealedImage,
 		minScore:   s.MinScore,
 		minRatio:   s.MinRatio,
 		exhaustive: opt != nil && opt.Exhaustive,
+		approx:     opt != nil && opt.Approx,
 	}
 	res := core.SearchViewBatch(cqs, v, s)
 	out := make([]*SearchResult, len(res))

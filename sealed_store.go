@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"unsafe"
@@ -15,6 +16,14 @@ import (
 	"firmup/internal/snapshot"
 	"firmup/internal/strand"
 	"firmup/internal/uir"
+)
+
+// The shard slab layout and the in-session signature layout must agree
+// on the per-procedure word count; both arrays have length zero only
+// when they do.
+var (
+	_ [snapshot.CorpusSigWords - strand.SigWords]struct{}
+	_ [strand.SigWords - snapshot.CorpusSigWords]struct{}
 )
 
 // This file is the store-backed (v2, mmap) side of SealedCorpus: a
@@ -193,6 +202,24 @@ func (im *SealedImage) ensureIndex() error {
 			im.idxErr = &snapshot.CorruptError{Section: "corpus-index-posts", Reason: err.Error()}
 			return
 		}
+		// A v3 shard carries the per-procedure MinHash slab; attach the
+		// image's zero-copy slice so the LSH tier runs straight off the
+		// mapping. A v2 shard has none, and the index serves both probe
+		// modes through the exact prefilter.
+		if im.store.shard.HasSignatures() {
+			sigs, err := im.store.shard.ImageSigs(im.storeImg)
+			if err != nil {
+				im.idxErr = err
+				return
+			}
+			if err := idx.SetSignatures(sigs); err != nil {
+				im.idxErr = &snapshot.CorruptError{Section: "corpus-sigs", Reason: err.Error()}
+				return
+			}
+		}
+		if im.tel != nil {
+			idx.SetTelemetry(im.tel)
+		}
 		im.index = idx
 	})
 	return im.idxErr
@@ -240,6 +267,16 @@ func postsToIndex(sp []snapshot.Posting) []corpusindex.Posting {
 	return out
 }
 
+// storeCandidates builds the single candidate function both the
+// materialization pass and the game prefilter call. Using one closure
+// for both keeps the sets identical by construction: a game can only
+// probe target slots the materialization pass filled.
+func storeCandidates(idx *corpusindex.FrozenIndex, minScore int, minRatio float64, approx bool) func(q *sim.Exe, qpi int, _ []*sim.Exe) ([]int, bool) {
+	return func(q *sim.Exe, qpi int, _ []*sim.Exe) ([]int, bool) {
+		return idx.CandidateIndicesLSH(q.Procs[qpi].Set, minScore, minRatio, approx, nil)
+	}
+}
+
 // storeSearch runs one query procedure against a store-backed image:
 // candidates come off the mapped CSR index first, and only candidate
 // executables are materialized. Findings, examined counts and step
@@ -253,7 +290,8 @@ func (sc *SealedCorpus) storeSearch(query *Executable, qi int, img *SealedImage,
 	}
 	exhaustive := opt != nil && opt.Exhaustive
 	if idx := img.index; idx != nil && !exhaustive {
-		cands, ok := idx.CandidateIndices(query.exe.Procs[qi].Set, s.MinScore, s.MinRatio, nil)
+		cand := storeCandidates(idx, s.MinScore, s.MinRatio, opt != nil && opt.Approx)
+		cands, ok := cand(query.exe, qi, nil)
 		if ok {
 			targets := make([]*sim.Exe, img.nExes)
 			for _, ti := range cands {
@@ -263,9 +301,7 @@ func (sc *SealedCorpus) storeSearch(query *Executable, qi int, img *SealedImage,
 				}
 				targets[ti] = e.exe
 			}
-			s.Prefilter = func(q *sim.Exe, qpi int, _ []*sim.Exe) ([]int, bool) {
-				return idx.CandidateIndices(q.Procs[qpi].Set, s.MinScore, s.MinRatio, nil)
-			}
+			s.Prefilter = cand
 			return searchResultFromCore(core.Search(query.exe, qi, targets, s)), nil
 		}
 	}
@@ -287,10 +323,11 @@ func (sc *SealedCorpus) storeSearchBatch(cqs []core.BatchQuery, img *SealedImage
 	}
 	exhaustive := opt != nil && opt.Exhaustive
 	if idx := img.index; idx != nil && !exhaustive {
+		cand := storeCandidates(idx, s.MinScore, s.MinRatio, opt != nil && opt.Approx)
 		need := make([]bool, img.nExes)
 		narrow := true
 		for _, cq := range cqs {
-			cands, ok := idx.CandidateIndices(cq.Q.Procs[cq.QI].Set, s.MinScore, s.MinRatio, nil)
+			cands, ok := cand(cq.Q, cq.QI, nil)
 			if !ok {
 				narrow = false
 				break
@@ -311,9 +348,7 @@ func (sc *SealedCorpus) storeSearchBatch(cqs []core.BatchQuery, img *SealedImage
 				}
 				targets[ti] = e.exe
 			}
-			s.Prefilter = func(q *sim.Exe, qpi int, _ []*sim.Exe) ([]int, bool) {
-				return idx.CandidateIndices(q.Procs[qpi].Set, s.MinScore, s.MinRatio, nil)
-			}
+			s.Prefilter = cand
 			res := core.SearchBatch(cqs, targets, s)
 			out := make([]*SearchResult, len(res))
 			for i := range res {
@@ -334,12 +369,30 @@ func (sc *SealedCorpus) storeSearchBatch(cqs []core.BatchQuery, img *SealedImage
 }
 
 // WriteShards splits the sealed corpus into n contiguous image ranges
-// and writes each as one FWCORP v2 shard file (shard-NNNN.fwcorp) under
+// and writes each as one FWCORP shard file (shard-NNNN.fwcorp) under
 // dir, returning the paths in shard order. Every shard embeds the full
 // frozen vocabulary plus its position, so OpenSealedCorpusDir can
 // validate the set as one coherent corpus. n may exceed the image
 // count; trailing shards are then empty but still valid.
+//
+// Shards carry the per-procedure MinHash signature slab (the v3
+// layout), so corpora opened from them serve the LSH candidate tier
+// without rederiving signatures. Shards are encoded and written by a
+// bounded worker pool; each shard's bytes depend only on its own image
+// range, so the output is identical to a sequential pass.
 func (sc *SealedCorpus) WriteShards(dir string, n int) ([]string, error) {
+	return sc.writeShards(dir, n, true)
+}
+
+// WriteShardsNoSigs is WriteShards without the corpus-sigs section —
+// the pre-LSH v2 artifact layout, readable by older firmupd builds.
+// Corpora opened from such shards fall back to the exact prefilter for
+// both probe modes.
+func (sc *SealedCorpus) WriteShardsNoSigs(dir string, n int) ([]string, error) {
+	return sc.writeShards(dir, n, false)
+}
+
+func (sc *SealedCorpus) writeShards(dir string, n int, sigs bool) ([]string, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("firmup: WriteShards: shard count %d must be at least 1", n)
 	}
@@ -347,38 +400,88 @@ func (sc *SealedCorpus) WriteShards(dir string, n int) ([]string, error) {
 		return nil, err
 	}
 	total := len(sc.images)
-	base := 0
-	paths := make([]string, 0, n)
-	for si := 0; si < n; si++ {
+	type shardRange struct{ base, cnt int }
+	ranges := make([]shardRange, n)
+	for si, base := 0, 0; si < n; si++ {
 		cnt := total / n
 		if si < total%n {
 			cnt++
 		}
-		c := &snapshot.Corpus{Interner: sc.frozen.Vocab()}
-		for i := base; i < base+cnt; i++ {
-			ci, err := sc.imageModel(i)
-			if err != nil {
-				return nil, err
-			}
-			c.Images = append(c.Images, ci)
-		}
-		data, err := snapshot.EncodeCorpusShard(c, snapshot.ShardHeader{
-			ShardIndex:  si,
-			ShardCount:  n,
-			ImageBase:   base,
-			TotalImages: total,
-		})
+		ranges[si] = shardRange{base, cnt}
+		base += cnt
+	}
+	paths := make([]string, n)
+	errs := make([]error, n)
+	workers := min(n, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for si := range ranges {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			paths[si], errs[si] = sc.writeShard(dir, si, n, ranges[si].base, ranges[si].cnt, total, sigs)
+		}(si)
+	}
+	wg.Wait()
+	// First error in shard order wins, matching the sequential contract.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		p := filepath.Join(dir, fmt.Sprintf("shard-%04d.fwcorp", si))
-		if err := os.WriteFile(p, data, 0o644); err != nil {
-			return nil, err
-		}
-		paths = append(paths, p)
-		base += cnt
 	}
 	return paths, nil
+}
+
+// writeShard encodes and writes one shard's image range.
+func (sc *SealedCorpus) writeShard(dir string, si, n, base, cnt, total int, sigs bool) (string, error) {
+	c := &snapshot.Corpus{Interner: sc.frozen.Vocab()}
+	if sigs {
+		// Non-nil even for an empty shard, so every shard of the set
+		// encodes as the same container version.
+		c.Sigs = []uint32{}
+	}
+	for i := base; i < base+cnt; i++ {
+		ci, err := sc.imageModel(i)
+		if err != nil {
+			return "", err
+		}
+		c.Images = append(c.Images, ci)
+		if sigs {
+			c.Sigs = appendModelSigs(c.Sigs, &c.Images[len(c.Images)-1])
+		}
+	}
+	data, err := snapshot.EncodeCorpusShard(c, snapshot.ShardHeader{
+		ShardIndex:  si,
+		ShardCount:  n,
+		ImageBase:   base,
+		TotalImages: total,
+	})
+	if err != nil {
+		return "", err
+	}
+	p := filepath.Join(dir, fmt.Sprintf("shard-%04d.fwcorp", si))
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		return "", err
+	}
+	return p, nil
+}
+
+// appendModelSigs appends every procedure's MinHash signature of one
+// image model. Signatures are computed over the frozen dense IDs —
+// exactly the IDs the live session's slab was computed over, since
+// Freeze and Rebound preserve them — so a rewritten shard's slab is
+// byte-identical to the sealing session's.
+func appendModelSigs(sigs []uint32, ci *snapshot.CorpusImage) []uint32 {
+	for _, e := range ci.Exes {
+		for _, p := range e.Procs {
+			n := len(sigs)
+			sigs = append(sigs, make([]uint32, snapshot.CorpusSigWords)...)
+			strand.MinHashInto(sigs[n:], p.IDs)
+		}
+	}
+	return sigs
 }
 
 // imageModel serializes image i into the snapshot corpus model,
@@ -431,7 +534,7 @@ func OpenSealedCorpus(path string) (*SealedCorpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != snapshot.CorpusFormatVersionV2 {
+	if version < snapshot.CorpusFormatVersionV2 {
 		// v1 (and any unknown version, which DecodeCorpus rejects with
 		// the proper diagnostic): the eager decode path.
 		data, err := os.ReadFile(path)
@@ -452,10 +555,42 @@ func OpenSealedCorpus(path string) (*SealedCorpus, error) {
 	return sealedFromShards([]*snapshot.CorpusShard{shard}, []string{path})
 }
 
+// MixedCorpusError reports a shard directory that mixes sealed-corpus
+// container generations: a monolithic v1 artifact cannot be served
+// alongside mmap shard files as one corpus. Path names the offending
+// file so the operator can move it out of the shard set.
+type MixedCorpusError struct {
+	// Dir is the directory that was scanned.
+	Dir string
+	// Path is the first file whose container generation disagrees with
+	// the shard files around it.
+	Path string
+	// Version is that file's container format version.
+	Version int
+}
+
+func (e *MixedCorpusError) Error() string {
+	return fmt.Sprintf("firmup: %s mixes sealed-corpus container generations: %s is a v%d artifact among shard files", e.Dir, e.Path, e.Version)
+}
+
+// sniffCorpusVersion reads just the container header version of one
+// .fwcorp file.
+func sniffCorpusVersion(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	hdr := make([]byte, 16)
+	n, _ := f.Read(hdr)
+	f.Close()
+	return snapshot.CorpusVersion(hdr[:n])
+}
+
 // OpenSealedCorpusDir opens every *.fwcorp shard under dir as one
 // sealed corpus, validating that the files form exactly one complete
 // shard set (contiguous indexes, agreeing totals, byte-identical
-// frozen vocabulary).
+// frozen vocabulary). A directory mixing monolithic v1 artifacts with
+// shard files fails with a *MixedCorpusError naming the odd file out.
 func OpenSealedCorpusDir(dir string) (*SealedCorpus, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "*.fwcorp"))
 	if err != nil {
@@ -465,6 +600,25 @@ func OpenSealedCorpusDir(dir string) (*SealedCorpus, error) {
 		return nil, fmt.Errorf("firmup: %s holds no .fwcorp shards", dir)
 	}
 	sort.Strings(matches)
+	versions := make([]int, len(matches))
+	hasShard := false
+	for i, p := range matches {
+		v, err := sniffCorpusVersion(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		versions[i] = v
+		if v >= snapshot.CorpusFormatVersionV2 {
+			hasShard = true
+		}
+	}
+	if hasShard {
+		for i, v := range versions {
+			if v < snapshot.CorpusFormatVersionV2 {
+				return nil, &MixedCorpusError{Dir: dir, Path: matches[i], Version: v}
+			}
+		}
+	}
 	shards := make([]*snapshot.CorpusShard, 0, len(matches))
 	closeAll := func() {
 		for _, s := range shards {
