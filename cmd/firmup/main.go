@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"firmup"
+	"firmup/internal/buildinfo"
 	"firmup/internal/telemetry"
 )
 
@@ -44,7 +45,12 @@ func main() {
 	reportPath := flag.String("report", "", "write a structured JSON run report (stage timings, counters, histograms) to this file")
 	traceJSON := flag.String("trace-json", "", "re-play each finding's game with tracing and write the courses as JSON to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	if *queryPath == "" || *proc == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: firmup -query <exe> -proc <name> <image>...")

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"firmup"
+	"firmup/internal/buildinfo"
 	"firmup/internal/serve"
 	"firmup/internal/telemetry"
 )
@@ -48,8 +49,17 @@ func main() {
 		approx          = flag.Bool("approx", false, "default /search to the approximate LSH candidate tier (per-request approx=0/1 overrides)")
 		batchWindow     = flag.Duration("batch-window", 0, "coalesce concurrent same-target searches into one batched pass, waiting this long for followers (0 = off)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown grace period")
+		traceSample     = flag.Int("trace-sample", 1, "request tracing sample rate: 0 = X-Firmup-Trace-carrying requests only, 1 = all, N = every Nth")
+		traceSlow       = flag.Duration("trace-slow", 500*time.Millisecond, "always retain traces of requests at least this slow for /debug/requests (negative = off)")
+		traceKeep       = flag.Int("trace-keep", 16, "how many slowest request traces /debug/requests retains")
+		accessLog       = flag.String("access-log", "-", "structured JSON access log destination: - for stderr, a file path to append to, empty to disable")
+		version         = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 	if *corpusPath == "" {
 		fmt.Fprintln(os.Stderr, "firmupd: -corpus is required")
 		flag.Usage()
@@ -64,6 +74,11 @@ func main() {
 	log.Printf("firmupd: loaded %s: %d images, %d executables, %d unique strands",
 		cs.Name, len(cs.Sealed.Images()), cs.Sealed.Executables(), cs.Sealed.UniqueStrands())
 
+	logger, err := openAccessLog(*accessLog)
+	if err != nil {
+		log.Fatalf("firmupd: %v", err)
+	}
+
 	srv := serve.New(cs, &serve.Config{
 		MaxInFlight:   *maxInFlight,
 		RetryAfter:    *retryAfter,
@@ -72,6 +87,10 @@ func main() {
 		Approx:        *approx,
 		BatchWindow:   *batchWindow,
 		Registry:      reg,
+		TraceSample:   *traceSample,
+		TraceSlow:     *traceSlow,
+		TraceKeep:     *traceKeep,
+		AccessLog:     logger,
 	})
 
 	mux := http.NewServeMux()
@@ -116,6 +135,23 @@ func main() {
 			log.Fatalf("firmupd: shutdown: %v", err)
 		}
 	}
+}
+
+// openAccessLog resolves the -access-log destination: "-" is stderr,
+// "" disables (nil logger — every log call is a no-op), anything else
+// is a file path appended to.
+func openAccessLog(dst string) (*telemetry.Logger, error) {
+	switch dst {
+	case "":
+		return nil, nil
+	case "-":
+		return telemetry.NewLogger(os.Stderr, telemetry.LevelInfo), nil
+	}
+	f, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("access log: %w", err)
+	}
+	return telemetry.NewLogger(f, telemetry.LevelInfo), nil
 }
 
 // loadCorpus opens one sealed corpus: a v1 artifact (decoded into

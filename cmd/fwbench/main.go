@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"firmup"
+	"firmup/internal/buildinfo"
 	"firmup/internal/core"
 	"firmup/internal/corpus"
 	"firmup/internal/corpusindex"
@@ -51,7 +52,12 @@ func main() {
 	shards := flag.Int("shards", 4, "scale/lsh experiments: v2 shard count")
 	maxRSS := flag.Int64("max-rss-bytes", 0, "scale experiment: exit 1 if peak RSS exceeds this budget (0 = unenforced)")
 	compareV1 := flag.Bool("compare-v1", true, "scale experiment: also save/decode/probe the corpus as one v1 artifact (auto-off above 128 images unless set explicitly)")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	valid := map[string]bool{"all": true, "table2": true, "fig6": true, "fig8": true,
 		"fig9": true, "ablation": true, "fig5": true, "table1": true, "demo": true,
@@ -210,6 +216,14 @@ type serveBenchReport struct {
 	// histogram quantiles (bucket-interpolated).
 	ServerP50US int64 `json:"server_p50_us"`
 	ServerP99US int64 `json:"server_p99_us"`
+	// TraceOffered/TraceRetained are the /debug/requests tail-sampling
+	// counters after the run: with TraceSample 1 every completed request
+	// offers its trace, and the buffer retains the slowest few.
+	TraceOffered  int64 `json:"trace_offered"`
+	TraceRetained int64 `json:"trace_retained"`
+	// TraceSlowestUS is the duration of the slowest captured request
+	// trace, as /debug/requests reports it.
+	TraceSlowestUS float64 `json:"trace_slowest_us"`
 	// benchMem: OpenNs is the analyze-and-seal cold start the daemon
 	// pays before serving.
 	benchMem
@@ -248,7 +262,7 @@ func serveBench(env *eval.Env, scale string, jsonOut bool) {
 	mk := func(name string) *serve.Corpus {
 		return &serve.Corpus{Name: name, Sealed: sealed, LoadedAt: time.Now()}
 	}
-	srv := serve.New(mk("bench-a"), &serve.Config{MaxInFlight: 64, Registry: reg})
+	srv := serve.New(mk("bench-a"), &serve.Config{MaxInFlight: 64, Registry: reg, TraceSample: 1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -315,6 +329,16 @@ func serveBench(env *eval.Env, scale string, jsonOut bool) {
 	}
 	snap := reg.Snapshot()
 	h := snap.Histograms["serve.latency_us"]
+	// Every request ran under a sampled trace (TraceSample 1); pull the
+	// tail-sampling buffer the way an operator would.
+	var reqSnap telemetry.RequestsSnapshot
+	if resp, err := http.Get(ts.URL + "/debug/requests"); err == nil {
+		err = json.NewDecoder(resp.Body).Decode(&reqSnap)
+		resp.Body.Close()
+		if err != nil {
+			fatal(fmt.Errorf("decode /debug/requests: %w", err))
+		}
+	}
 	rep := serveBenchReport{
 		Generated:     time.Now().UTC().Format(time.RFC3339),
 		Scale:         scale,
@@ -332,7 +356,12 @@ func serveBench(env *eval.Env, scale string, jsonOut bool) {
 		P99MS:         float64(pct(0.99)) / float64(time.Millisecond),
 		ServerP50US:   h.P50,
 		ServerP99US:   h.P99,
+		TraceOffered:  reqSnap.Offered,
+		TraceRetained: reqSnap.Retained,
 		benchMem:      benchMem{OpenNs: openNs, PeakRSSBytes: peakRSSBytes()},
+	}
+	if len(reqSnap.Slowest) > 0 {
+		rep.TraceSlowestUS = reqSnap.Slowest[0].DurUS
 	}
 	fmt.Printf("  corpus: %d images, %d executables, %d unique strands (sealed)\n",
 		rep.Images, rep.Executables, rep.UniqueStrands)
@@ -341,6 +370,8 @@ func serveBench(env *eval.Env, scale string, jsonOut bool) {
 		rep.Requests, rep.Failures, rep.Rejected, rep.ElapsedMS, rep.QPS)
 	fmt.Printf("  latency: client p50 %.2f ms, p99 %.2f ms; server p50 %d us, p99 %d us\n",
 		rep.P50MS, rep.P99MS, rep.ServerP50US, rep.ServerP99US)
+	fmt.Printf("  traces: %d offered, %d retained; slowest %.0f us\n",
+		rep.TraceOffered, rep.TraceRetained, rep.TraceSlowestUS)
 	fmt.Printf("  cold start: %.1f ms analyze-and-seal; peak RSS %d MiB\n\n",
 		float64(rep.OpenNs)/1e6, rep.PeakRSSBytes/(1<<20))
 	if rep.Failures > 0 {
@@ -700,6 +731,21 @@ type telemetryBenchReport struct {
 	AnalyzeOverheadNs float64 `json:"analyze_overhead_ns_vs_disabled"`
 	// GameOverheadNs is the same ratio for the game-heavy match path.
 	GameOverheadNs float64 `json:"game_overhead_ns_vs_disabled"`
+	// SearchGamesPerOp is the total games one Search benchmark op plays
+	// (every meaningful wget query procedure against every corpus
+	// executable).
+	SearchGamesPerOp int `json:"search_games_per_op"`
+	// TraceUnsampledOverhead is Search ns/op with metrics attached and a
+	// nil request trace — the production firmupd state for unsampled
+	// requests — over the all-off baseline (acceptance: <= 1.05).
+	TraceUnsampledOverhead float64 `json:"trace_unsampled_overhead_ns_vs_notel"`
+	// TraceExtraAllocsPerGame is the extra allocations per game the nil
+	// trace plumbing adds over the baseline (acceptance: 0).
+	TraceExtraAllocsPerGame float64 `json:"trace_extra_allocs_per_game"`
+	// TraceSampledOverhead is Search ns/op with a live pooled trace over
+	// the unsampled state — the marginal cost of actually sampling a
+	// request (informational; sampled requests are the minority).
+	TraceSampledOverhead float64 `json:"trace_sampled_overhead_ns_vs_unsampled"`
 }
 
 // telemetryBench measures the cost of pipeline telemetry on the two hot
@@ -763,17 +809,61 @@ func telemetryBench(env *eval.Env, scale string, jsonOut bool) {
 		})
 	}
 	reg := telemetry.New()
+	coreTel := func(reg *telemetry.Registry) *core.Telemetry {
+		return &core.Telemetry{
+			Games:            reg.Counter("game.played"),
+			Steps:            reg.Histogram("game.steps"),
+			AcceptedSteps:    reg.Histogram("game.steps.accepted"),
+			MatcherHits:      reg.Counter("game.matcher_hits"),
+			MatcherMisses:    reg.Counter("game.matcher_misses"),
+			Searches:         reg.Counter("search.runs"),
+			PrefilterKept:    reg.Counter("search.targets_kept"),
+			PrefilterSkipped: reg.Counter("search.targets_skipped"),
+		}
+	}
 	gamesOff := games(nil)
-	gamesOn := games(&core.Telemetry{
-		Games:            reg.Counter("game.played"),
-		Steps:            reg.Histogram("game.steps"),
-		AcceptedSteps:    reg.Histogram("game.steps.accepted"),
-		MatcherHits:      reg.Counter("game.matcher_hits"),
-		MatcherMisses:    reg.Counter("game.matcher_misses"),
-		Searches:         reg.Counter("search.runs"),
-		PrefilterKept:    reg.Counter("search.targets_kept"),
-		PrefilterSkipped: reg.Counter("search.targets_skipped"),
-	})
+	gamesOn := games(coreTel(reg))
+
+	// Tracing path: the serve pipeline threads a request-scoped trace
+	// through SearchOptions. Measure the full corpus-wide search in the
+	// three states a firmupd deployment sees: no telemetry at all, the
+	// unsampled-request state (metrics attached, nil trace — must be
+	// indistinguishable from the baseline), and a sampled request with a
+	// live pooled trace. Workers 1 keeps the measurement serial.
+	var allTargets []*sim.Exe
+	for _, u := range env.Units {
+		allTargets = append(allTargets, u.Exe)
+	}
+	search := func(tel *core.Telemetry, traced bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opt := &core.SearchOptions{Game: core.Options{Tel: tel}, Workers: 1}
+				var tr *telemetry.Trace
+				if traced {
+					tr = telemetry.NewTrace(telemetry.NewTraceID())
+					root := tr.Start("request", 0)
+					opt.Trace = tr
+					opt.TraceParent = root.ID()
+				}
+				for _, qi := range qis {
+					core.Search(q, qi, allTargets, opt)
+				}
+				if tr != nil {
+					tr.Finish()
+					tr.Free()
+				}
+			}
+		})
+	}
+	searchGames := 0
+	for _, qi := range qis {
+		res := core.Search(q, qi, allTargets, &core.SearchOptions{Workers: 1})
+		searchGames += res.Examined
+	}
+	searchNotel := search(nil, false)
+	searchUnsampled := search(coreTel(telemetry.New()), false)
+	searchSampled := search(coreTel(telemetry.New()), true)
 
 	rep := telemetryBenchReport{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -785,7 +875,11 @@ func telemetryBench(env *eval.Env, scale string, jsonOut bool) {
 			{Name: "AnalyzeImages/enabled", NsPerOp: float64(analyzeOn.NsPerOp()), AllocsPerOp: analyzeOn.AllocsPerOp(), BytesPerOp: analyzeOn.AllocedBytesPerOp()},
 			{Name: "MatchGame/disabled", NsPerOp: float64(gamesOff.NsPerOp()), AllocsPerOp: gamesOff.AllocsPerOp(), BytesPerOp: gamesOff.AllocedBytesPerOp()},
 			{Name: "MatchGame/enabled", NsPerOp: float64(gamesOn.NsPerOp()), AllocsPerOp: gamesOn.AllocsPerOp(), BytesPerOp: gamesOn.AllocedBytesPerOp()},
+			{Name: "Search/notel", NsPerOp: float64(searchNotel.NsPerOp()), AllocsPerOp: searchNotel.AllocsPerOp(), BytesPerOp: searchNotel.AllocedBytesPerOp()},
+			{Name: "Search/unsampled", NsPerOp: float64(searchUnsampled.NsPerOp()), AllocsPerOp: searchUnsampled.AllocsPerOp(), BytesPerOp: searchUnsampled.AllocedBytesPerOp()},
+			{Name: "Search/sampled", NsPerOp: float64(searchSampled.NsPerOp()), AllocsPerOp: searchSampled.AllocsPerOp(), BytesPerOp: searchSampled.AllocedBytesPerOp()},
 		},
+		SearchGamesPerOp: searchGames,
 	}
 	if analyzeOff.NsPerOp() > 0 {
 		rep.AnalyzeOverheadNs = float64(analyzeOn.NsPerOp()) / float64(analyzeOff.NsPerOp())
@@ -793,12 +887,23 @@ func telemetryBench(env *eval.Env, scale string, jsonOut bool) {
 	if gamesOff.NsPerOp() > 0 {
 		rep.GameOverheadNs = float64(gamesOn.NsPerOp()) / float64(gamesOff.NsPerOp())
 	}
+	if searchNotel.NsPerOp() > 0 {
+		rep.TraceUnsampledOverhead = float64(searchUnsampled.NsPerOp()) / float64(searchNotel.NsPerOp())
+	}
+	if searchUnsampled.NsPerOp() > 0 {
+		rep.TraceSampledOverhead = float64(searchSampled.NsPerOp()) / float64(searchUnsampled.NsPerOp())
+	}
+	if searchGames > 0 {
+		rep.TraceExtraAllocsPerGame = float64(searchUnsampled.AllocsPerOp()-searchNotel.AllocsPerOp()) / float64(searchGames)
+	}
 	for _, e := range rep.Benchmarks {
 		fmt.Printf("  %-24s %12.0f ns/op %12d B/op %10d allocs/op\n",
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
-	fmt.Printf("  analyze: %.3fx ns/op enabled vs disabled; game: %.3fx ns/op\n\n",
+	fmt.Printf("  analyze: %.3fx ns/op enabled vs disabled; game: %.3fx ns/op\n",
 		rep.AnalyzeOverheadNs, rep.GameOverheadNs)
+	fmt.Printf("  trace:   %.3fx ns/op unsampled vs notel (%+.3f allocs/game), %.3fx sampled vs unsampled over %d games/op\n\n",
+		rep.TraceUnsampledOverhead, rep.TraceExtraAllocsPerGame, rep.TraceSampledOverhead, rep.SearchGamesPerOp)
 	if jsonOut {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"firmup"
+	"firmup/internal/buildinfo"
 	"firmup/internal/corpus"
 	_ "firmup/internal/isa/arm"
 	_ "firmup/internal/isa/mips"
@@ -34,7 +35,12 @@ func main() {
 	noSigs := flag.Bool("no-sigs", false, "with -shards: omit the MinHash signature slab (pre-LSH v2 layout readable by older firmupd builds; served corpora fall back to the exact prefilter)")
 	reportPath := flag.String("report", "", "write a structured JSON run report (stage timings, counters) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	// One registry spans every per-image snapshot session, so the report
 	// aggregates the whole crawl's pipeline work. (Snapshot-time gauges

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"firmup"
+	"firmup/internal/buildinfo"
 	"firmup/internal/cfg"
 	"firmup/internal/image"
 	"firmup/internal/isa"
@@ -39,7 +40,12 @@ func main() {
 	noCache := flag.Bool("no-block-cache", false, "disable the session's block canonicalization cache")
 	reportPath := flag.String("report", "", "write a structured JSON run report (stage timings, counters) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	var reg *telemetry.Registry
 	if *reportPath != "" || *debugAddr != "" {

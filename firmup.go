@@ -564,6 +564,32 @@ type Options struct {
 	// ≥ 0.95. Ignored where no signatures are available (the search
 	// silently stays exact), and by Exhaustive.
 	Approx bool
+	// Trace, when set, attaches a request-scoped trace: the search
+	// layers record spans (core search, shard fan-out, store
+	// materialization) into it, parented under TraceSpan (0 = trace
+	// root). Purely observational — findings are byte-identical with
+	// and without it, and the serve layer's request-coalescing key
+	// zeroes both fields, so tracing never splits otherwise-identical
+	// requests. nil disables tracing at zero cost.
+	Trace *telemetry.Trace
+	// TraceSpan is the span within Trace the search spans attach under.
+	TraceSpan telemetry.SpanID
+}
+
+// trace and traceSpan are nil-safe accessors for the sealed-corpus
+// fan-out layer.
+func (o *Options) trace() *telemetry.Trace {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+func (o *Options) traceSpan() telemetry.SpanID {
+	if o == nil {
+		return 0
+	}
+	return o.TraceSpan
 }
 
 func (o *Options) search() *core.SearchOptions {
@@ -581,6 +607,8 @@ func (o *Options) search() *core.SearchOptions {
 		if o.Workers > 0 {
 			s.Workers = o.Workers
 		}
+		s.Trace = o.Trace
+		s.TraceParent = o.TraceSpan
 	}
 	return s
 }

@@ -1,0 +1,58 @@
+// Package buildinfo surfaces the binary's build identity — git
+// revision and Go toolchain version — read once from the runtime's
+// embedded build information. Every CLI's -version flag and firmupd's
+// /healthz report it, so a deployed daemon can always be matched back
+// to the commit it was built from.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	once sync.Once
+	rev  string
+)
+
+// Revision returns the VCS revision the binary was built from,
+// shortened to 12 hex digits, with a "-dirty" suffix when the working
+// tree was modified. Builds without VCS stamping (go test, go run from
+// a non-repo) report "unknown".
+func Revision() string {
+	once.Do(func() {
+		rev = "unknown"
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		var r string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				r = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if r == "" {
+			return
+		}
+		if len(r) > 12 {
+			r = r[:12]
+		}
+		if dirty {
+			r += "-dirty"
+		}
+		rev = r
+	})
+	return rev
+}
+
+// GoVersion returns the Go toolchain version the binary runs on.
+func GoVersion() string { return runtime.Version() }
+
+// String is the one-line -version output shared by the CLIs.
+func String() string { return "firmup build " + Revision() + " (" + GoVersion() + ")" }

@@ -62,6 +62,7 @@ func runShared(q *sim.Exe, qi int, t *sim.Exe, opt *Options, m *matcher) Result 
 // pooled arenas are.
 func SearchBatch(queries []BatchQuery, targets []*sim.Exe, opt *SearchOptions) []SearchResult {
 	tel := opt.game().tel()
+	sp := opt.traceStart("core.search_batch")
 	if tel != nil {
 		tel.BatchSearches.Inc()
 	}
@@ -146,6 +147,22 @@ func SearchBatch(queries []BatchQuery, targets []*sim.Exe, opt *SearchOptions) [
 			}
 		}
 		sort.Slice(res.Findings, func(i, j int) bool { return res.Findings[i].ExePath < res.Findings[j].ExePath })
+	}
+	if sp.Active() {
+		var examined, nFindings, gameSteps int64
+		for qx := range out {
+			examined += int64(out[qx].Examined)
+			nFindings += int64(len(out[qx].Findings))
+			for _, s := range steps[qx] {
+				gameSteps += int64(s)
+			}
+		}
+		sp.SetAttr("queries", int64(len(queries)))
+		sp.SetAttr("targets", int64(len(targets)))
+		sp.SetAttr("examined", examined)
+		sp.SetAttr("findings", nFindings)
+		sp.SetAttr("game_steps", gameSteps)
+		sp.End()
 	}
 	return out
 }

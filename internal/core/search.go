@@ -7,6 +7,7 @@ import (
 
 	"firmup/internal/sim"
 	"firmup/internal/strand"
+	"firmup/internal/telemetry"
 )
 
 // Finding is one positive detection: the query procedure appears to be
@@ -47,6 +48,15 @@ type SearchOptions struct {
 	Weigher func(hash uint64) float64
 	// Workers bounds the parallel target workers (default GOMAXPROCS).
 	Workers int
+	// Trace, when set, records a request-scoped span for this search
+	// ("core.search" / "core.search_batch") with aggregate attributes —
+	// targets, examined, findings, summed game steps — parented under
+	// TraceParent. Purely observational: results are identical with and
+	// without it, and a nil Trace costs nothing.
+	Trace *telemetry.Trace
+	// TraceParent is the span ID the search span attaches under (0 =
+	// trace root).
+	TraceParent telemetry.SpanID
 	// Prefilter, when set, narrows the target set before any game is
 	// played: it returns the indices of the targets worth examining, or
 	// ok=false when it has no information (every target is then
@@ -96,6 +106,15 @@ func (o *SearchOptions) game() *Options {
 	return &o.Game
 }
 
+// traceStart opens a span on the search's trace under TraceParent;
+// inert (and allocation-free) when no trace is attached.
+func (o *SearchOptions) traceStart(name string) telemetry.SpanRef {
+	if o == nil || o.Trace == nil {
+		return telemetry.SpanRef{}
+	}
+	return o.Trace.Start(name, o.TraceParent)
+}
+
 // SearchResult pairs per-target outcomes with aggregate accounting.
 type SearchResult struct {
 	Findings []Finding
@@ -119,6 +138,7 @@ type SearchResult struct {
 // Result.
 func Search(q *sim.Exe, qi int, targets []*sim.Exe, opt *SearchOptions) SearchResult {
 	tel := opt.game().tel()
+	sp := opt.traceStart("core.search")
 	candidates := candidateIndices(q, qi, targets, opt)
 	if tel != nil {
 		tel.Searches.Inc()
@@ -164,6 +184,17 @@ func Search(q *sim.Exe, qi int, targets []*sim.Exe, opt *SearchOptions) SearchRe
 		}
 	}
 	sort.Slice(out.Findings, func(i, j int) bool { return out.Findings[i].ExePath < out.Findings[j].ExePath })
+	if sp.Active() {
+		var gameSteps int64
+		for _, i := range candidates {
+			gameSteps += int64(steps[i])
+		}
+		sp.SetAttr("targets", int64(len(targets)))
+		sp.SetAttr("examined", int64(len(candidates)))
+		sp.SetAttr("findings", int64(len(out.Findings)))
+		sp.SetAttr("game_steps", gameSteps)
+		sp.End()
+	}
 	return out
 }
 

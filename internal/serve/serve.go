@@ -25,12 +25,20 @@ import (
 	"time"
 
 	"firmup"
+	"firmup/internal/buildinfo"
 	"firmup/internal/telemetry"
 )
 
 // SchemaVersion identifies the /search response layout. Bumped on any
 // incompatible change.
 const SchemaVersion = 1
+
+// TraceHeader is the request/response header carrying the request's
+// trace ID (16 lowercase hex digits). A request that sends one is
+// always traced under that ID; otherwise Config.TraceSample decides,
+// and the server mints the ID. Traced responses echo the ID in this
+// header and in the trace_id response field.
+const TraceHeader = "X-Firmup-Trace"
 
 // Corpus is one loaded sealed corpus with its serving identity.
 type Corpus struct {
@@ -76,9 +84,31 @@ type Config struct {
 	// Registry, when non-nil, receives the server's request metrics:
 	// serve.requests, serve.rejected, serve.inflight, serve.swaps, the
 	// serve.latency_us histogram (whose Report quantiles are the p50/p99
-	// the load benchmark records), and — under BatchWindow — the
-	// serve.batches counter and serve.batch_size histogram.
+	// the load benchmark records), per-endpoint serve.req.* counters,
+	// the serve.uptime_s / serve.corpus_age_s gauges, and — under
+	// BatchWindow — the serve.batches counter and serve.batch_size
+	// histogram. GET /metrics serves it as JSON, or as Prometheus text
+	// exposition with ?format=prom.
 	Registry *telemetry.Registry
+	// TraceSample controls head sampling for requests that do not carry
+	// a TraceHeader: 0 (the default) traces header-carrying requests
+	// only, 1 traces every request, N > 1 every Nth. Tracing records a
+	// pooled span tree per sampled request (serve stages, shard
+	// fan-out, core search) served from GET /debug/requests; unsampled
+	// requests pay one nil check per span site.
+	TraceSample int
+	// TraceSlow is the latency at or above which a completed trace is
+	// always retained for /debug/requests, regardless of how it ranks
+	// among the slowest (default 500ms; negative disables the
+	// threshold ring).
+	TraceSlow time.Duration
+	// TraceKeep is how many slowest traces /debug/requests retains
+	// (default 16).
+	TraceKeep int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request: method, path, status, bytes, elapsed_ms, and the trace
+	// ID when the request was traced.
+	AccessLog *telemetry.Logger
 }
 
 func (c *Config) maxInFlight() int {
@@ -102,6 +132,23 @@ func (c *Config) maxQueryBytes() int64 {
 	return c.MaxQueryBytes
 }
 
+func (c *Config) traceSlow() time.Duration {
+	if c == nil || c.TraceSlow == 0 {
+		return 500 * time.Millisecond
+	}
+	if c.TraceSlow < 0 {
+		return 0
+	}
+	return c.TraceSlow
+}
+
+func (c *Config) traceKeep() int {
+	if c == nil || c.TraceKeep <= 0 {
+		return 16
+	}
+	return c.TraceKeep
+}
+
 // Server serves CVE-search queries against a hot-swappable sealed
 // corpus. Create with New, install handlers via Handler, swap corpora
 // at runtime with Swap.
@@ -119,6 +166,16 @@ type Server struct {
 	batchMu sync.Mutex
 	pending map[batchKey]*batchGroup
 
+	// traceBuf tail-samples completed request traces: the slowest
+	// TraceKeep plus everything at or over TraceSlow, for
+	// /debug/requests.
+	traceBuf *telemetry.TraceBuffer
+	// traceSeq drives every-Nth head sampling when TraceSample > 1.
+	traceSeq atomic.Uint64
+	// start is the server's construction time, for serve.uptime_s and
+	// /healthz.
+	start time.Time
+
 	reqs      *telemetry.Counter
 	rejected  *telemetry.Counter
 	swaps     *telemetry.Counter
@@ -126,11 +183,18 @@ type Server struct {
 	latency   *telemetry.Histogram
 	batches   *telemetry.Counter
 	batchSize *telemetry.Histogram
+	// endpoints maps route paths to their serve.req.* counters;
+	// reqOther counts everything unrouted.
+	endpoints map[string]*telemetry.Counter
+	reqOther  *telemetry.Counter
 }
 
 // batchKey identifies searches that may share one batched pass: same
 // installed corpus, same image scope, same search options. firmup's
-// Options is all scalar fields, so the struct is a valid map key.
+// Options is all scalar fields, so the struct is a valid map key. The
+// trace fields are zeroed before keying (see searchCoalesced): tracing
+// is observational and must never split otherwise-identical requests
+// into separate batches.
 type batchKey struct {
 	corpus *Corpus
 	image  int
@@ -153,6 +217,11 @@ type batchEntry struct {
 type batchResult struct {
 	images []firmup.ImageFindings
 	err    error
+	// size is the group's entry count and leader the trace ID the
+	// shared pass ran under (0 when the leader was untraced) — span
+	// attributes for every traced member of the group.
+	size   int
+	leader telemetry.TraceID
 }
 
 // New creates a server over an initial corpus (which may be nil; /search
@@ -164,6 +233,8 @@ func New(initial *Corpus, cfg *Config) *Server {
 	}
 	s.sem = make(chan struct{}, s.cfg.maxInFlight())
 	s.pending = map[batchKey]*batchGroup{}
+	s.start = time.Now()
+	s.traceBuf = telemetry.NewTraceBuffer(s.cfg.traceKeep(), s.cfg.traceSlow(), 0)
 	if r := s.cfg.Registry; r != nil {
 		s.reqs = r.Counter("serve.requests")
 		s.rejected = r.Counter("serve.rejected")
@@ -172,6 +243,25 @@ func New(initial *Corpus, cfg *Config) *Server {
 		s.latency = r.Histogram("serve.latency_us")
 		s.batches = r.Counter("serve.batches")
 		s.batchSize = r.Histogram("serve.batch_size")
+		s.endpoints = map[string]*telemetry.Counter{
+			"/search":         r.Counter("serve.req.search"),
+			"/healthz":        r.Counter("serve.req.healthz"),
+			"/corpus":         r.Counter("serve.req.corpus"),
+			"/metrics":        r.Counter("serve.req.metrics"),
+			"/debug/requests": r.Counter("serve.req.debug_requests"),
+		}
+		s.reqOther = r.Counter("serve.req.other")
+		start := s.start
+		r.GaugeFunc("serve.uptime_s", func() int64 {
+			return int64(time.Since(start).Seconds())
+		})
+		r.GaugeFunc("serve.corpus_age_s", func() int64 {
+			cs := s.corpus.Load()
+			if cs == nil {
+				return -1
+			}
+			return int64(time.Since(cs.LoadedAt).Seconds())
+		})
 	}
 	if initial != nil {
 		s.corpus.Store(initial)
@@ -195,16 +285,78 @@ func (s *Server) Current() *Corpus { return s.corpus.Load() }
 // Handler returns the server's HTTP routes:
 //
 //	POST /search?proc=NAME[&image=N]  query executable in the body → findings JSON
-//	GET  /healthz           liveness
+//	GET  /healthz           liveness + build identity JSON
 //	GET  /corpus            installed-corpus summary
-//	GET  /metrics           telemetry snapshot JSON
+//	GET  /metrics           telemetry snapshot JSON (?format=prom for Prometheus)
+//	GET  /debug/requests    tail-sampled slow-request traces
+//
+// Every route runs under the instrumentation middleware: per-endpoint
+// request counters plus, when Config.AccessLog is set, one structured
+// log line per request.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/corpus", s.handleCorpus)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response status and body size for the
+// access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps the route mux with the cross-cutting request
+// observability: per-endpoint counters and the structured access log.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if c, ok := s.endpoints[r.URL.Path]; ok {
+			c.Inc()
+		} else {
+			s.reqOther.Inc()
+		}
+		if lg := s.cfg.AccessLog; lg.Enabled(telemetry.LevelInfo) {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			fields := []telemetry.Field{
+				telemetry.String("method", r.Method),
+				telemetry.String("path", r.URL.Path),
+				telemetry.Int("status", int64(status)),
+				telemetry.Int("bytes", sw.bytes),
+				telemetry.F64("elapsed_ms", float64(time.Since(t0))/float64(time.Millisecond)),
+			}
+			if tid := sw.Header().Get(TraceHeader); tid != "" {
+				fields = append(fields, telemetry.String("trace", tid))
+			}
+			lg.Info("request", fields...)
+		}
+	})
 }
 
 // SearchResponse is the /search response schema.
@@ -221,6 +373,9 @@ type SearchResponse struct {
 	TotalFindings int `json:"total_findings"`
 	// ElapsedMS is the server-side request latency in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// TraceID echoes the request's trace ID when the request was traced
+	// (the same value the TraceHeader response header carries).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errorResponse is the JSON error envelope on every non-2xx response.
@@ -261,6 +416,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.reqs.Inc()
 	t0 := time.Now()
 
+	// Request-scoped tracing: sampled requests carry a pooled span tree
+	// down through the search layers. The trace header goes out before
+	// any body write, and the deferred Offer covers every return path —
+	// error responses are traced too.
+	tr, traceID := s.sampleTrace(r)
+	var root telemetry.SpanRef
+	if tr != nil {
+		w.Header().Set(TraceHeader, traceID.String())
+		root = tr.Start("request", 0)
+		root.SetAttrStr("endpoint", "/search")
+		defer func() {
+			root.End()
+			s.traceBuf.Offer(tr, time.Since(t0))
+		}()
+	}
+
 	cs := s.corpus.Load()
 	if cs == nil {
 		writeError(w, http.StatusServiceUnavailable, "no corpus loaded")
@@ -281,21 +452,32 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	rsp := tr.Start("read_body", root.ID())
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxQueryBytes()))
+	rsp.SetAttr("bytes", int64(len(body)))
+	rsp.End()
 	if err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge, "reading query executable: %v", err)
 		return
 	}
+	asp := tr.Start("analyze_query", root.ID())
 	query, err := cs.Sealed.AnalyzeQueryWith("query", body, s.cfg.QueryWorkers)
+	asp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "analyzing query executable: %v", err)
 		return
+	}
+	ssp := tr.Start("search", root.ID())
+	if opt != nil {
+		opt.Trace = tr
+		opt.TraceSpan = ssp.ID()
 	}
 	var images []firmup.ImageFindings
 	if s.cfg.BatchWindow > 0 {
 		// Pre-validate the procedure name so a bad request gets its own
 		// 400 instead of failing the whole coalesced batch.
 		if queryProcIndex(query, proc) < 0 {
+			ssp.End()
 			writeError(w, http.StatusBadRequest, "firmup: query executable has no procedure %q", proc)
 			return
 		}
@@ -303,6 +485,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		images, err = searchImages(cs, image, query, proc, opt)
 	}
+	ssp.End()
 	if err != nil {
 		// The only search error is an unknown procedure name.
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -313,6 +496,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Corpus:        cs.Name,
 		Procedure:     proc,
 		Images:        images,
+	}
+	if tr != nil {
+		resp.TraceID = traceID.String()
 	}
 	for i := range images {
 		if images[i].Findings == nil {
@@ -327,6 +513,30 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 	s.latency.Observe(elapsed.Microseconds())
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// sampleTrace decides whether this request is traced and under which
+// ID. A well-formed caller-provided TraceHeader ID always wins and
+// forces sampling; otherwise TraceSample picks (0 = header-only,
+// 1 = all, N = every Nth) and the server mints the ID.
+func (s *Server) sampleTrace(r *http.Request) (*telemetry.Trace, telemetry.TraceID) {
+	if hv := r.Header.Get(TraceHeader); hv != "" {
+		if id, ok := telemetry.ParseTraceID(hv); ok {
+			return telemetry.NewTrace(id), id
+		}
+	}
+	n := s.cfg.TraceSample
+	switch {
+	case n <= 0:
+		return nil, 0
+	case n == 1:
+	default:
+		if s.traceSeq.Add(1)%uint64(n) != 0 {
+			return nil, 0
+		}
+	}
+	id := telemetry.NewTraceID()
+	return telemetry.NewTrace(id), id
 }
 
 // imageParam parses the optional image query parameter: an index into
@@ -377,7 +587,13 @@ func imageFindings(img *firmup.SealedImage, findings []firmup.Finding, examined 
 // invisible in responses.
 func (s *Server) searchCoalesced(cs *Corpus, image int, query *firmup.Executable, proc string, opt *firmup.Options) ([]firmup.ImageFindings, error) {
 	e := &batchEntry{query: query, proc: proc, done: make(chan batchResult, 1)}
-	key := batchKey{corpus: cs, image: image, opt: *opt}
+	// Zero the trace fields in the key: requests that differ only in
+	// tracing still coalesce (and each keeps its own trace ID — only
+	// the leader's trace sees the shared pass's inner spans).
+	ko := *opt
+	ko.Trace, ko.TraceSpan = nil, 0
+	key := batchKey{corpus: cs, image: image, opt: ko}
+	csp := opt.Trace.Start("serve.coalesce", opt.TraceSpan)
 	s.batchMu.Lock()
 	g, ok := s.pending[key]
 	if !ok {
@@ -392,10 +608,23 @@ func (s *Server) searchCoalesced(cs *Corpus, image int, query *firmup.Executable
 		delete(s.pending, key)
 		entries := g.entries
 		s.batchMu.Unlock()
-		s.runBatch(cs, image, entries, opt)
+		// The shared pass runs under the leader's coalesce span, so the
+		// leader's trace attributes the whole batch's latency.
+		lo := *opt
+		if csp.Active() {
+			lo.TraceSpan = csp.ID()
+		}
+		s.runBatch(cs, image, entries, &lo)
 	}
-	r := <-e.done
-	return r.images, r.err
+	res := <-e.done
+	if csp.Active() {
+		csp.SetAttr("batch_size", int64(res.size))
+		if res.leader != 0 && res.leader != opt.Trace.ID() {
+			csp.SetAttrStr("leader_trace", res.leader.String())
+		}
+	}
+	csp.End()
+	return res.images, res.err
 }
 
 // runBatch executes one coalesced group and fans results back out to
@@ -403,6 +632,8 @@ func (s *Server) searchCoalesced(cs *Corpus, image int, query *firmup.Executable
 func (s *Server) runBatch(cs *Corpus, image int, entries []*batchEntry, opt *firmup.Options) {
 	s.batches.Inc()
 	s.batchSize.Observe(int64(len(entries)))
+	size := len(entries)
+	leader := opt.Trace.ID()
 	queries := make([]firmup.BatchQuery, len(entries))
 	for i, e := range entries {
 		queries[i] = firmup.BatchQuery{Query: e.query, Procedure: e.proc}
@@ -411,9 +642,9 @@ func (s *Server) runBatch(cs *Corpus, image int, entries []*batchEntry, opt *fir
 		res, err := cs.Sealed.SearchAllBatch(queries, opt)
 		for i, e := range entries {
 			if err != nil {
-				e.done <- batchResult{err: err}
+				e.done <- batchResult{err: err, size: size, leader: leader}
 			} else {
-				e.done <- batchResult{images: res[i]}
+				e.done <- batchResult{images: res[i], size: size, leader: leader}
 			}
 		}
 		return
@@ -422,9 +653,9 @@ func (s *Server) runBatch(cs *Corpus, image int, entries []*batchEntry, opt *fir
 	res, err := cs.Sealed.SearchBatch(queries, img, opt)
 	for i, e := range entries {
 		if err != nil {
-			e.done <- batchResult{err: err}
+			e.done <- batchResult{err: err, size: size, leader: leader}
 		} else {
-			e.done <- batchResult{images: []firmup.ImageFindings{imageFindings(img, res[i].Findings, res[i].Examined)}}
+			e.done <- batchResult{images: []firmup.ImageFindings{imageFindings(img, res[i].Findings, res[i].Examined)}, size: size, leader: leader}
 		}
 	}
 }
@@ -474,9 +705,28 @@ func searchOptions(r *http.Request, cfg *Config) (*firmup.Options, error) {
 	return opt, nil
 }
 
+// HealthInfo is the /healthz response schema: liveness plus the build
+// identity, so a deployed daemon can always be matched back to the
+// commit it was built from.
+type HealthInfo struct {
+	Status    string  `json:"status"`
+	Revision  string  `json:"revision"`
+	GoVersion string  `json:"go_version"`
+	UptimeS   float64 `json:"uptime_s"`
+	Corpus    string  `json:"corpus,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	info := HealthInfo{
+		Status:    "ok",
+		Revision:  buildinfo.Revision(),
+		GoVersion: buildinfo.GoVersion(),
+		UptimeS:   time.Since(s.start).Seconds(),
+	}
+	if cs := s.corpus.Load(); cs != nil {
+		info.Corpus = cs.Name
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // CorpusInfo is the /corpus response schema. Shards is present only
@@ -508,6 +758,18 @@ func (s *Server) handleCorpus(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = telemetry.WritePrometheus(w, s.cfg.Registry)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.cfg.Registry.Snapshot())
+}
+
+// handleDebugRequests serves the tail-sampling buffer: the slowest
+// retained traces plus the recent over-threshold ring, as full span
+// trees with per-shard latency attribution.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.traceBuf.Snapshot())
 }

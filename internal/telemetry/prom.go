@@ -1,0 +1,267 @@
+package telemetry
+
+// Prometheus text exposition (format version 0.0.4) over a Registry.
+// The mapping from the package's flat dotted names:
+//
+//   - every name is prefixed "firmup_" and non-[a-zA-Z0-9_] runes
+//     become "_" ("serve.latency_us" → "firmup_serve_latency_us"),
+//   - counters gain the conventional "_total" suffix,
+//   - gauges (including GaugeFuncs) are exported verbatim,
+//   - power-of-two histograms become native Prometheus histograms:
+//     cumulative `le` buckets at each bucket's inclusive upper bound
+//     (0, 1, 3, 7, ... 2^i-1), the overflow bucket folded into +Inf,
+//     plus the exact _sum and _count,
+//   - stage timers become two counters, <stage>_calls_total and
+//     <stage>_seconds_total.
+//
+// Output is deterministic (sorted names) so it can be golden-tested,
+// and self-consistent per scrape: a histogram's +Inf bucket equals its
+// _count even under concurrent Observe traffic.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// promName maps a registry metric name to its Prometheus form.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 7)
+	b.WriteString("firmup_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry's current metrics in the
+// Prometheus text exposition format. A nil registry renders nothing.
+// The first write error aborts the scrape and is returned.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortedKeys(r.counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", pn, pn, r.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	gauges := make(map[string]int64, len(r.gauges)+len(r.funcs))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	for name, fn := range r.funcs {
+		gauges[name] = fn()
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		if err := writePromHistogram(w, promName(name), r.hists[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.stages) {
+		pn := promName(name)
+		s := r.stages[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s_calls_total counter\n%s_calls_total %d\n", pn, pn, s.Calls()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_seconds_total counter\n%s_seconds_total %s\n", pn, pn,
+			strconv.FormatFloat(float64(s.Ns())/1e9, 'f', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one power-of-two histogram as cumulative
+// le buckets. Buckets are emitted from 0 through the highest non-empty
+// finite bucket; the overflow bucket has no finite upper bound and is
+// carried by +Inf. The +Inf count is the bucket sum (not the atomic
+// count) so the exposition is self-consistent under concurrent
+// observation.
+func writePromHistogram(w io.Writer, pn string, h *Histogram) error {
+	var counts [HistBuckets]int64
+	for i := range counts {
+		counts[i] = h.Bucket(i)
+	}
+	top := 0
+	for i := 0; i < HistBuckets-1; i++ {
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		_, hi := BucketBounds(i)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, hi, cum); err != nil {
+			return err
+		}
+	}
+	total := cum + counts[HistBuckets-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.Sum(), pn, total); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ValidateExposition checks a Prometheus text scrape for structural
+// validity: every sample line parses, every sample's metric family was
+// TYPE-declared, histogram buckets are cumulative non-decreasing and
+// end in a +Inf bucket that equals the family's _count. It is the
+// parser check the CI smoke step and the serve tests run against
+// /metrics?format=prom output.
+func ValidateExposition(data []byte) error {
+	type histState struct {
+		lastLE   float64
+		lastCum  int64
+		infCount int64
+		hasInf   bool
+		count    int64
+		hasCount bool
+	}
+	types := map[string]string{}
+	hists := map[string]*histState{}
+	lineNo := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) >= 2 && parts[1] == "TYPE" {
+				if len(parts) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment: %q", lineNo, line)
+				}
+				name, typ := parts[2], parts[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if prev, ok := types[name]; ok && prev != typ {
+					return fmt.Errorf("line %d: %s re-declared as %s (was %s)", lineNo, name, typ, prev)
+				}
+				types[name] = typ
+				if typ == "histogram" {
+					hists[name] = &histState{lastLE: -1}
+				}
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value
+		rest := line
+		name := rest
+		labels := ""
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			name = rest[:i]
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				return fmt.Errorf("line %d: unterminated label set: %q", lineNo, line)
+			}
+			labels = rest[i+1 : j]
+			rest = name + rest[j+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name = fields[0]
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad sample value %q: %v", lineNo, fields[1], err)
+		}
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if _, ok := hists[base]; ok {
+					family = base
+				}
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		hs := hists[family]
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le, ok := parseLE(labels)
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+			}
+			if le <= hs.lastLE {
+				return fmt.Errorf("line %d: %s buckets not in increasing le order", lineNo, family)
+			}
+			if int64(val) < hs.lastCum {
+				return fmt.Errorf("line %d: %s buckets not cumulative", lineNo, family)
+			}
+			hs.lastLE, hs.lastCum = le, int64(val)
+			if math.IsInf(le, 1) {
+				hs.hasInf, hs.infCount = true, int64(val)
+			}
+		case strings.HasSuffix(name, "_count"):
+			hs.count, hs.hasCount = int64(val), true
+		}
+	}
+	for name, hs := range hists {
+		if !hs.hasInf {
+			return fmt.Errorf("histogram %s has no +Inf bucket", name)
+		}
+		if !hs.hasCount {
+			return fmt.Errorf("histogram %s has no _count", name)
+		}
+		if hs.infCount != hs.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %d != count %d", name, hs.infCount, hs.count)
+		}
+	}
+	return nil
+}
+
+// parseLE extracts the le label value from a bucket's label set.
+func parseLE(labels string) (float64, bool) {
+	for _, kv := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || strings.TrimSpace(k) != "le" {
+			continue
+		}
+		v = strings.Trim(strings.TrimSpace(v), `"`)
+		if v == "+Inf" {
+			return math.Inf(1), true
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
+}

@@ -102,6 +102,44 @@ func TestQuantileEdges(t *testing.T) {
 	}
 }
 
+func TestQuantileAllInOverflowBucket(t *testing.T) {
+	// Every observation in the overflow bucket: all quantiles estimate
+	// the bucket's lower bound (it has no finite interior), count and
+	// sum stay exact.
+	h := &Histogram{}
+	const n = 1000
+	v := int64(1) << 45
+	for i := 0; i < n; i++ {
+		h.Observe(v)
+	}
+	lo, _ := BucketBounds(HistBuckets - 1)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != lo {
+			t.Errorf("Quantile(%v) = %d, want overflow lower bound %d", q, got, lo)
+		}
+	}
+	if h.Count() != n || h.Sum() != n*v {
+		t.Errorf("count/sum = %d/%d, want %d/%d", h.Count(), h.Sum(), n, n*v)
+	}
+}
+
+func TestQuantileMixedZeroAndOverflow(t *testing.T) {
+	// Half non-positive, half overflow: the two interpolation-free
+	// buckets must still yield monotonic, in-bucket estimates.
+	h := &Histogram{}
+	for i := 0; i < 50; i++ {
+		h.Observe(0)
+		h.Observe(1 << 50)
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Errorf("p25 = %d, want 0", got)
+	}
+	lo, _ := BucketBounds(HistBuckets - 1)
+	if got := h.Quantile(0.99); got != lo {
+		t.Errorf("p99 = %d, want %d", got, lo)
+	}
+}
+
 func TestSnapshotCarriesQuantiles(t *testing.T) {
 	r := New()
 	h := r.Histogram("test.latency")

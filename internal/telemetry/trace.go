@@ -1,0 +1,306 @@
+package telemetry
+
+// Request-scoped tracing: a Trace is one request's span tree — flat,
+// pooled, and cheap enough to record on every sampled request of a
+// serving daemon. The design follows the package's two contracts:
+//
+//   - Nil safety. (*Trace)(nil).Start returns an inert SpanRef whose
+//     every method is a no-op, so instrumented layers thread a *Trace
+//     through unconditionally and an unsampled request costs one nil
+//     check per span site — no clock read, no allocation.
+//   - Bounded memory. Spans live in one slice whose capacity survives
+//     pool round-trips; a trace stops recording (and counts the drops)
+//     at MaxTraceSpans instead of growing without bound.
+//
+// Spans form a tree through parent IDs: SpanID 0 is "no parent" (a
+// root span), and every Start returns the new span's ID for its
+// children to reference. IDs are 1-based indexes into the trace's span
+// slice, so resolving a parent is an index, not a search. Concurrent
+// Start/End/SetAttr calls are safe (the sealed corpus's shard fan-out
+// records spans from parallel goroutines); ordering between siblings
+// is whatever the scheduler produced.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceID is a 64-bit request trace identifier, rendered as 16 lowercase
+// hex digits in headers, response JSON and logs. 0 is "no trace".
+type TraceID uint64
+
+// String renders the ID as 16 hex digits ("00000000deadbeef").
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseTraceID parses the 16-hex-digit header form. A malformed or
+// zero ID reports ok=false.
+func ParseTraceID(s string) (TraceID, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return TraceID(v), true
+}
+
+// NewTraceID returns a fresh random non-zero trace ID.
+func NewTraceID() TraceID {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return TraceID(v)
+		}
+	}
+}
+
+// MaxTraceSpans bounds one trace's span count; Starts past the cap are
+// dropped (and counted) rather than grown.
+const MaxTraceSpans = 1024
+
+// SpanID identifies one span within its trace; 0 means "no span" and is
+// the parent of root spans. A SpanID is only meaningful inside the
+// trace that issued it.
+type SpanID int32
+
+// spanAttr is one typed span attribute.
+type spanAttr struct {
+	key   string
+	num   int64
+	str   string
+	isStr bool
+}
+
+// spanRec is one recorded span. Records and their attr slices are
+// reused across pool round-trips.
+type spanRec struct {
+	name    string
+	parent  SpanID
+	startNS int64 // offset from the trace's t0
+	durNS   int64 // -1 while the span is open
+	attrs   []spanAttr
+}
+
+// Trace is one request's span tree. Create with NewTrace, record spans
+// with Start, then hand the finished trace to a TraceBuffer (which
+// returns it to the pool) or call Free directly. All methods are safe
+// for concurrent use and no-ops on a nil receiver.
+type Trace struct {
+	mu      sync.Mutex
+	id      TraceID
+	t0      time.Time
+	durNS   int64
+	spans   []spanRec
+	dropped int
+}
+
+// tracePool recycles traces: a steady-state server allocates span
+// storage only until its deepest request shape has been seen.
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+// NewTrace returns a reset pooled trace with the given ID, its clock
+// started now.
+func NewTrace(id TraceID) *Trace {
+	t := tracePool.Get().(*Trace)
+	t.id = id
+	t.t0 = time.Now()
+	t.durNS = 0
+	t.dropped = 0
+	t.spans = t.spans[:0]
+	return t
+}
+
+// Free returns the trace to the pool. The caller must not touch the
+// trace afterwards. No-op on nil.
+func (t *Trace) Free() {
+	if t == nil {
+		return
+	}
+	tracePool.Put(t)
+}
+
+// ID reports the trace's identifier; 0 on a nil trace.
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Start opens a span under the given parent (0 for a root span) and
+// returns its handle. On a nil trace, or past MaxTraceSpans, the
+// returned SpanRef is inert and the clock is never read.
+func (t *Trace) Start(name string, parent SpanID) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	now := time.Now()
+	t.mu.Lock()
+	if len(t.spans) >= MaxTraceSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return SpanRef{}
+	}
+	var rec *spanRec
+	if len(t.spans) < cap(t.spans) {
+		t.spans = t.spans[:len(t.spans)+1]
+		rec = &t.spans[len(t.spans)-1]
+		rec.attrs = rec.attrs[:0]
+	} else {
+		t.spans = append(t.spans, spanRec{})
+		rec = &t.spans[len(t.spans)-1]
+	}
+	rec.name = name
+	rec.parent = parent
+	rec.startNS = int64(now.Sub(t.t0))
+	rec.durNS = -1
+	id := SpanID(len(t.spans))
+	t.mu.Unlock()
+	return SpanRef{t: t, id: id}
+}
+
+// SpanRef is a handle on one open span. The zero SpanRef is inert:
+// every method is a no-op, so callers hold and use refs
+// unconditionally whether or not the request is traced.
+type SpanRef struct {
+	t  *Trace
+	id SpanID
+}
+
+// Active reports whether the ref points at a recorded span.
+func (s SpanRef) Active() bool { return s.t != nil }
+
+// ID returns the span's ID for use as a child's parent; 0 when inert.
+func (s SpanRef) ID() SpanID { return s.id }
+
+// End closes the span. Ending twice keeps the first duration; no-op
+// when inert.
+func (s SpanRef) End() {
+	if s.t == nil {
+		return
+	}
+	now := time.Now()
+	s.t.mu.Lock()
+	rec := &s.t.spans[s.id-1]
+	if rec.durNS < 0 {
+		rec.durNS = int64(now.Sub(s.t.t0)) - rec.startNS
+	}
+	s.t.mu.Unlock()
+}
+
+// SetAttr attaches an integer attribute (shard index, batch size,
+// candidates examined, game steps...). No-op when inert.
+func (s SpanRef) SetAttr(key string, v int64) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	rec := &s.t.spans[s.id-1]
+	rec.attrs = append(rec.attrs, spanAttr{key: key, num: v})
+	s.t.mu.Unlock()
+}
+
+// SetAttrStr attaches a string attribute. No-op when inert.
+func (s SpanRef) SetAttrStr(key, v string) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	rec := &s.t.spans[s.id-1]
+	rec.attrs = append(rec.attrs, spanAttr{key: key, str: v, isStr: true})
+	s.t.mu.Unlock()
+}
+
+// Finish stamps the trace's total duration as time since NewTrace and
+// closes any still-open spans at that instant, so a snapshot is always
+// well-formed. Returns the duration; 0 on nil.
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	d := time.Since(t.t0)
+	t.finish(d)
+	return d
+}
+
+// finish is Finish with a caller-measured duration (the serve layer
+// measures from admission, slightly before NewTrace).
+func (t *Trace) finish(d time.Duration) {
+	t.mu.Lock()
+	t.durNS = int64(d)
+	for i := range t.spans {
+		if t.spans[i].durNS < 0 {
+			t.spans[i].durNS = int64(d) - t.spans[i].startNS
+			if t.spans[i].durNS < 0 {
+				t.spans[i].durNS = 0
+			}
+		}
+	}
+	t.mu.Unlock()
+}
+
+// TraceSpan is one span of a trace snapshot, in JSON form. Parent 0
+// marks a root span.
+type TraceSpan struct {
+	ID      int32          `json:"id"`
+	Parent  int32          `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartUS float64        `json:"start_us"`
+	DurUS   float64        `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceSnapshot is a deep, JSON-encodable copy of a completed trace.
+type TraceSnapshot struct {
+	TraceID string  `json:"trace_id"`
+	Start   string  `json:"start"`
+	DurUS   float64 `json:"dur_us"`
+	// DroppedSpans counts Starts lost to the MaxTraceSpans cap.
+	DroppedSpans int         `json:"dropped_spans,omitempty"`
+	Spans        []TraceSpan `json:"spans"`
+}
+
+// Snapshot deep-copies the trace into its JSON form. Safe to call on a
+// live trace; returns the zero snapshot on nil.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := TraceSnapshot{
+		TraceID:      t.id.String(),
+		Start:        t.t0.UTC().Format(time.RFC3339Nano),
+		DurUS:        float64(t.durNS) / 1e3,
+		DroppedSpans: t.dropped,
+		Spans:        make([]TraceSpan, len(t.spans)),
+	}
+	for i := range t.spans {
+		rec := &t.spans[i]
+		ts := TraceSpan{
+			ID:      int32(i + 1),
+			Parent:  int32(rec.parent),
+			Name:    rec.name,
+			StartUS: float64(rec.startNS) / 1e3,
+			DurUS:   float64(rec.durNS) / 1e3,
+		}
+		if rec.durNS < 0 {
+			ts.DurUS = 0 // snapshot of a still-open span
+		}
+		if len(rec.attrs) > 0 {
+			ts.Attrs = make(map[string]any, len(rec.attrs))
+			for _, a := range rec.attrs {
+				if a.isStr {
+					ts.Attrs[a.key] = a.str
+				} else {
+					ts.Attrs[a.key] = a.num
+				}
+			}
+		}
+		snap.Spans[i] = ts
+	}
+	return snap
+}

@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := TraceID(0xdeadbeef)
+	s := id.String()
+	if s != "00000000deadbeef" {
+		t.Fatalf("String() = %q", s)
+	}
+	back, ok := ParseTraceID(s)
+	if !ok || back != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v", s, back, ok)
+	}
+	for _, bad := range []string{"", "deadbeef", "00000000deadbee", "00000000deadbeef0", "zzzzzzzzzzzzzzzz", "0000000000000000"} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+	if NewTraceID() == 0 {
+		t.Error("NewTraceID returned 0")
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x", 0)
+	if sp.Active() || sp.ID() != 0 {
+		t.Fatal("nil trace produced an active span")
+	}
+	sp.SetAttr("k", 1)
+	sp.SetAttrStr("k", "v")
+	sp.End()
+	if tr.ID() != 0 || tr.Finish() != 0 {
+		t.Fatal("nil trace accessors not zero")
+	}
+	tr.Free()
+	if snap := tr.Snapshot(); len(snap.Spans) != 0 {
+		t.Fatal("nil trace snapshot has spans")
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace(TraceID(7))
+	root := tr.Start("request", 0)
+	child := tr.Start("search", root.ID())
+	child.SetAttr("examined", 42)
+	child.SetAttrStr("proc", "ftp_retrieve_glob")
+	child.End()
+	root.End()
+	tr.Finish()
+	snap := tr.Snapshot()
+	if snap.TraceID != TraceID(7).String() {
+		t.Fatalf("trace id %q", snap.TraceID)
+	}
+	if len(snap.Spans) != 2 {
+		t.Fatalf("%d spans", len(snap.Spans))
+	}
+	if snap.Spans[0].Name != "request" || snap.Spans[0].Parent != 0 {
+		t.Fatalf("root span %+v", snap.Spans[0])
+	}
+	if snap.Spans[1].Parent != snap.Spans[0].ID {
+		t.Fatalf("child parent %d want %d", snap.Spans[1].Parent, snap.Spans[0].ID)
+	}
+	if snap.Spans[1].Attrs["examined"] != int64(42) || snap.Spans[1].Attrs["proc"] != "ftp_retrieve_glob" {
+		t.Fatalf("attrs %+v", snap.Spans[1].Attrs)
+	}
+	if snap.Spans[1].DurUS < 0 || snap.Spans[1].StartUS < snap.Spans[0].StartUS {
+		t.Fatalf("timing: %+v", snap.Spans)
+	}
+	// The snapshot must be JSON-encodable as-is.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+	tr.Free()
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace(NewTraceID())
+	for i := 0; i < MaxTraceSpans+10; i++ {
+		tr.Start("s", 0).End()
+	}
+	snap := tr.Snapshot()
+	if len(snap.Spans) != MaxTraceSpans {
+		t.Fatalf("%d spans, want cap %d", len(snap.Spans), MaxTraceSpans)
+	}
+	if snap.DroppedSpans != 10 {
+		t.Fatalf("dropped %d, want 10", snap.DroppedSpans)
+	}
+	tr.Free()
+}
+
+func TestTracePoolReuseResets(t *testing.T) {
+	tr := NewTrace(TraceID(1))
+	sp := tr.Start("a", 0)
+	sp.SetAttr("k", 9)
+	sp.End()
+	tr.Finish()
+	tr.Free()
+	// The pool may hand the same trace back; either way a fresh trace
+	// must start empty.
+	tr2 := NewTrace(TraceID(2))
+	snap := tr2.Snapshot()
+	if len(snap.Spans) != 0 || snap.DroppedSpans != 0 {
+		t.Fatalf("reused trace not reset: %+v", snap)
+	}
+	sp2 := tr2.Start("b", 0)
+	sp2.End()
+	if got := tr2.Snapshot().Spans[0]; got.Name != "b" || len(got.Attrs) != 0 {
+		t.Fatalf("reused span slot leaked state: %+v", got)
+	}
+	tr2.Free()
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace(NewTraceID())
+	root := tr.Start("root", 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := tr.Start("shard", root.ID())
+				sp.SetAttr("shard", int64(i))
+				sp.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1+8*50 {
+		t.Fatalf("%d spans", len(snap.Spans))
+	}
+	tr.Free()
+}
+
+func TestTraceBufferRetainsSlowest(t *testing.T) {
+	b := NewTraceBuffer(2, 0, 0)
+	durations := []time.Duration{5 * time.Millisecond, 50 * time.Millisecond, 1 * time.Millisecond, 20 * time.Millisecond}
+	for i, d := range durations {
+		tr := NewTrace(TraceID(uint64(i + 1)))
+		tr.Start("request", 0).End()
+		b.Offer(tr, d)
+	}
+	snap := b.Snapshot()
+	if snap.Offered != 4 {
+		t.Fatalf("offered %d", snap.Offered)
+	}
+	if len(snap.Slowest) != 2 {
+		t.Fatalf("%d slowest retained", len(snap.Slowest))
+	}
+	// Slowest first: 50ms (trace 2) then 20ms (trace 4).
+	if snap.Slowest[0].TraceID != TraceID(2).String() || snap.Slowest[1].TraceID != TraceID(4).String() {
+		t.Fatalf("slowest order: %s, %s", snap.Slowest[0].TraceID, snap.Slowest[1].TraceID)
+	}
+	if snap.Slowest[0].DurUS < snap.Slowest[1].DurUS {
+		t.Fatal("slowest not sorted descending")
+	}
+}
+
+func TestTraceBufferThresholdRing(t *testing.T) {
+	b := NewTraceBuffer(1, 10*time.Millisecond, 2)
+	for i := 1; i <= 4; i++ {
+		tr := NewTrace(TraceID(uint64(i)))
+		b.Offer(tr, time.Duration(i)*8*time.Millisecond) // 8, 16, 24, 32ms
+	}
+	snap := b.Snapshot()
+	if snap.ThresholdUS != 10_000 {
+		t.Fatalf("threshold %d", snap.ThresholdUS)
+	}
+	// 16/24/32ms exceeded; ring keeps the 2 newest, newest first.
+	if len(snap.Recent) != 2 {
+		t.Fatalf("%d recent", len(snap.Recent))
+	}
+	if snap.Recent[0].TraceID != TraceID(4).String() || snap.Recent[1].TraceID != TraceID(3).String() {
+		t.Fatalf("recent order: %s, %s", snap.Recent[0].TraceID, snap.Recent[1].TraceID)
+	}
+}
+
+func TestTraceBufferNil(t *testing.T) {
+	var b *TraceBuffer
+	if b.Offer(NewTrace(NewTraceID()), time.Second) {
+		t.Fatal("nil buffer retained")
+	}
+	snap := b.Snapshot()
+	if snap.Schema != SchemaVersion || len(snap.Slowest) != 0 {
+		t.Fatalf("nil snapshot: %+v", snap)
+	}
+}

@@ -256,17 +256,20 @@ func (sc *SealedCorpus) SearchImageDetailed(query *Executable, procedure string,
 	if qi < 0 {
 		return nil, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
 	}
-	return sc.searchImageIdx(query, qi, img, opt)
+	return sc.searchImageIdx(query, qi, img, opt, opt.traceSpan())
 }
 
 // searchImageIdx runs one resolved query procedure against one image,
 // dispatching between the in-RAM view path and the store-backed lazy
-// path. Both produce byte-identical results.
-func (sc *SealedCorpus) searchImageIdx(query *Executable, qi int, img *SealedImage, opt *Options) (*SearchResult, error) {
+// path. Both produce byte-identical results. parent is the trace span
+// the search spans attach under — the caller's TraceSpan for direct
+// searches, the per-shard span inside a corpus-wide fan-out.
+func (sc *SealedCorpus) searchImageIdx(query *Executable, qi int, img *SealedImage, opt *Options, parent telemetry.SpanID) (*SearchResult, error) {
 	if img.store != nil {
-		return sc.storeSearch(query, qi, img, opt)
+		return sc.storeSearch(query, qi, img, opt, parent)
 	}
 	s := opt.search()
+	s.TraceParent = parent
 	v := sealedView{
 		img:        img,
 		minScore:   s.MinScore,
@@ -287,16 +290,17 @@ func (sc *SealedCorpus) SearchBatch(queries []BatchQuery, img *SealedImage, opt 
 	if err != nil {
 		return nil, err
 	}
-	return sc.searchBatchCore(cqs, img, opt)
+	return sc.searchBatchCore(cqs, img, opt, opt.traceSpan())
 }
 
 // searchBatchCore is SearchBatch after query resolution, shared with
 // the corpus-wide fan-out so resolution runs once per corpus pass.
-func (sc *SealedCorpus) searchBatchCore(cqs []core.BatchQuery, img *SealedImage, opt *Options) ([]*SearchResult, error) {
+func (sc *SealedCorpus) searchBatchCore(cqs []core.BatchQuery, img *SealedImage, opt *Options, parent telemetry.SpanID) ([]*SearchResult, error) {
 	if img.store != nil {
-		return sc.storeSearchBatch(cqs, img, opt)
+		return sc.storeSearchBatch(cqs, img, opt, parent)
 	}
 	s := opt.search()
+	s.TraceParent = parent
 	v := sealedView{
 		img:        img,
 		minScore:   s.MinScore,
@@ -342,9 +346,9 @@ func (sc *SealedCorpus) SearchAll(query *Executable, procedure string, opt *Opti
 		return nil, fmt.Errorf("firmup: query executable has no procedure %q", procedure)
 	}
 	out := make([]ImageFindings, len(sc.images))
-	err := sc.fanOut(func(i int) error {
+	err := sc.fanOut(opt.trace(), opt.traceSpan(), func(i int, parent telemetry.SpanID) error {
 		img := sc.images[i]
-		res, err := sc.searchImageIdx(query, qi, img, opt)
+		res, err := sc.searchImageIdx(query, qi, img, opt, parent)
 		if err != nil {
 			return err
 		}
@@ -366,13 +370,17 @@ func (sc *SealedCorpus) SearchAll(query *Executable, procedure string, opt *Opti
 // fanOut fills per-image results for every image of the corpus: one
 // sequential pass when the corpus is a single range (in-RAM), one
 // goroutine per shard otherwise, merged by global image index. The
-// first error in shard order wins.
-func (sc *SealedCorpus) fanOut(fill func(i int) error) error {
+// first error in shard order wins. When the corpus is sharded and a
+// trace is attached, each shard's pass runs under its own
+// "corpus.shard" span (shard index + image count attributes), so a
+// slow request attributes its latency to the shard that caused it;
+// fill receives the span it should parent its own spans under.
+func (sc *SealedCorpus) fanOut(tr *telemetry.Trace, parent telemetry.SpanID, fill func(i int, parent telemetry.SpanID) error) error {
 	ranges := sc.shardRanges()
 	if len(ranges) == 1 {
 		r := ranges[0]
 		for i := r[0]; i < r[0]+r[1]; i++ {
-			if err := fill(i); err != nil {
+			if err := fill(i, parent); err != nil {
 				return err
 			}
 		}
@@ -388,8 +396,16 @@ func (sc *SealedCorpus) fanOut(fill func(i int) error) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			shardParent := parent
+			if tr != nil {
+				sp := tr.Start("corpus.shard", parent)
+				sp.SetAttr("shard", int64(ri))
+				sp.SetAttr("images", int64(r[1]))
+				defer sp.End()
+				shardParent = sp.ID()
+			}
 			for i := r[0]; i < r[0]+r[1]; i++ {
-				if err := fill(i); err != nil {
+				if err := fill(i, shardParent); err != nil {
 					errs[ri] = err
 					return
 				}
@@ -421,9 +437,9 @@ func (sc *SealedCorpus) SearchAllBatch(queries []BatchQuery, opt *Options) ([][]
 	for qx := range queries {
 		out[qx] = make([]ImageFindings, len(sc.images))
 	}
-	err = sc.fanOut(func(i int) error {
+	err = sc.fanOut(opt.trace(), opt.traceSpan(), func(i int, parent telemetry.SpanID) error {
 		img := sc.images[i]
-		res, err := sc.searchBatchCore(cqs, img, opt)
+		res, err := sc.searchBatchCore(cqs, img, opt, parent)
 		if err != nil {
 			return err
 		}

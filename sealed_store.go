@@ -15,6 +15,7 @@ import (
 	"firmup/internal/sim"
 	"firmup/internal/snapshot"
 	"firmup/internal/strand"
+	"firmup/internal/telemetry"
 	"firmup/internal/uir"
 )
 
@@ -283,8 +284,9 @@ func storeCandidates(idx *corpusindex.FrozenIndex, minScore int, minRatio float6
 // histograms are byte-identical to the in-RAM path — core.Search with
 // the index prefilter is exactly what core.SearchView runs, and
 // non-candidate target slots are never dereferenced.
-func (sc *SealedCorpus) storeSearch(query *Executable, qi int, img *SealedImage, opt *Options) (*SearchResult, error) {
+func (sc *SealedCorpus) storeSearch(query *Executable, qi int, img *SealedImage, opt *Options, parent telemetry.SpanID) (*SearchResult, error) {
 	s := opt.search()
+	s.TraceParent = parent
 	if err := img.ensureIndex(); err != nil {
 		return nil, err
 	}
@@ -293,14 +295,18 @@ func (sc *SealedCorpus) storeSearch(query *Executable, qi int, img *SealedImage,
 		cand := storeCandidates(idx, s.MinScore, s.MinRatio, opt != nil && opt.Approx)
 		cands, ok := cand(query.exe, qi, nil)
 		if ok {
+			msp := s.Trace.Start("store.materialize", parent)
+			msp.SetAttr("candidates", int64(len(cands)))
 			targets := make([]*sim.Exe, img.nExes)
 			for _, ti := range cands {
 				e, err := img.materialize(ti)
 				if err != nil {
+					msp.End()
 					return nil, err
 				}
 				targets[ti] = e.exe
 			}
+			msp.End()
 			s.Prefilter = cand
 			return searchResultFromCore(core.Search(query.exe, qi, targets, s)), nil
 		}
@@ -316,8 +322,9 @@ func (sc *SealedCorpus) storeSearch(query *Executable, qi int, img *SealedImage,
 // storeSearchBatch is storeSearch for a batched pass: the union of all
 // queries' candidate sets is materialized, then one shared-matcher
 // core.SearchBatch runs over the nil-padded target slice.
-func (sc *SealedCorpus) storeSearchBatch(cqs []core.BatchQuery, img *SealedImage, opt *Options) ([]*SearchResult, error) {
+func (sc *SealedCorpus) storeSearchBatch(cqs []core.BatchQuery, img *SealedImage, opt *Options, parent telemetry.SpanID) ([]*SearchResult, error) {
 	s := opt.search()
+	s.TraceParent = parent
 	if err := img.ensureIndex(); err != nil {
 		return nil, err
 	}
@@ -337,6 +344,14 @@ func (sc *SealedCorpus) storeSearchBatch(cqs []core.BatchQuery, img *SealedImage
 			}
 		}
 		if narrow {
+			nCand := 0
+			for _, n := range need {
+				if n {
+					nCand++
+				}
+			}
+			msp := s.Trace.Start("store.materialize", parent)
+			msp.SetAttr("candidates", int64(nCand))
 			targets := make([]*sim.Exe, img.nExes)
 			for ti, n := range need {
 				if !n {
@@ -344,10 +359,12 @@ func (sc *SealedCorpus) storeSearchBatch(cqs []core.BatchQuery, img *SealedImage
 				}
 				e, err := img.materialize(ti)
 				if err != nil {
+					msp.End()
 					return nil, err
 				}
 				targets[ti] = e.exe
 			}
+			msp.End()
 			s.Prefilter = cand
 			res := core.SearchBatch(cqs, targets, s)
 			out := make([]*SearchResult, len(res))

@@ -1,0 +1,139 @@
+package firmup_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"firmup"
+	"firmup/internal/corpus"
+	"firmup/internal/telemetry"
+	"firmup/internal/uir"
+)
+
+// TestTraceEquivalence is the tracing soundness test: a request-scoped
+// trace must be pure observation. Every search path — the live
+// analyzer, the sealed in-RAM corpus, and a sharded mmap-backed corpus
+// — must answer byte-identically with and without a live trace
+// attached, across option variants, and the traced runs must actually
+// record spans (so the equivalence is not vacuous).
+func TestTraceEquivalence(t *testing.T) {
+	s := buildSealedScenario(t, corpus.DefaultScale())
+	cve := corpus.CVEByID("CVE-2014-4877")
+	qb := queryBytesFor(t, cve, uir.ArchMIPS32)
+
+	dir := t.TempDir()
+	if _, err := s.sealed.WriteShards(dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := firmup.OpenSealedCorpusDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	variants := []firmup.Options{{}, {MinScore: 3, MinRatio: 0.2}, {Exhaustive: true}}
+	spanNames := func(tr *telemetry.Trace) map[string]int {
+		names := make(map[string]int)
+		for _, sp := range tr.Snapshot().Spans {
+			names[sp.Name]++
+		}
+		return names
+	}
+
+	// Live analyzer path: per-image detailed search.
+	liveQ, err := s.analyzer.LoadQueryExecutable(qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveFindings := 0
+	for vi := range variants {
+		for i, img := range s.live {
+			base := variants[vi]
+			want, err := s.analyzer.SearchImageDetailed(liveQ, cve.Procedure, img, &base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := telemetry.NewTrace(telemetry.NewTraceID())
+			traced := variants[vi]
+			traced.Trace = tr
+			got, err := s.analyzer.SearchImageDetailed(liveQ, cve.Procedure, img, &traced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("live image %d variant %d: traced search diverges from untraced", i, vi)
+			}
+			if names := spanNames(tr); names["core.search"] == 0 {
+				t.Errorf("live image %d variant %d: trace recorded no core.search span: %v", i, vi, names)
+			}
+			tr.Finish()
+			tr.Free()
+			liveFindings += len(want.Findings)
+		}
+	}
+	if liveFindings == 0 {
+		t.Fatal("live baseline found nothing; equivalence would be vacuous")
+	}
+
+	// Sealed corpora: the in-RAM corpus and the sharded store, over the
+	// corpus-wide single and batched paths. The comparison is on the
+	// JSON encoding, pinning byte-identical findings.
+	for ci, sc := range []*firmup.SealedCorpus{s.sealed, sharded} {
+		q, err := sc.AnalyzeQuery(qb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vi := range variants {
+			base := variants[vi]
+			wantAll, err := sc.SearchAll(q, cve.Procedure, &base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBatch, err := sc.SearchAllBatch([]firmup.BatchQuery{{Query: q, Procedure: cve.Procedure}}, &base)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tr := telemetry.NewTrace(telemetry.NewTraceID())
+			traced := variants[vi]
+			traced.Trace = tr
+			root := tr.Start("request", 0)
+			traced.TraceSpan = root.ID()
+			gotAll, err := sc.SearchAll(q, cve.Procedure, &traced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBatch, err := sc.SearchAllBatch([]firmup.BatchQuery{{Query: q, Procedure: cve.Procedure}}, &traced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			root.End()
+
+			wantBlob, err := json.Marshal(wantAll)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBlob, err := json.Marshal(gotAll)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotBlob) != string(wantBlob) {
+				t.Errorf("corpus %d variant %d: traced SearchAll not byte-identical to untraced", ci, vi)
+			}
+			if !reflect.DeepEqual(gotBatch, wantBatch) {
+				t.Errorf("corpus %d variant %d: traced SearchAllBatch diverges from untraced", ci, vi)
+			}
+
+			names := spanNames(tr)
+			if names["core.search"] == 0 && names["core.search_batch"] == 0 {
+				t.Errorf("corpus %d variant %d: trace recorded no search spans: %v", ci, vi, names)
+			}
+			if ci == 1 && names["corpus.shard"] == 0 {
+				t.Errorf("sharded variant %d: trace lacks corpus.shard spans: %v", vi, names)
+			}
+			tr.Finish()
+			tr.Free()
+		}
+	}
+}
